@@ -1,0 +1,354 @@
+//! A discrete Bayesian network with exact inference — the third of the
+//! paper's candidate attack-modeling formalisms.
+//!
+//! Variables are binary (attack-stage reached / not reached); conditional
+//! probability tables condition each stage on its parents; inference is by
+//! brute-force enumeration over the joint, which is exact and perfectly
+//! adequate for stage networks of ≤ 20 variables.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifies a variable in a [`BayesNet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(usize);
+
+/// Error for invalid network construction or queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BayesError {
+    /// CPT row count does not match 2^(number of parents).
+    BadCptSize,
+    /// A probability was outside `[0, 1]`.
+    BadProbability,
+    /// A query referenced an unknown variable.
+    UnknownVariable,
+    /// Parents must be declared before children (the builder enforces a
+    /// topological order).
+    ParentAfterChild,
+    /// Evidence has probability zero.
+    ImpossibleEvidence,
+}
+
+impl fmt::Display for BayesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BayesError::BadCptSize => "cpt must have one row per parent assignment",
+            BayesError::BadProbability => "probability out of [0,1]",
+            BayesError::UnknownVariable => "unknown variable",
+            BayesError::ParentAfterChild => "parents must be added before children",
+            BayesError::ImpossibleEvidence => "evidence has probability zero",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for BayesError {}
+
+struct Variable {
+    name: String,
+    parents: Vec<VarId>,
+    /// `cpt[row]` = P(var = true | parent assignment `row`), where row
+    /// bits encode parent values (bit i = parents[i], LSB first).
+    cpt: Vec<f64>,
+}
+
+/// A discrete (binary-variable) Bayesian network.
+pub struct BayesNet {
+    variables: Vec<Variable>,
+}
+
+impl fmt::Debug for BayesNet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BayesNet")
+            .field("variables", &self.variables.len())
+            .finish()
+    }
+}
+
+impl Default for BayesNet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BayesNet {
+    /// Creates an empty network.
+    #[must_use]
+    pub fn new() -> Self {
+        BayesNet {
+            variables: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.variables.len()
+    }
+
+    /// Whether the network has no variables.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.variables.is_empty()
+    }
+
+    /// Adds a root variable with prior `P(true) = p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::BadProbability`] if `p` is out of range.
+    pub fn add_root(&mut self, name: impl Into<String>, p: f64) -> Result<VarId, BayesError> {
+        self.add_variable(name, vec![], vec![p])
+    }
+
+    /// Adds a variable with parents and a CPT. `cpt[row]` gives
+    /// `P(true | parents)` where bit `i` of `row` is the value of
+    /// `parents[i]` (LSB first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError`] for wrong CPT size, bad probabilities or
+    /// parents declared after this variable.
+    pub fn add_variable(
+        &mut self,
+        name: impl Into<String>,
+        parents: Vec<VarId>,
+        cpt: Vec<f64>,
+    ) -> Result<VarId, BayesError> {
+        let id = VarId(self.variables.len());
+        if parents.iter().any(|p| p.0 >= id.0) {
+            return Err(BayesError::ParentAfterChild);
+        }
+        if cpt.len() != 1 << parents.len() {
+            return Err(BayesError::BadCptSize);
+        }
+        if cpt.iter().any(|p| !(0.0..=1.0).contains(p) || p.is_nan()) {
+            return Err(BayesError::BadProbability);
+        }
+        self.variables.push(Variable {
+            name: name.into(),
+            parents,
+            cpt,
+        });
+        Ok(id)
+    }
+
+    /// Looks up a variable id by name.
+    #[must_use]
+    pub fn var_by_name(&self, name: &str) -> Option<VarId> {
+        self.variables
+            .iter()
+            .position(|v| v.name == name)
+            .map(VarId)
+    }
+
+    /// Joint probability of a full assignment (`bit i of `world`` =
+    /// variable i).
+    fn joint(&self, world: u64) -> f64 {
+        let mut p = 1.0;
+        for (i, var) in self.variables.iter().enumerate() {
+            let mut row = 0usize;
+            for (bit, parent) in var.parents.iter().enumerate() {
+                if world & (1 << parent.0) != 0 {
+                    row |= 1 << bit;
+                }
+            }
+            let p_true = var.cpt[row];
+            let value = world & (1 << i) != 0;
+            p *= if value { p_true } else { 1.0 - p_true };
+        }
+        p
+    }
+
+    /// Computes `P(query = true | evidence)` by enumeration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::UnknownVariable`] for out-of-range ids and
+    /// [`BayesError::ImpossibleEvidence`] when the evidence has zero
+    /// probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has more than 24 variables (enumeration
+    /// would be unreasonable; stage networks are far smaller).
+    pub fn query(
+        &self,
+        query: VarId,
+        evidence: &HashMap<VarId, bool>,
+    ) -> Result<f64, BayesError> {
+        let n = self.variables.len();
+        assert!(n <= 24, "enumeration limited to 24 variables");
+        if query.0 >= n || evidence.keys().any(|v| v.0 >= n) {
+            return Err(BayesError::UnknownVariable);
+        }
+        let mut p_true = 0.0;
+        let mut p_evidence = 0.0;
+        'worlds: for world in 0..(1u64 << n) {
+            for (&var, &val) in evidence {
+                if (world & (1 << var.0) != 0) != val {
+                    continue 'worlds;
+                }
+            }
+            let p = self.joint(world);
+            p_evidence += p;
+            if world & (1 << query.0) != 0 {
+                p_true += p;
+            }
+        }
+        if p_evidence == 0.0 {
+            return Err(BayesError::ImpossibleEvidence);
+        }
+        Ok(p_true / p_evidence)
+    }
+
+    /// Marginal `P(query = true)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::UnknownVariable`] for an out-of-range id.
+    pub fn marginal(&self, query: VarId) -> Result<f64, BayesError> {
+        self.query(query, &HashMap::new())
+    }
+}
+
+/// Builds the five-stage attack Bayesian network with the given per-stage
+/// conditional success probabilities: each stage succeeds with its
+/// probability only if the previous stage succeeded.
+///
+/// Returns `(net, stage variable ids in order)`.
+///
+/// # Panics
+///
+/// Panics only if probabilities are out of `[0,1]` (programmer error).
+#[must_use]
+pub fn stage_chain_network(stage_probs: &[f64]) -> (BayesNet, Vec<VarId>) {
+    let mut net = BayesNet::new();
+    let mut ids = Vec::with_capacity(stage_probs.len());
+    let mut prev: Option<VarId> = None;
+    for (i, &p) in stage_probs.iter().enumerate() {
+        let id = match prev {
+            None => net.add_root(format!("stage-{i}"), p).expect("valid prior"),
+            Some(parent) => net
+                .add_variable(format!("stage-{i}"), vec![parent], vec![0.0, p])
+                .expect("valid cpt"),
+        };
+        ids.push(id);
+        prev = Some(id);
+    }
+    (net, ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_root_marginal() {
+        let mut net = BayesNet::new();
+        let a = net.add_root("a", 0.3).unwrap();
+        assert!((net.marginal(a).unwrap() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chain_marginal_is_product() {
+        let (net, ids) = stage_chain_network(&[0.6, 0.5, 0.4]);
+        let last = *ids.last().unwrap();
+        assert!((net.marginal(last).unwrap() - 0.6 * 0.5 * 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditioning_on_parent() {
+        let (net, ids) = stage_chain_network(&[0.6, 0.5]);
+        let mut ev = HashMap::new();
+        ev.insert(ids[0], true);
+        assert!((net.query(ids[1], &ev).unwrap() - 0.5).abs() < 1e-12);
+        ev.insert(ids[0], false);
+        assert!((net.query(ids[1], &ev).unwrap() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diagnostic_reasoning_flows_backward() {
+        // Observing the attack succeeded raises belief the first stage
+        // succeeded (to certainty, in a noiseless chain).
+        let (net, ids) = stage_chain_network(&[0.3, 0.5]);
+        let mut ev = HashMap::new();
+        ev.insert(ids[1], true);
+        let posterior = net.query(ids[0], &ev).unwrap();
+        assert!((posterior - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_or_style_cpt() {
+        // Two causes, noisy-OR CPT.
+        let mut net = BayesNet::new();
+        let a = net.add_root("a", 0.5).unwrap();
+        let b = net.add_root("b", 0.5).unwrap();
+        let c = net
+            .add_variable("c", vec![a, b], vec![0.0, 0.8, 0.6, 0.92])
+            .unwrap();
+        // P(c) = Σ over parents.
+        let expect = 0.25 * 0.0 + 0.25 * 0.8 + 0.25 * 0.6 + 0.25 * 0.92;
+        assert!((net.marginal(c).unwrap() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn explaining_away() {
+        // Classic: two independent causes of one effect; observing the
+        // effect and one cause lowers belief in the other.
+        let mut net = BayesNet::new();
+        let a = net.add_root("a", 0.3).unwrap();
+        let b = net.add_root("b", 0.3).unwrap();
+        let e = net
+            .add_variable("e", vec![a, b], vec![0.01, 0.9, 0.9, 0.99])
+            .unwrap();
+        let mut just_e = HashMap::new();
+        just_e.insert(e, true);
+        let p_a_given_e = net.query(a, &just_e).unwrap();
+        let mut e_and_b = just_e.clone();
+        e_and_b.insert(b, true);
+        let p_a_given_eb = net.query(a, &e_and_b).unwrap();
+        assert!(
+            p_a_given_eb < p_a_given_e,
+            "explaining away: {p_a_given_eb} !< {p_a_given_e}"
+        );
+    }
+
+    #[test]
+    fn construction_errors() {
+        let mut net = BayesNet::new();
+        let a = net.add_root("a", 0.5).unwrap();
+        assert_eq!(
+            net.add_variable("bad", vec![a], vec![0.5]).unwrap_err(),
+            BayesError::BadCptSize
+        );
+        assert_eq!(
+            net.add_root("bad2", 1.5).unwrap_err(),
+            BayesError::BadProbability
+        );
+    }
+
+    #[test]
+    fn query_errors() {
+        let mut net = BayesNet::new();
+        let a = net.add_root("a", 0.0).unwrap();
+        // Evidence a = true has probability 0.
+        let mut ev = HashMap::new();
+        ev.insert(a, true);
+        assert_eq!(
+            net.query(a, &ev).unwrap_err(),
+            BayesError::ImpossibleEvidence
+        );
+        assert_eq!(net.marginal(VarId(9)).unwrap_err(), BayesError::UnknownVariable);
+    }
+
+    #[test]
+    fn name_lookup() {
+        let (net, ids) = stage_chain_network(&[0.5, 0.5]);
+        assert_eq!(net.var_by_name("stage-0"), Some(ids[0]));
+        assert_eq!(net.var_by_name("stage-1"), Some(ids[1]));
+        assert_eq!(net.var_by_name("nope"), None);
+        assert_eq!(net.len(), 2);
+        assert!(!net.is_empty());
+    }
+}

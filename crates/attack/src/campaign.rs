@@ -1,0 +1,540 @@
+//! Campaign models and the tick-based campaign simulator.
+//!
+//! A campaign walks the plant network stage by stage: initial infection at
+//! an entry node, activation, privilege escalation, lateral propagation,
+//! and (for sabotage threats) PLC reprogramming → device impairment. Each
+//! tick is one hour of attacker wall-clock time; every stochastic step
+//! draws from the [`ExploitCatalog`] probabilities, which in turn depend
+//! on the per-node [`ComponentProfile`]s — that is precisely where
+//! diversity enters.
+
+use crate::exploit::ExploitCatalog;
+use crate::stage::{AttackStage, NodeCompromise};
+use diversify_des::{RngStream, StreamId};
+use diversify_scada::network::{NodeId, NodeRole, ScadaNetwork};
+use serde::{Deserialize, Serialize};
+
+/// What the attacker is trying to achieve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AttackGoal {
+    /// Reprogram at least this fraction of the plant's PLCs (sabotage,
+    /// Stuxnet-like).
+    ImpairDevices {
+        /// Required fraction of PLCs in `(0, 1]`.
+        fraction: f64,
+    },
+    /// Hold a foothold on the historian/engineering data for the given
+    /// number of ticks (espionage, Duqu/Flame-like).
+    Exfiltrate {
+        /// Consecutive ticks of data access required.
+        ticks: u32,
+    },
+}
+
+/// A named threat model: an exploit catalog plus behavioural parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThreatModel {
+    /// Display name.
+    pub name: String,
+    /// The exploit catalog.
+    pub catalog: ExploitCatalog,
+    /// Stealth in `[0,1]`: scales detection probability down.
+    pub stealth: f64,
+    /// Lateral-movement attempts per compromised node per tick.
+    pub attempts_per_tick: u32,
+    /// The campaign goal.
+    pub goal: AttackGoal,
+}
+
+impl ThreatModel {
+    /// The Stuxnet-like sabotage threat (the paper's reference attack).
+    #[must_use]
+    pub fn stuxnet_like() -> Self {
+        ThreatModel {
+            name: "stuxnet-like".to_string(),
+            catalog: ExploitCatalog::stuxnet_like(),
+            stealth: 0.85,
+            attempts_per_tick: 2,
+            goal: AttackGoal::ImpairDevices { fraction: 0.5 },
+        }
+    }
+
+    /// The Duqu-like espionage threat (paper future work).
+    #[must_use]
+    pub fn duqu_like() -> Self {
+        ThreatModel {
+            name: "duqu-like".to_string(),
+            catalog: ExploitCatalog::duqu_like(),
+            stealth: 0.92,
+            attempts_per_tick: 1,
+            goal: AttackGoal::Exfiltrate { ticks: 24 },
+        }
+    }
+
+    /// The Flame-like espionage threat (paper future work).
+    #[must_use]
+    pub fn flame_like() -> Self {
+        ThreatModel {
+            name: "flame-like".to_string(),
+            catalog: ExploitCatalog::flame_like(),
+            stealth: 0.70,
+            attempts_per_tick: 3,
+            goal: AttackGoal::Exfiltrate { ticks: 12 },
+        }
+    }
+}
+
+/// Campaign simulation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Maximum ticks (hours) to simulate.
+    pub max_ticks: u32,
+    /// Whether detection ends the campaign (defenders remediate) or is
+    /// merely recorded (pure observation, the paper's TTSF definition).
+    pub detection_stops_attack: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            max_ticks: 24 * 365, // one year of attacker persistence
+            detection_stops_attack: false,
+        }
+    }
+}
+
+/// Result of one simulated campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignOutcome {
+    /// Tick at which the goal was achieved (Time-To-Attack), if it was.
+    pub time_to_attack: Option<u32>,
+    /// Tick at which the defenders first perceived the attack
+    /// (Time-To-Security-Failure), if they did.
+    pub time_to_detection: Option<u32>,
+    /// Compromised ratio sampled at every tick (index = tick).
+    pub compromised_ratio: Vec<f64>,
+    /// Final per-node compromise states.
+    pub final_states: Vec<NodeCompromise>,
+    /// Deepest stage reached.
+    pub deepest_stage: AttackStage,
+    /// Number of lateral-movement attempts blocked by firewalls.
+    pub firewall_blocks: u32,
+    /// Number of PLC payload deliveries that failed on dialect mismatch
+    /// or firmware resilience.
+    pub payload_failures: u32,
+}
+
+impl CampaignOutcome {
+    /// Whether the campaign achieved its goal.
+    #[must_use]
+    pub fn succeeded(&self) -> bool {
+        self.time_to_attack.is_some()
+    }
+
+    /// The compromised ratio at the end of the run.
+    #[must_use]
+    pub fn final_compromised_ratio(&self) -> f64 {
+        self.compromised_ratio.last().copied().unwrap_or(0.0)
+    }
+}
+
+/// Tick-based Monte-Carlo campaign simulator over a plant network.
+#[derive(Debug)]
+pub struct CampaignSimulator<'n> {
+    network: &'n ScadaNetwork,
+    threat: ThreatModel,
+    config: CampaignConfig,
+}
+
+impl<'n> CampaignSimulator<'n> {
+    /// Creates a simulator for `threat` against `network`.
+    #[must_use]
+    pub fn new(network: &'n ScadaNetwork, threat: ThreatModel, config: CampaignConfig) -> Self {
+        CampaignSimulator {
+            network,
+            threat,
+            config,
+        }
+    }
+
+    /// The threat model under simulation.
+    #[must_use]
+    pub fn threat(&self) -> &ThreatModel {
+        &self.threat
+    }
+
+    /// Runs one campaign replication with the given seed.
+    #[must_use]
+    pub fn run(&self, seed: u64) -> CampaignOutcome {
+        let net = self.network;
+        let cat = &self.threat.catalog;
+        let mut rng = RngStream::new(seed, StreamId(0xA77));
+        let n = net.node_count();
+        let mut states = vec![NodeCompromise::Clean; n];
+        let mut deepest = AttackStage::Initial;
+        let mut ratio_curve = Vec::with_capacity(self.config.max_ticks as usize + 1);
+        let mut time_to_attack = None;
+        let mut time_to_detection = None;
+        let mut firewall_blocks = 0u32;
+        let mut payload_failures = 0u32;
+        let mut exfil_ticks = 0u32;
+
+        // Representative profiles for detection: the historian node and a
+        // field sensor owner (first PLC).
+        let historian_profile = net
+            .nodes_with_role(NodeRole::Historian)
+            .first()
+            .map(|&id| net.node(id).profile)
+            .unwrap_or_default();
+        let sensor_profile = net
+            .nodes_with_role(NodeRole::Plc)
+            .first()
+            .map(|&id| net.node(id).profile)
+            .unwrap_or_default();
+
+        // Initial infection: the attacker seeds an entry-point node (USB
+        // stick in the office, per the Stuxnet dossier). Entry succeeds
+        // against the entry node's OS.
+        let entries: Vec<NodeId> = net
+            .node_ids()
+            .filter(|&id| net.node(id).role.is_entry_point())
+            .collect();
+        let plc_ids: Vec<NodeId> = net.nodes_with_role(NodeRole::Plc);
+        let total_plcs = plc_ids.len().max(1);
+
+        ratio_curve.push(0.0);
+        'ticks: for tick in 1..=self.config.max_ticks {
+            // Stage: Initial → Activated (seed an entry node).
+            if !states.iter().any(|s| s.is_compromised()) {
+                if let Some(&entry) = entries.first() {
+                    let p = cat.infection_probability(&net.node(entry).profile);
+                    if rng.bernoulli(p) {
+                        states[entry.index()] = NodeCompromise::Infected;
+                        deepest = deepest.max(AttackStage::Activated);
+                    }
+                }
+            }
+
+            // Stage: privilege escalation on infected nodes.
+            for id in net.node_ids() {
+                if states[id.index()] == NodeCompromise::Infected {
+                    let p = cat.escalation_probability(&net.node(id).profile);
+                    if rng.bernoulli(p) {
+                        states[id.index()] = NodeCompromise::Rooted;
+                        deepest = deepest.max(AttackStage::RootAccess);
+                    }
+                }
+            }
+
+            // Stage: lateral propagation from rooted nodes.
+            let rooted: Vec<NodeId> = net
+                .node_ids()
+                .filter(|&id| states[id.index()] >= NodeCompromise::Rooted)
+                .collect();
+            for &src in &rooted {
+                for _ in 0..self.threat.attempts_per_tick {
+                    let neighbors = net.neighbors(src);
+                    if neighbors.is_empty() {
+                        continue;
+                    }
+                    let dst = neighbors[rng.index(neighbors.len())];
+                    if states[dst.index()] != NodeCompromise::Clean {
+                        continue;
+                    }
+                    let dst_profile = &net.node(dst).profile;
+                    // Zone crossings face the destination firewall.
+                    if net.crosses_zone(src, dst) {
+                        let pass = cat.firewall_pass_probability(dst_profile);
+                        if !rng.bernoulli(pass) {
+                            firewall_blocks += 1;
+                            continue;
+                        }
+                    }
+                    // Propagation additionally requires speaking the
+                    // destination's wire dialect inside the field zone.
+                    let src_dialect = net.node(src).profile.dialect;
+                    let dialect_ok = src_dialect == dst_profile.dialect
+                        || !matches!(net.node(dst).role, NodeRole::Plc | NodeRole::FieldGateway);
+                    if !dialect_ok && !rng.bernoulli(0.05) {
+                        payload_failures += 1;
+                        continue;
+                    }
+                    if rng.bernoulli(cat.infection_probability(dst_profile)) {
+                        states[dst.index()] = NodeCompromise::Infected;
+                        deepest = deepest.max(AttackStage::NetworkPropagation);
+                    }
+                }
+            }
+
+            // Stage: PLC payload delivery (sabotage threats only).
+            for &plc in &plc_ids {
+                if states[plc.index()] == NodeCompromise::Reprogrammed {
+                    continue;
+                }
+                // Needs a rooted neighbor (gateway or engineering path).
+                let has_rooted_neighbor = net
+                    .neighbors(plc)
+                    .iter()
+                    .any(|&nb| states[nb.index()] >= NodeCompromise::Rooted)
+                    || states[plc.index()] >= NodeCompromise::Rooted;
+                if !has_rooted_neighbor {
+                    continue;
+                }
+                let p = cat.plc_payload_probability(&net.node(plc).profile);
+                if p == 0.0 {
+                    continue;
+                }
+                if rng.bernoulli(p) {
+                    states[plc.index()] = NodeCompromise::Reprogrammed;
+                    deepest = deepest.max(AttackStage::DeviceImpairment);
+                } else {
+                    payload_failures += 1;
+                }
+            }
+
+            // Goal evaluation.
+            let reprogrammed = plc_ids
+                .iter()
+                .filter(|&&id| states[id.index()] == NodeCompromise::Reprogrammed)
+                .count();
+            match self.threat.goal {
+                AttackGoal::ImpairDevices { fraction } => {
+                    if time_to_attack.is_none()
+                        && (reprogrammed as f64 / total_plcs as f64) >= fraction
+                    {
+                        time_to_attack = Some(tick);
+                    }
+                }
+                AttackGoal::Exfiltrate { ticks } => {
+                    let data_access = net
+                        .node_ids()
+                        .filter(|&id| {
+                            matches!(
+                                net.node(id).role,
+                                NodeRole::Historian | NodeRole::EngineeringWorkstation
+                            )
+                        })
+                        .any(|id| states[id.index()] >= NodeCompromise::Rooted);
+                    if data_access {
+                        exfil_ticks += 1;
+                        if time_to_attack.is_none() && exfil_ticks >= ticks {
+                            time_to_attack = Some(tick);
+                        }
+                    }
+                }
+            }
+
+            // Detection (Time-To-Security-Failure). Only active intrusions
+            // can be noticed.
+            if time_to_detection.is_none() && states.iter().any(|s| s.is_compromised()) {
+                let impairment_active = reprogrammed > 0;
+                let p = cat.detection_probability(
+                    &historian_profile,
+                    &sensor_profile,
+                    impairment_active,
+                    self.threat.stealth,
+                );
+                if rng.bernoulli(p) {
+                    time_to_detection = Some(tick);
+                    if self.config.detection_stops_attack {
+                        let ratio = states.iter().filter(|s| s.is_compromised()).count()
+                            as f64
+                            / n as f64;
+                        ratio_curve.push(ratio);
+                        break 'ticks;
+                    }
+                }
+            }
+
+            let ratio =
+                states.iter().filter(|s| s.is_compromised()).count() as f64 / n as f64;
+            ratio_curve.push(ratio);
+
+            // Early exit when nothing further can change.
+            if time_to_attack.is_some() && time_to_detection.is_some() {
+                break;
+            }
+        }
+
+        CampaignOutcome {
+            time_to_attack,
+            time_to_detection,
+            compromised_ratio: ratio_curve,
+            final_states: states,
+            deepest_stage: deepest,
+            firewall_blocks,
+            payload_failures,
+        }
+    }
+
+    /// Runs `replications` campaigns under distinct seeds derived from
+    /// `master_seed` and returns every outcome.
+    #[must_use]
+    pub fn run_many(&self, replications: u32, master_seed: u64) -> Vec<CampaignOutcome> {
+        (0..replications)
+            .map(|i| {
+                self.run(diversify_des::derive_seed(
+                    master_seed,
+                    StreamId(0xCA_0000 + u64::from(i)),
+                ))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diversify_scada::components::ComponentProfile;
+    use diversify_scada::scope::{ScopeConfig, ScopeSystem};
+
+    fn scope_network() -> ScadaNetwork {
+        ScopeSystem::build(&ScopeConfig::default()).network().clone()
+    }
+
+    #[test]
+    fn stuxnet_succeeds_against_monoculture() {
+        let net = scope_network();
+        let sim = CampaignSimulator::new(
+            &net,
+            ThreatModel::stuxnet_like(),
+            CampaignConfig::default(),
+        );
+        let outcomes = sim.run_many(50, 7);
+        let successes = outcomes.iter().filter(|o| o.succeeded()).count();
+        assert!(
+            successes > 40,
+            "monoculture should fall almost always: {successes}/50"
+        );
+        let deepest_reached = outcomes
+            .iter()
+            .filter(|o| o.deepest_stage == AttackStage::DeviceImpairment)
+            .count();
+        assert!(deepest_reached > 40);
+    }
+
+    #[test]
+    fn hardened_system_resists_much_longer() {
+        let mut net = scope_network();
+        let ids: Vec<_> = net.node_ids().collect();
+        for id in ids {
+            net.node_mut(id).profile = ComponentProfile::hardened();
+        }
+        let weak_net = scope_network();
+        let threat = ThreatModel::stuxnet_like();
+        // A bounded observation window: with unbounded persistence even a
+        // hardened plant eventually falls, so success *rate* is compared
+        // at a fixed horizon (the paper's point is raising effort/time).
+        let cfg = CampaignConfig {
+            max_ticks: 300,
+            detection_stops_attack: false,
+        };
+        let hard = CampaignSimulator::new(&net, threat.clone(), cfg).run_many(40, 3);
+        let weak = CampaignSimulator::new(&weak_net, threat, cfg).run_many(40, 3);
+        let rate =
+            |os: &[CampaignOutcome]| os.iter().filter(|o| o.succeeded()).count() as f64 / 40.0;
+        assert!(
+            rate(&hard) < rate(&weak),
+            "hardening must reduce success rate ({} vs {})",
+            rate(&hard),
+            rate(&weak)
+        );
+        // And when it succeeds it takes longer on average.
+        let mean_tta = |os: &[CampaignOutcome]| {
+            let hits: Vec<f64> = os
+                .iter()
+                .filter_map(|o| o.time_to_attack.map(f64::from))
+                .collect();
+            if hits.is_empty() {
+                f64::INFINITY
+            } else {
+                hits.iter().sum::<f64>() / hits.len() as f64
+            }
+        };
+        assert!(mean_tta(&hard) > mean_tta(&weak));
+    }
+
+    #[test]
+    fn outcomes_are_reproducible() {
+        let net = scope_network();
+        let sim = CampaignSimulator::new(
+            &net,
+            ThreatModel::stuxnet_like(),
+            CampaignConfig::default(),
+        );
+        assert_eq!(sim.run(42), sim.run(42));
+    }
+
+    #[test]
+    fn compromised_ratio_is_monotone_without_remediation() {
+        let net = scope_network();
+        let sim = CampaignSimulator::new(
+            &net,
+            ThreatModel::stuxnet_like(),
+            CampaignConfig::default(),
+        );
+        let o = sim.run(5);
+        for w in o.compromised_ratio.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12, "ratio decreased: {w:?}");
+        }
+        assert!(o.final_compromised_ratio() <= 1.0);
+    }
+
+    #[test]
+    fn espionage_threats_never_reprogram_plcs() {
+        let net = scope_network();
+        for threat in [ThreatModel::duqu_like(), ThreatModel::flame_like()] {
+            let sim = CampaignSimulator::new(&net, threat, CampaignConfig::default());
+            for o in sim.run_many(10, 11) {
+                assert!(
+                    !o.final_states.contains(&NodeCompromise::Reprogrammed),
+                    "espionage threat reprogrammed a PLC"
+                );
+                assert!(o.deepest_stage < AttackStage::DeviceImpairment);
+            }
+        }
+    }
+
+    #[test]
+    fn duqu_exfiltration_goal_reachable() {
+        let net = scope_network();
+        let sim =
+            CampaignSimulator::new(&net, ThreatModel::duqu_like(), CampaignConfig::default());
+        let outcomes = sim.run_many(30, 13);
+        let successes = outcomes.iter().filter(|o| o.succeeded()).count();
+        assert!(successes > 15, "duqu should usually exfiltrate: {successes}/30");
+    }
+
+    #[test]
+    fn detection_stops_attack_truncates_curve() {
+        let net = scope_network();
+        let mut threat = ThreatModel::stuxnet_like();
+        threat.stealth = 0.0; // noisy attacker
+        let cfg = CampaignConfig {
+            detection_stops_attack: true,
+            max_ticks: 1000,
+        };
+        let sim = CampaignSimulator::new(&net, threat, cfg);
+        let o = sim.run(21);
+        if let Some(ttd) = o.time_to_detection {
+            assert!(o.compromised_ratio.len() as u32 <= ttd + 2);
+        }
+    }
+
+    #[test]
+    fn strict_firewalls_block_hops() {
+        let mut net = scope_network();
+        let ids: Vec<_> = net.node_ids().collect();
+        for id in ids {
+            net.node_mut(id).profile.firewall =
+                diversify_scada::components::FirewallPolicy::Strict;
+        }
+        let sim = CampaignSimulator::new(
+            &net,
+            ThreatModel::stuxnet_like(),
+            CampaignConfig::default(),
+        );
+        let o = sim.run(9);
+        assert!(o.firewall_blocks > 0, "strict firewalls should log blocks");
+    }
+}

@@ -1,0 +1,206 @@
+//! The paper's Sec. I motivating example.
+//!
+//! *"Let us consider an attack that requires compromising two machines in
+//! order to be successful. If the machines are identical, it suffices to
+//! compromise one machine and then repeating the exploit for the other
+//! (P_SA ≈ P_M). When the machines are different, P_SA ≈ P_M1 × P_M2."*
+//!
+//! [`chain_success_probability`] computes the closed form for a chain of
+//! `k` machines with an arbitrary variant assignment;
+//! [`simulate_chain`] estimates the same probability by Monte Carlo so
+//! experiment R1 can show agreement.
+
+use diversify_des::{RngStream, StreamId};
+
+/// A chain of machines the attacker must compromise in order. Each entry
+/// is `(variant id, per-machine compromise probability)`.
+///
+/// Identical variant ids model the paper's "repeat the exploit" effect:
+/// once the exploit works on a variant, later machines of the same variant
+/// fall deterministically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineChain {
+    machines: Vec<(u32, f64)>,
+}
+
+impl MachineChain {
+    /// Creates a chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]` or the chain is
+    /// empty.
+    #[must_use]
+    pub fn new(machines: Vec<(u32, f64)>) -> Self {
+        assert!(!machines.is_empty(), "chain needs at least one machine");
+        for &(_, p) in &machines {
+            assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        }
+        MachineChain { machines }
+    }
+
+    /// A homogeneous chain: `k` identical machines with probability `p`.
+    #[must_use]
+    pub fn identical(k: usize, p: f64) -> Self {
+        Self::new(vec![(0, p); k])
+    }
+
+    /// A fully diverse chain: `k` machines, all distinct variants, all
+    /// with probability `p`.
+    #[must_use]
+    pub fn diverse(k: usize, p: f64) -> Self {
+        Self::new((0..k).map(|i| (i as u32, p)).collect())
+    }
+
+    /// Chain length.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Whether the chain is empty (never true by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
+    }
+
+    /// The machines as `(variant, probability)` pairs.
+    #[must_use]
+    pub fn machines(&self) -> &[(u32, f64)] {
+        &self.machines
+    }
+}
+
+/// Exact success probability of compromising every machine in the chain,
+/// under the paper's exploit-reuse semantics: the first machine of each
+/// *distinct variant* must be compromised fresh (probability `p`); every
+/// later machine of an already-broken variant falls with probability 1.
+///
+/// Identical machines: `P_SA = p` (one fresh exploit). Fully diverse:
+/// `P_SA = Π pᵢ`.
+///
+/// # Examples
+///
+/// ```
+/// use diversify_attack::{chain_success_probability, MachineChain};
+///
+/// let same = MachineChain::identical(2, 0.3);
+/// assert!((chain_success_probability(&same) - 0.3).abs() < 1e-12);
+///
+/// let diff = MachineChain::diverse(2, 0.3);
+/// assert!((chain_success_probability(&diff) - 0.09).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn chain_success_probability(chain: &MachineChain) -> f64 {
+    let mut broken: Vec<u32> = Vec::new();
+    let mut p_total = 1.0;
+    for &(variant, p) in chain.machines() {
+        if broken.contains(&variant) {
+            continue; // exploit reuse: free
+        }
+        p_total *= p;
+        broken.push(variant);
+    }
+    p_total
+}
+
+/// Monte-Carlo estimate of the chain success probability.
+///
+/// Each replication walks the chain; a fresh variant is broken with its
+/// probability, a previously broken variant falls for free, and any
+/// failure aborts the attack.
+#[must_use]
+pub fn simulate_chain(chain: &MachineChain, replications: u32, seed: u64) -> f64 {
+    let mut rng = RngStream::new(seed, StreamId(0xC4A1));
+    let mut successes = 0u32;
+    for _ in 0..replications {
+        let mut broken: Vec<u32> = Vec::new();
+        let mut ok = true;
+        for &(variant, p) in chain.machines() {
+            if broken.contains(&variant) {
+                continue;
+            }
+            if rng.bernoulli(p) {
+                broken.push(variant);
+            } else {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            successes += 1;
+        }
+    }
+    f64::from(successes) / f64::from(replications)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_machines_cost_one_exploit() {
+        for k in 1..8 {
+            let chain = MachineChain::identical(k, 0.4);
+            assert!((chain_success_probability(&chain) - 0.4).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn diverse_machines_multiply() {
+        let chain = MachineChain::diverse(3, 0.5);
+        assert!((chain_success_probability(&chain) - 0.125).abs() < 1e-12);
+        let chain4 = MachineChain::diverse(4, 0.9);
+        assert!((chain_success_probability(&chain4) - 0.9f64.powi(4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_chain_counts_distinct_variants() {
+        // Variants [A, B, A, B]: only two fresh exploits needed.
+        let chain = MachineChain::new(vec![(0, 0.5), (1, 0.5), (0, 0.5), (1, 0.5)]);
+        assert!((chain_success_probability(&chain) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heterogeneous_probabilities() {
+        let chain = MachineChain::new(vec![(0, 0.8), (1, 0.25)]);
+        assert!((chain_success_probability(&chain) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_closed_form() {
+        for chain in [
+            MachineChain::identical(4, 0.3),
+            MachineChain::diverse(4, 0.3),
+            MachineChain::new(vec![(0, 0.7), (1, 0.5), (0, 0.9), (2, 0.4)]),
+        ] {
+            let exact = chain_success_probability(&chain);
+            let mc = simulate_chain(&chain, 200_000, 9);
+            assert!(
+                (exact - mc).abs() < 0.01,
+                "exact {exact} vs Monte-Carlo {mc}"
+            );
+        }
+    }
+
+    #[test]
+    fn diversity_strictly_helps_for_k_ge_2() {
+        for k in 2..6 {
+            let same = chain_success_probability(&MachineChain::identical(k, 0.6));
+            let diff = chain_success_probability(&MachineChain::diverse(k, 0.6));
+            assert!(diff < same, "k={k}: diversity must lower P_SA");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_chain_rejected() {
+        let _ = MachineChain::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_probability_rejected() {
+        let _ = MachineChain::new(vec![(0, 1.5)]);
+    }
+}

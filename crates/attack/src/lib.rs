@@ -1,0 +1,44 @@
+//! # diversify-attack
+//!
+//! Threat-model substrate of the *Diversify!* (DSN 2013) reproduction.
+//!
+//! The paper formalizes attack progression *"in terms of the stages the
+//! attack undergoes before success (e.g., initial, activated, root access,
+//! network propagation, device impairment)"* and notes that Bayesian
+//! networks, Petri nets (SANs) or attack trees can all express the model.
+//! This crate provides **all three formalisms** plus a concrete campaign
+//! simulator that walks a [`diversify_scada::ScadaNetwork`]:
+//!
+//! * [`stage`] — the five-stage progression model;
+//! * [`exploit`] — per-variant success probabilities (the paper's
+//!   "availability of tools and/or exploits" knob);
+//! * [`campaign`] — Stuxnet-, Duqu- and Flame-like campaign models and the
+//!   tick-based [`campaign::CampaignSimulator`] that produces the paper's
+//!   three security indicators;
+//! * [`chain`] — the Sec. I motivating example (identical vs diverse
+//!   machines, P_SA ≈ P_M vs P_SA ≈ P_M1 × P_M2);
+//! * [`tree`] — attack trees with AND/OR semantics, success probability
+//!   and minimal cut sets;
+//! * [`bayes`] — a small discrete Bayesian network with variable
+//!   elimination;
+//! * [`to_san`] — compiles a stage progression into a
+//!   [`diversify_san::SanModel`] so the SAN solver can cross-check the
+//!   simulator (experiment R8).
+
+#![warn(missing_docs)]
+
+pub mod bayes;
+pub mod campaign;
+pub mod chain;
+pub mod exploit;
+pub mod stage;
+pub mod to_san;
+pub mod tree;
+
+pub use campaign::{
+    AttackGoal, CampaignConfig, CampaignOutcome, CampaignSimulator, ThreatModel,
+};
+pub use chain::{chain_success_probability, simulate_chain, MachineChain};
+pub use exploit::ExploitCatalog;
+pub use stage::{AttackStage, NodeCompromise};
+pub use tree::{AttackTree, TreeNode};

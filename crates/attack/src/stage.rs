@@ -1,0 +1,138 @@
+//! The five-stage attack progression model from the paper.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The stages an attack undergoes before success — exactly the example
+/// list from the paper's *Attack Modeling* step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AttackStage {
+    /// Malware present but dormant (e.g. infected USB stick inserted).
+    Initial,
+    /// Payload activated on the entry node.
+    Activated,
+    /// Privilege escalation achieved on a node.
+    RootAccess,
+    /// Lateral movement across the plant network.
+    NetworkPropagation,
+    /// Malicious control signals damaging physical devices.
+    DeviceImpairment,
+}
+
+impl AttackStage {
+    /// All stages in progression order.
+    pub const ALL: [AttackStage; 5] = [
+        AttackStage::Initial,
+        AttackStage::Activated,
+        AttackStage::RootAccess,
+        AttackStage::NetworkPropagation,
+        AttackStage::DeviceImpairment,
+    ];
+
+    /// The next stage, if any.
+    #[must_use]
+    pub fn next(self) -> Option<AttackStage> {
+        match self {
+            AttackStage::Initial => Some(AttackStage::Activated),
+            AttackStage::Activated => Some(AttackStage::RootAccess),
+            AttackStage::RootAccess => Some(AttackStage::NetworkPropagation),
+            AttackStage::NetworkPropagation => Some(AttackStage::DeviceImpairment),
+            AttackStage::DeviceImpairment => None,
+        }
+    }
+
+    /// Zero-based index in progression order.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            AttackStage::Initial => 0,
+            AttackStage::Activated => 1,
+            AttackStage::RootAccess => 2,
+            AttackStage::NetworkPropagation => 3,
+            AttackStage::DeviceImpairment => 4,
+        }
+    }
+}
+
+impl fmt::Display for AttackStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AttackStage::Initial => "initial",
+            AttackStage::Activated => "activated",
+            AttackStage::RootAccess => "root-access",
+            AttackStage::NetworkPropagation => "network-propagation",
+            AttackStage::DeviceImpairment => "device-impairment",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-node compromise depth tracked by the campaign simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize, PartialOrd, Ord)]
+pub enum NodeCompromise {
+    /// Untouched.
+    #[default]
+    Clean,
+    /// User-level malware foothold.
+    Infected,
+    /// Administrative control.
+    Rooted,
+    /// For PLCs: logic replaced by the attacker's payload.
+    Reprogrammed,
+}
+
+impl NodeCompromise {
+    /// Whether the node counts as compromised for the compromised-ratio
+    /// indicator.
+    #[must_use]
+    pub fn is_compromised(self) -> bool {
+        self != NodeCompromise::Clean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_order_is_total_and_linear() {
+        let mut stage = AttackStage::Initial;
+        let mut seen = vec![stage];
+        while let Some(next) = stage.next() {
+            assert!(next > stage, "progression must ascend");
+            seen.push(next);
+            stage = next;
+        }
+        assert_eq!(seen, AttackStage::ALL);
+        assert_eq!(AttackStage::DeviceImpairment.next(), None);
+    }
+
+    #[test]
+    fn indices_match_all_order() {
+        for (i, s) in AttackStage::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+    }
+
+    #[test]
+    fn display_names_unique() {
+        let names: std::collections::HashSet<String> =
+            AttackStage::ALL.iter().map(|s| s.to_string()).collect();
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn compromise_flag() {
+        assert!(!NodeCompromise::Clean.is_compromised());
+        assert!(NodeCompromise::Infected.is_compromised());
+        assert!(NodeCompromise::Rooted.is_compromised());
+        assert!(NodeCompromise::Reprogrammed.is_compromised());
+    }
+
+    #[test]
+    fn compromise_depth_ordering() {
+        assert!(NodeCompromise::Clean < NodeCompromise::Infected);
+        assert!(NodeCompromise::Infected < NodeCompromise::Rooted);
+        assert!(NodeCompromise::Rooted < NodeCompromise::Reprogrammed);
+    }
+}

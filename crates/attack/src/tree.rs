@@ -1,0 +1,335 @@
+//! Attack trees: one of the paper's candidate attack-modeling formalisms.
+//!
+//! A tree combines basic attack steps (leaves, each with an independent
+//! success probability) through AND and OR gates. Besides the success
+//! probability of the root goal, the module computes **minimal cut sets**
+//! — the irreducible combinations of basic steps that achieve the goal —
+//! which identify the components whose diversification breaks the most
+//! attack paths.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A node of an attack tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TreeNode {
+    /// A basic attack step with a name and success probability.
+    Leaf {
+        /// Step name (e.g. `"exploit print spooler"`).
+        name: String,
+        /// Independent success probability.
+        probability: f64,
+    },
+    /// Every child must succeed.
+    And(Vec<TreeNode>),
+    /// At least one child must succeed.
+    Or(Vec<TreeNode>),
+}
+
+impl TreeNode {
+    /// A leaf step.
+    #[must_use]
+    pub fn leaf(name: impl Into<String>, probability: f64) -> Self {
+        TreeNode::Leaf {
+            name: name.into(),
+            probability,
+        }
+    }
+
+    /// An AND gate.
+    #[must_use]
+    pub fn and(children: Vec<TreeNode>) -> Self {
+        TreeNode::And(children)
+    }
+
+    /// An OR gate.
+    #[must_use]
+    pub fn or(children: Vec<TreeNode>) -> Self {
+        TreeNode::Or(children)
+    }
+}
+
+/// A validated attack tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackTree {
+    root: TreeNode,
+}
+
+/// Error for invalid attack trees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// A leaf probability was outside `[0, 1]`.
+    BadProbability,
+    /// A gate had no children.
+    EmptyGate,
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::BadProbability => write!(f, "leaf probability out of [0,1]"),
+            TreeError::EmptyGate => write!(f, "gate with no children"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+impl AttackTree {
+    /// Creates a tree after validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError`] for out-of-range leaf probabilities or empty
+    /// gates.
+    pub fn new(root: TreeNode) -> Result<Self, TreeError> {
+        fn validate(node: &TreeNode) -> Result<(), TreeError> {
+            match node {
+                TreeNode::Leaf { probability, .. } => {
+                    if !(0.0..=1.0).contains(probability) || probability.is_nan() {
+                        Err(TreeError::BadProbability)
+                    } else {
+                        Ok(())
+                    }
+                }
+                TreeNode::And(children) | TreeNode::Or(children) => {
+                    if children.is_empty() {
+                        return Err(TreeError::EmptyGate);
+                    }
+                    children.iter().try_for_each(validate)
+                }
+            }
+        }
+        validate(&root)?;
+        Ok(AttackTree { root })
+    }
+
+    /// The root node.
+    #[must_use]
+    pub fn root(&self) -> &TreeNode {
+        &self.root
+    }
+
+    /// Success probability of the root goal, assuming independent leaves.
+    #[must_use]
+    pub fn success_probability(&self) -> f64 {
+        fn eval(node: &TreeNode) -> f64 {
+            match node {
+                TreeNode::Leaf { probability, .. } => *probability,
+                TreeNode::And(children) => children.iter().map(eval).product(),
+                TreeNode::Or(children) => {
+                    1.0 - children.iter().map(|c| 1.0 - eval(c)).product::<f64>()
+                }
+            }
+        }
+        eval(&self.root)
+    }
+
+    /// Minimal cut sets: every irreducible set of leaf names whose joint
+    /// success achieves the goal.
+    #[must_use]
+    pub fn minimal_cut_sets(&self) -> Vec<BTreeSet<String>> {
+        fn cut_sets(node: &TreeNode) -> Vec<BTreeSet<String>> {
+            match node {
+                TreeNode::Leaf { name, .. } => {
+                    vec![BTreeSet::from([name.clone()])]
+                }
+                TreeNode::Or(children) => {
+                    children.iter().flat_map(cut_sets).collect()
+                }
+                TreeNode::And(children) => {
+                    let mut acc: Vec<BTreeSet<String>> = vec![BTreeSet::new()];
+                    for child in children {
+                        let child_sets = cut_sets(child);
+                        let mut next = Vec::with_capacity(acc.len() * child_sets.len());
+                        for a in &acc {
+                            for c in &child_sets {
+                                let mut merged = a.clone();
+                                merged.extend(c.iter().cloned());
+                                next.push(merged);
+                            }
+                        }
+                        acc = next;
+                    }
+                    acc
+                }
+            }
+        }
+        // Minimize: drop supersets.
+        let mut sets = cut_sets(&self.root);
+        sets.sort_by_key(BTreeSet::len);
+        let mut minimal: Vec<BTreeSet<String>> = Vec::new();
+        for s in sets {
+            if !minimal.iter().any(|m| m.is_subset(&s)) {
+                minimal.push(s);
+            }
+        }
+        minimal
+    }
+
+    /// Recomputes the success probability with one leaf's probability
+    /// replaced — the sensitivity hook used when assessing which step to
+    /// harden/diversify.
+    #[must_use]
+    pub fn with_leaf_probability(&self, leaf_name: &str, p: f64) -> AttackTree {
+        fn rewrite(node: &TreeNode, name: &str, p: f64) -> TreeNode {
+            match node {
+                TreeNode::Leaf {
+                    name: n,
+                    probability,
+                } => TreeNode::Leaf {
+                    name: n.clone(),
+                    probability: if n == name { p } else { *probability },
+                },
+                TreeNode::And(ch) => {
+                    TreeNode::And(ch.iter().map(|c| rewrite(c, name, p)).collect())
+                }
+                TreeNode::Or(ch) => {
+                    TreeNode::Or(ch.iter().map(|c| rewrite(c, name, p)).collect())
+                }
+            }
+        }
+        AttackTree {
+            root: rewrite(&self.root, leaf_name, p.clamp(0.0, 1.0)),
+        }
+    }
+}
+
+/// Builds the Stuxnet-like attack tree over the five-stage progression:
+///
+/// ```text
+/// GOAL = AND(entry, escalation, reach-field, plc-payload)
+/// entry = OR(usb, spear-phish)
+/// reach-field = OR(via-gateway, via-engineering)
+/// ```
+///
+/// Leaf probabilities are supplied by the caller (they come from the
+/// exploit catalog evaluated against the system's component profiles).
+#[must_use]
+pub fn stuxnet_tree(
+    p_usb: f64,
+    p_phish: f64,
+    p_escalate: f64,
+    p_gateway: f64,
+    p_engineering: f64,
+    p_payload: f64,
+) -> AttackTree {
+    AttackTree::new(TreeNode::and(vec![
+        TreeNode::or(vec![
+            TreeNode::leaf("usb-infection", p_usb),
+            TreeNode::leaf("spear-phish", p_phish),
+        ]),
+        TreeNode::leaf("privilege-escalation", p_escalate),
+        TreeNode::or(vec![
+            TreeNode::leaf("via-gateway", p_gateway),
+            TreeNode::leaf("via-engineering", p_engineering),
+        ]),
+        TreeNode::leaf("plc-payload", p_payload),
+    ]))
+    .expect("statically valid tree")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_probability_is_identity() {
+        let t = AttackTree::new(TreeNode::leaf("x", 0.42)).unwrap();
+        assert!((t.success_probability() - 0.42).abs() < 1e-12);
+    }
+
+    #[test]
+    fn and_multiplies_or_complements() {
+        let and = AttackTree::new(TreeNode::and(vec![
+            TreeNode::leaf("a", 0.5),
+            TreeNode::leaf("b", 0.4),
+        ]))
+        .unwrap();
+        assert!((and.success_probability() - 0.2).abs() < 1e-12);
+        let or = AttackTree::new(TreeNode::or(vec![
+            TreeNode::leaf("a", 0.5),
+            TreeNode::leaf("b", 0.4),
+        ]))
+        .unwrap();
+        assert!((or.success_probability() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stuxnet_tree_reference_value() {
+        let t = stuxnet_tree(0.6, 0.3, 0.5, 0.7, 0.4, 0.8);
+        // entry = 1-(0.4*0.7) = 0.72; reach = 1-(0.3*0.6) = 0.82;
+        // goal = 0.72 * 0.5 * 0.82 * 0.8 = 0.23616.
+        assert!((t.success_probability() - 0.236_16).abs() < 1e-10);
+    }
+
+    #[test]
+    fn minimal_cut_sets_of_stuxnet_tree() {
+        let t = stuxnet_tree(0.5, 0.5, 0.5, 0.5, 0.5, 0.5);
+        let cuts = t.minimal_cut_sets();
+        // 2 entry options × 2 reach options = 4 minimal cut sets, each of
+        // size 4 (entry, escalation, reach, payload).
+        assert_eq!(cuts.len(), 4);
+        for c in &cuts {
+            assert_eq!(c.len(), 4);
+            assert!(c.contains("privilege-escalation"));
+            assert!(c.contains("plc-payload"));
+        }
+    }
+
+    #[test]
+    fn cut_sets_drop_supersets() {
+        // OR(a, AND(a, b)) — {a} subsumes {a, b}.
+        let t = AttackTree::new(TreeNode::or(vec![
+            TreeNode::leaf("a", 0.5),
+            TreeNode::and(vec![TreeNode::leaf("a", 0.5), TreeNode::leaf("b", 0.5)]),
+        ]))
+        .unwrap();
+        let cuts = t.minimal_cut_sets();
+        assert_eq!(cuts.len(), 1);
+        assert!(cuts[0].contains("a"));
+    }
+
+    #[test]
+    fn hardening_the_single_point_of_failure_matters_most() {
+        let t = stuxnet_tree(0.6, 0.3, 0.5, 0.7, 0.4, 0.8);
+        let base = t.success_probability();
+        // Halve the payload step (in every cut set) vs halving one entry
+        // option (in half the cut sets).
+        let harden_payload = t.with_leaf_probability("plc-payload", 0.4).success_probability();
+        let harden_usb = t.with_leaf_probability("usb-infection", 0.3).success_probability();
+        assert!(harden_payload < harden_usb);
+        assert!(harden_payload < base && harden_usb < base);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(
+            AttackTree::new(TreeNode::leaf("x", 1.5)).unwrap_err(),
+            TreeError::BadProbability
+        );
+        assert_eq!(
+            AttackTree::new(TreeNode::and(vec![])).unwrap_err(),
+            TreeError::EmptyGate
+        );
+        assert_eq!(
+            AttackTree::new(TreeNode::or(vec![TreeNode::leaf("x", f64::NAN)])).unwrap_err(),
+            TreeError::BadProbability
+        );
+    }
+
+    #[test]
+    fn probability_bounds_hold() {
+        // Deep random-ish tree: probability stays in [0,1].
+        let t = AttackTree::new(TreeNode::or(vec![
+            TreeNode::and(vec![
+                TreeNode::leaf("a", 0.99),
+                TreeNode::or(vec![TreeNode::leaf("b", 0.7), TreeNode::leaf("c", 0.8)]),
+            ]),
+            TreeNode::leaf("d", 0.25),
+        ]))
+        .unwrap();
+        let p = t.success_probability();
+        assert!((0.0..=1.0).contains(&p));
+    }
+}

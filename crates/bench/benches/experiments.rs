@@ -1,0 +1,41 @@
+//! Criterion benches: one target per experiment in DESIGN.md §3.
+//!
+//! Benches run the Quick scale — the goal is a regenerable, timed record
+//! of every table/figure, not micro-optimization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use diversify_bench::{
+    r1_motivating, r2_indicators, r3_r4_pipeline, r5_sensitivity, r6_threats, r7_protocol,
+    r8_formalisms, Scale,
+};
+use std::hint::black_box;
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("r1_motivating", |b| {
+        b.iter(|| black_box(r1_motivating(Scale::Quick)))
+    });
+    g.bench_function("r2_indicators", |b| {
+        b.iter(|| black_box(r2_indicators(Scale::Quick)))
+    });
+    g.bench_function("r3_r4_pipeline", |b| {
+        b.iter(|| black_box(r3_r4_pipeline(Scale::Quick)))
+    });
+    g.bench_function("r5_sensitivity", |b| {
+        b.iter(|| black_box(r5_sensitivity(Scale::Quick)))
+    });
+    g.bench_function("r6_threats", |b| {
+        b.iter(|| black_box(r6_threats(Scale::Quick)))
+    });
+    g.bench_function("r7_protocol", |b| {
+        b.iter(|| black_box(r7_protocol(Scale::Quick)))
+    });
+    g.bench_function("r8_formalisms", |b| {
+        b.iter(|| black_box(r8_formalisms(Scale::Quick)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Regenerates every experiment table/series from DESIGN.md §3.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p diversify-bench --bin experiments [quick|full]
+//! ```
+
+use diversify_bench::{run_all, Scale};
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("full") => Scale::Full,
+        _ => Scale::Quick,
+    };
+    println!("diversify reproduction — experiment suite ({scale:?} scale)\n");
+    for (id, output) in run_all(scale) {
+        println!("==== {id} ====");
+        println!("{output}");
+    }
+}

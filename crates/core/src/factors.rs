@@ -1,0 +1,115 @@
+//! Mapping between DoE factor levels and component profiles.
+//!
+//! Each DoE factor is one [`ComponentClass`]; level `-1` deploys the
+//! weakest (most widespread) variant of that class system-wide, level `+1`
+//! the strongest. A design row therefore fully determines a
+//! [`ComponentProfile`] baseline for the plant.
+
+use diversify_scada::components::{
+    ComponentClass, ComponentProfile, FirewallPolicy, HistorianStack, OsVariant, PlcFirmware,
+    SensorVendor,
+};
+use diversify_scada::protocol::dialect::ProtocolDialect;
+
+/// A coded two-level factor setting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FactorLevel {
+    /// The weak / commodity variant (coded −1).
+    Low,
+    /// The hardened / diversified variant (coded +1).
+    High,
+}
+
+impl FactorLevel {
+    /// Decodes a design-matrix level.
+    ///
+    /// # Panics
+    ///
+    /// Panics on values other than ±1.
+    #[must_use]
+    pub fn from_coded(level: i8) -> Self {
+        match level {
+            -1 => FactorLevel::Low,
+            1 => FactorLevel::High,
+            other => panic!("invalid coded level {other}"),
+        }
+    }
+}
+
+/// Builds the system-wide baseline profile for one design row.
+///
+/// `levels[i]` is the level of factor `ComponentClass::ALL[i]`; the
+/// returned profile uses the weak variant for `Low` classes and the strong
+/// variant for `High` classes.
+///
+/// # Panics
+///
+/// Panics if `levels.len() != 6`.
+#[must_use]
+pub fn factor_profile(levels: &[FactorLevel]) -> ComponentProfile {
+    assert_eq!(
+        levels.len(),
+        ComponentClass::ALL.len(),
+        "one level per component class"
+    );
+    let mut p = ComponentProfile::default();
+    for (class, &level) in ComponentClass::ALL.iter().zip(levels) {
+        if level == FactorLevel::Low {
+            continue;
+        }
+        match class {
+            ComponentClass::OperatingSystem => p.os = OsVariant::HardenedRtos,
+            ComponentClass::PlcFirmware => p.plc_firmware = PlcFirmware::Verified,
+            ComponentClass::ProtocolDialect => p.dialect = ProtocolDialect::Authenticated,
+            ComponentClass::Firewall => p.firewall = FirewallPolicy::Strict,
+            ComponentClass::Sensor => p.sensor = SensorVendor::Authenticated,
+            ComponentClass::Historian => p.historian = HistorianStack::OpenTelemetry,
+        }
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_low_is_default() {
+        let p = factor_profile(&[FactorLevel::Low; 6]);
+        assert_eq!(p, ComponentProfile::default());
+    }
+
+    #[test]
+    fn all_high_is_hardened() {
+        let p = factor_profile(&[FactorLevel::High; 6]);
+        assert_eq!(p, ComponentProfile::hardened());
+    }
+
+    #[test]
+    fn single_high_touches_one_class() {
+        let mut levels = [FactorLevel::Low; 6];
+        levels[2] = FactorLevel::High; // ProtocolDialect
+        let p = factor_profile(&levels);
+        assert_eq!(p.dialect, ProtocolDialect::Authenticated);
+        assert_eq!(p.os, ComponentProfile::default().os);
+        assert_eq!(p.firewall, ComponentProfile::default().firewall);
+    }
+
+    #[test]
+    fn coded_level_round_trip() {
+        assert_eq!(FactorLevel::from_coded(-1), FactorLevel::Low);
+        assert_eq!(FactorLevel::from_coded(1), FactorLevel::High);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid coded level")]
+    fn bad_coded_level_panics() {
+        let _ = FactorLevel::from_coded(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one level per")]
+    fn wrong_arity_panics() {
+        let _ = factor_profile(&[FactorLevel::Low; 3]);
+    }
+}

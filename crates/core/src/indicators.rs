@@ -1,0 +1,178 @@
+//! The paper's security indicators, aggregated over campaign replications.
+
+use diversify_attack::campaign::CampaignOutcome;
+use diversify_stats::{mean_ci, proportion_ci, ConfidenceInterval, StatsError};
+use serde::Serialize;
+use std::fmt;
+
+/// Aggregated security indicators for one system configuration.
+///
+/// * `p_success` — probability of a successful attack (the paper's P_SA);
+/// * `time_to_attack` — hours until the goal, over successful campaigns;
+/// * `time_to_detection` — hours until the defenders perceive the attack
+///   (the paper's Time-To-Security-Failure), over detected campaigns;
+/// * `mean_compromised_ratio` — average of each campaign's final
+///   compromised ratio (compromised components / total components).
+#[derive(Debug, Clone, Serialize)]
+pub struct IndicatorSummary {
+    /// Number of campaign replications aggregated.
+    pub replications: u32,
+    /// Count of successful campaigns.
+    pub successes: u32,
+    /// Count of detected campaigns.
+    pub detections: u32,
+    /// P(successful attack).
+    pub p_success: f64,
+    /// Mean Time-To-Attack in ticks (hours), successful campaigns only.
+    pub mean_tta: Option<f64>,
+    /// Mean Time-To-Security-Failure in ticks, detected campaigns only.
+    pub mean_ttsf: Option<f64>,
+    /// Mean final compromised ratio.
+    pub mean_compromised_ratio: f64,
+    /// Per-replication final compromised ratios (kept for ANOVA).
+    #[serde(skip)]
+    pub compromised_ratios: Vec<f64>,
+    /// Per-replication TTA values (successes only, kept for ANOVA).
+    #[serde(skip)]
+    pub tta_samples: Vec<f64>,
+}
+
+impl IndicatorSummary {
+    /// Aggregates a batch of campaign outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outcomes` is empty.
+    #[must_use]
+    pub fn from_outcomes(outcomes: &[CampaignOutcome]) -> Self {
+        assert!(!outcomes.is_empty(), "at least one outcome required");
+        let replications = outcomes.len() as u32;
+        let successes = outcomes.iter().filter(|o| o.succeeded()).count() as u32;
+        let detections = outcomes
+            .iter()
+            .filter(|o| o.time_to_detection.is_some())
+            .count() as u32;
+        let tta_samples: Vec<f64> = outcomes
+            .iter()
+            .filter_map(|o| o.time_to_attack.map(f64::from))
+            .collect();
+        let ttsf: Vec<f64> = outcomes
+            .iter()
+            .filter_map(|o| o.time_to_detection.map(f64::from))
+            .collect();
+        let compromised_ratios: Vec<f64> = outcomes
+            .iter()
+            .map(CampaignOutcome::final_compromised_ratio)
+            .collect();
+        let mean = |xs: &[f64]| {
+            if xs.is_empty() {
+                None
+            } else {
+                Some(xs.iter().sum::<f64>() / xs.len() as f64)
+            }
+        };
+        IndicatorSummary {
+            replications,
+            successes,
+            detections,
+            p_success: f64::from(successes) / f64::from(replications),
+            mean_tta: mean(&tta_samples),
+            mean_ttsf: mean(&ttsf),
+            mean_compromised_ratio: mean(&compromised_ratios).unwrap_or(0.0),
+            compromised_ratios,
+            tta_samples,
+        }
+    }
+
+    /// Wilson confidence interval for the attack-success probability.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StatsError`] for degenerate inputs.
+    pub fn p_success_ci(&self, level: f64) -> Result<ConfidenceInterval, StatsError> {
+        proportion_ci(u64::from(self.successes), u64::from(self.replications), level)
+    }
+
+    /// Student-t confidence interval for the mean Time-To-Attack.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InsufficientData`] when fewer than two
+    /// campaigns succeeded.
+    pub fn tta_ci(&self, level: f64) -> Result<ConfidenceInterval, StatsError> {
+        mean_ci(&self.tta_samples, level)
+    }
+}
+
+impl fmt::Display for IndicatorSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "P_SA={:.3} ({} of {}) | TTA={} h | TTSF={} h | compromised={:.3}",
+            self.p_success,
+            self.successes,
+            self.replications,
+            self.mean_tta
+                .map_or("-".to_string(), |v| format!("{v:.1}")),
+            self.mean_ttsf
+                .map_or("-".to_string(), |v| format!("{v:.1}")),
+            self.mean_compromised_ratio
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diversify_attack::campaign::{CampaignConfig, CampaignSimulator, ThreatModel};
+    use diversify_scada::scope::{ScopeConfig, ScopeSystem};
+
+    fn outcomes(n: u32) -> Vec<CampaignOutcome> {
+        let net = ScopeSystem::build(&ScopeConfig::default()).network().clone();
+        let sim = CampaignSimulator::new(
+            &net,
+            ThreatModel::stuxnet_like(),
+            CampaignConfig::default(),
+        );
+        sim.run_many(n, 5)
+    }
+
+    #[test]
+    fn aggregation_counts_match() {
+        let os = outcomes(30);
+        let s = IndicatorSummary::from_outcomes(&os);
+        assert_eq!(s.replications, 30);
+        assert_eq!(
+            s.successes as usize,
+            os.iter().filter(|o| o.succeeded()).count()
+        );
+        assert_eq!(s.tta_samples.len(), s.successes as usize);
+        assert_eq!(s.compromised_ratios.len(), 30);
+        assert!((0.0..=1.0).contains(&s.p_success));
+        assert!((0.0..=1.0).contains(&s.mean_compromised_ratio));
+    }
+
+    #[test]
+    fn confidence_intervals_contain_estimates() {
+        let s = IndicatorSummary::from_outcomes(&outcomes(40));
+        let ci = s.p_success_ci(0.95).unwrap();
+        assert!(ci.contains(s.p_success));
+        if s.successes >= 2 {
+            let tci = s.tta_ci(0.95).unwrap();
+            assert!(tci.contains(s.mean_tta.unwrap()));
+        }
+    }
+
+    #[test]
+    fn display_renders() {
+        let s = IndicatorSummary::from_outcomes(&outcomes(5));
+        let text = s.to_string();
+        assert!(text.contains("P_SA="));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_outcomes_panics() {
+        let _ = IndicatorSummary::from_outcomes(&[]);
+    }
+}

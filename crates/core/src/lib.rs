@@ -1,0 +1,45 @@
+//! # diversify-core
+//!
+//! The primary contribution of *"Towards Secure Monitoring and Control
+//! Systems: Diversify!"* (DSN 2013) as a library: a three-step modeling
+//! and evaluation pipeline that quantifies how component diversity changes
+//! the effort a Stuxnet-like attack requires.
+//!
+//! The three steps (the paper's Figure 1):
+//!
+//! 1. **Attack Modeling** ([`pipeline::Pipeline::attack_modeling`]) —
+//!    formalize the staged attack against the modeled system;
+//! 2. **DoE & Measurements** ([`pipeline::Pipeline::doe_measurements`]) —
+//!    choose a fractional-factorial set of diversity configurations and
+//!    measure the security indicators on each by Monte-Carlo campaign
+//!    simulation;
+//! 3. **Diversity Assessment** ([`pipeline::Pipeline::assess`]) — ANOVA
+//!    the measurements to allocate indicator variance to the component
+//!    classes responsible, ranking what is worth diversifying.
+//!
+//! Security indicators ([`indicators`]): probability of successful attack,
+//! **Time-To-Attack**, **Time-To-Security-Failure**, and the
+//! **compromised ratio**.
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use diversify_core::pipeline::{Pipeline, PipelineConfig};
+//!
+//! let pipeline = Pipeline::new(PipelineConfig::default());
+//! let report = pipeline.run();
+//! println!("{report}");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod factors;
+pub mod indicators;
+pub mod pipeline;
+pub mod report;
+pub mod runner;
+
+pub use factors::{factor_profile, FactorLevel};
+pub use indicators::IndicatorSummary;
+pub use pipeline::{Pipeline, PipelineConfig, PipelineReport};
+pub use runner::{measure_configuration, Measurements};

@@ -1,0 +1,306 @@
+//! The three-step pipeline — the paper's Figure 1 as an executable API.
+
+use crate::factors::{factor_profile, FactorLevel};
+use crate::report::render_measurement_table;
+use crate::runner::{measure_configuration, Measurements};
+use diversify_attack::campaign::{CampaignConfig, ThreatModel};
+use diversify_attack::tree::{stuxnet_tree, AttackTree};
+use diversify_doe::design::{fractional_factorial, DesignMatrix};
+use diversify_scada::components::ComponentClass;
+use diversify_scada::scope::{ScopeConfig, ScopeSystem};
+use diversify_stats::anova::{factorial_two_level, EffectSpec, FactorialAnova};
+use std::fmt;
+
+/// Configuration of a full pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// The modeled plant.
+    pub scope: ScopeConfig,
+    /// The threat model.
+    pub threat: ThreatModel,
+    /// Campaign parameters.
+    pub campaign: CampaignConfig,
+    /// Replicate batches per design run (ANOVA replicates).
+    pub batches: u32,
+    /// Campaigns per batch.
+    pub batch_size: u32,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            scope: ScopeConfig::default(),
+            threat: ThreatModel::stuxnet_like(),
+            campaign: CampaignConfig {
+                max_ticks: 24 * 30, // one month of attacker persistence
+                detection_stops_attack: false,
+            },
+            batches: 4,
+            batch_size: 25,
+            seed: 0xD1CE,
+        }
+    }
+}
+
+/// Output of step 1 (Attack Modeling).
+#[derive(Debug)]
+pub struct AttackModel {
+    /// The threat model to be simulated.
+    pub threat: ThreatModel,
+    /// The equivalent attack tree over the monoculture baseline (for the
+    /// formalism cross-check).
+    pub tree: AttackTree,
+}
+
+/// Output of step 2 (DoE & Measurements).
+#[derive(Debug)]
+pub struct DoeMeasurements {
+    /// The 2^(6−2) fractional factorial design over the six component
+    /// classes.
+    pub design: DesignMatrix,
+    /// Per-run measurements, in design order.
+    pub measurements: Vec<Measurements>,
+}
+
+/// Output of step 3 (Diversity Assessment).
+#[derive(Debug)]
+pub struct Assessment {
+    /// ANOVA of the attack-success probability response.
+    pub anova_p_success: FactorialAnova,
+    /// ANOVA of the compromised-ratio response.
+    pub anova_compromised: FactorialAnova,
+    /// Component classes ranked by variance explained on P_SA,
+    /// descending — "the components valuable to diversify".
+    pub ranking: Vec<(ComponentClass, f64)>,
+}
+
+/// The complete pipeline result.
+#[derive(Debug)]
+pub struct PipelineReport {
+    /// Step 1 artifact.
+    pub model: AttackModel,
+    /// Step 2 artifact.
+    pub doe: DoeMeasurements,
+    /// Step 3 artifact.
+    pub assessment: Assessment,
+}
+
+impl fmt::Display for PipelineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== Step 1: Attack Modeling ==")?;
+        writeln!(f, "threat: {}", self.model.threat.name)?;
+        writeln!(
+            f,
+            "attack-tree P_SA (monoculture, per-attempt): {:.4}",
+            self.model.tree.success_probability()
+        )?;
+        writeln!(f)?;
+        writeln!(f, "== Step 2: DoE & Measurements ==")?;
+        write!(
+            f,
+            "{}",
+            render_measurement_table(&self.doe.design, &self.doe.measurements)
+        )?;
+        writeln!(f)?;
+        writeln!(f, "== Step 3: Diversity Assessment (ANOVA on P_SA) ==")?;
+        write!(f, "{}", self.assessment.anova_p_success)?;
+        writeln!(f)?;
+        writeln!(f, "components ranked by variance explained:")?;
+        for (class, var) in &self.assessment.ranking {
+            writeln!(f, "  {:<10} {:>6.2}%", class.label(), var * 100.0)?;
+        }
+        Ok(())
+    }
+}
+
+/// The three-step pipeline.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// Creates a pipeline.
+    #[must_use]
+    pub fn new(config: PipelineConfig) -> Self {
+        Pipeline { config }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Step 1 — Attack Modeling: instantiate the staged threat model and
+    /// derive the equivalent attack tree for the monoculture baseline.
+    #[must_use]
+    pub fn attack_modeling(&self) -> AttackModel {
+        let cat = &self.config.threat.catalog;
+        let base = diversify_scada::components::ComponentProfile::default();
+        let tree = stuxnet_tree(
+            cat.infection_probability(&base),
+            cat.infection_probability(&base) * 0.5, // phishing half as reliable
+            cat.escalation_probability(&base),
+            cat.firewall_pass_probability(&base),
+            cat.firewall_pass_probability(&base) * 0.8,
+            cat.plc_payload_probability(&base).max(1e-9),
+        );
+        AttackModel {
+            threat: self.config.threat.clone(),
+            tree,
+        }
+    }
+
+    /// Step 2 — DoE & Measurements: build the 2^(6−2) resolution-IV
+    /// design over the six component classes and measure every run.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for the built-in design (it is statically valid).
+    #[must_use]
+    pub fn doe_measurements(&self) -> DoeMeasurements {
+        let labels: Vec<&str> = ComponentClass::ALL.iter().map(|c| c.label()).collect();
+        let (design, _words) = fractional_factorial(&labels, &[vec![0, 1, 2], vec![1, 2, 3]])
+            .expect("built-in 2^(6-2) design is valid");
+        let mut measurements = Vec::with_capacity(design.runs());
+        for (run_idx, row) in design.rows.iter().enumerate() {
+            let levels: Vec<FactorLevel> =
+                row.iter().map(|&l| FactorLevel::from_coded(l)).collect();
+            let profile = factor_profile(&levels);
+            let mut scope_cfg = self.config.scope.clone();
+            scope_cfg.baseline_profile = profile;
+            let system = ScopeSystem::build(&scope_cfg);
+            let m = measure_configuration(
+                system.network(),
+                &self.config.threat,
+                self.config.campaign,
+                self.config.batches,
+                self.config.batch_size,
+                self.config.seed ^ (run_idx as u64) << 32,
+            );
+            measurements.push(m);
+        }
+        DoeMeasurements {
+            design,
+            measurements,
+        }
+    }
+
+    /// Step 3 — Diversity Assessment: ANOVA the measurements, allocating
+    /// indicator variance to component classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if `doe` was not produced by
+    /// [`Pipeline::doe_measurements`] (mismatched shapes).
+    #[must_use]
+    pub fn assess(&self, doe: &DoeMeasurements) -> Assessment {
+        let effects: Vec<EffectSpec> = ComponentClass::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, c)| EffectSpec::main(c.label(), i))
+            .collect();
+        let responses_p: Vec<Vec<f64>> = doe
+            .measurements
+            .iter()
+            .map(|m| m.batch_p_success.clone())
+            .collect();
+        let responses_c: Vec<Vec<f64>> = doe
+            .measurements
+            .iter()
+            .map(|m| m.batch_compromised.clone())
+            .collect();
+        let anova_p_success = factorial_two_level(&doe.design.rows, &responses_p, &effects)
+            .expect("design produced by doe_measurements is regular");
+        let anova_compromised = factorial_two_level(&doe.design.rows, &responses_c, &effects)
+            .expect("design produced by doe_measurements is regular");
+        let mut ranking: Vec<(ComponentClass, f64)> = ComponentClass::ALL
+            .iter()
+            .map(|c| {
+                let var = anova_p_success
+                    .effect(c.label())
+                    .map_or(0.0, |r| r.variance_explained);
+                (*c, var)
+            })
+            .collect();
+        ranking.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite variances"));
+        Assessment {
+            anova_p_success,
+            anova_compromised,
+            ranking,
+        }
+    }
+
+    /// Runs all three steps.
+    #[must_use]
+    pub fn run(&self) -> PipelineReport {
+        let model = self.attack_modeling();
+        let doe = self.doe_measurements();
+        let assessment = self.assess(&doe);
+        PipelineReport {
+            model,
+            doe,
+            assessment,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> PipelineConfig {
+        PipelineConfig {
+            batches: 2,
+            batch_size: 4,
+            campaign: CampaignConfig {
+                max_ticks: 24 * 10,
+                detection_stops_attack: false,
+            },
+            ..PipelineConfig::default()
+        }
+    }
+
+    #[test]
+    fn full_pipeline_runs_end_to_end() {
+        let report = Pipeline::new(tiny_config()).run();
+        assert_eq!(report.doe.design.runs(), 16);
+        assert_eq!(report.doe.measurements.len(), 16);
+        assert_eq!(report.assessment.ranking.len(), 6);
+        // Variance fractions sum to ≤ 1 (rest is error + interactions).
+        let total: f64 = report.assessment.ranking.iter().map(|(_, v)| v).sum();
+        assert!((0.0..=1.0 + 1e-9).contains(&total));
+        let text = report.to_string();
+        assert!(text.contains("Step 1"));
+        assert!(text.contains("Step 2"));
+        assert!(text.contains("Step 3"));
+    }
+
+    #[test]
+    fn attack_modeling_tree_probability_in_bounds() {
+        let model = Pipeline::new(tiny_config()).attack_modeling();
+        let p = model.tree.success_probability();
+        assert!((0.0..=1.0).contains(&p));
+        assert!(p > 0.0, "monoculture baseline must be attackable");
+    }
+
+    #[test]
+    fn assessment_is_deterministic() {
+        let p = Pipeline::new(tiny_config());
+        let a = p.doe_measurements();
+        let b = p.doe_measurements();
+        let ra = p.assess(&a);
+        let rb = p.assess(&b);
+        assert_eq!(
+            ra.anova_p_success.rows.len(),
+            rb.anova_p_success.rows.len()
+        );
+        for (x, y) in ra.ranking.iter().zip(&rb.ranking) {
+            assert_eq!(x.0, y.0);
+            assert!((x.1 - y.1).abs() < 1e-12);
+        }
+    }
+}

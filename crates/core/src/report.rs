@@ -1,0 +1,82 @@
+//! Report rendering: aligned text tables and JSON artifacts.
+
+use crate::runner::Measurements;
+use diversify_doe::design::DesignMatrix;
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// Renders the DoE measurement table (one row per design run).
+#[must_use]
+pub fn render_measurement_table(design: &DesignMatrix, measurements: &[Measurements]) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{:>3}", "run");
+    for f in &design.factors {
+        let _ = write!(out, " {f:>9}");
+    }
+    let _ = writeln!(out, " {:>8} {:>9} {:>10} {:>11}", "P_SA", "TTA(h)", "TTSF(h)", "compromised");
+    for (i, m) in measurements.iter().enumerate() {
+        let _ = write!(out, "{i:>3}");
+        for j in 0..design.factor_count() {
+            let _ = write!(out, " {:>9}", if design.level(i, j) == 1 { "+1" } else { "-1" });
+        }
+        let s = &m.summary;
+        let _ = writeln!(
+            out,
+            " {:>8.3} {:>9} {:>10} {:>11.3}",
+            s.p_success,
+            s.mean_tta.map_or("-".to_string(), |v| format!("{v:.1}")),
+            s.mean_ttsf.map_or("-".to_string(), |v| format!("{v:.1}")),
+            s.mean_compromised_ratio,
+        );
+    }
+    out
+}
+
+/// Renders any serializable artifact as pretty JSON (for EXPERIMENTS.md
+/// appendices and machine-readable archives).
+///
+/// # Panics
+///
+/// Panics if the value fails to serialize, which cannot happen for the
+/// plain-data types in this workspace.
+#[must_use]
+pub fn to_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("plain data serializes")
+}
+
+/// A minimal fixed-width series printer: renders `(x, y)` pairs as two
+/// aligned columns, used by the benchmark harness to emit "figure" data.
+#[must_use]
+pub fn render_series(title: &str, x_label: &str, y_label: &str, points: &[(f64, f64)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {title}");
+    let _ = writeln!(out, "{x_label:>12} {y_label:>14}");
+    for (x, y) in points {
+        let _ = writeln!(out, "{x:>12.4} {y:>14.6}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_renders_points() {
+        let s = render_series("t", "x", "y", &[(1.0, 2.0), (3.0, 4.0)]);
+        assert!(s.contains("# t"));
+        assert!(s.contains("1.0000"));
+        assert!(s.contains("4.000000"));
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn json_round_trips_summary_shape() {
+        #[derive(Serialize)]
+        struct S {
+            a: u32,
+        }
+        let j = to_json(&S { a: 7 });
+        assert!(j.contains("\"a\": 7"));
+    }
+}

@@ -1,0 +1,259 @@
+//! The event calendar: a future-event list with stable tie-breaking.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// A monotonically increasing sequence number used to break ties between
+/// events scheduled at the same instant. Events at equal times fire in the
+/// order they were scheduled (FIFO), which makes runs reproducible.
+type Seq = u64;
+
+/// An opaque handle returned by [`Calendar::push`]; can be used to cancel
+/// the event before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventToken(u64);
+
+struct HeapEntry<E> {
+    time: SimTime,
+    seq: Seq,
+    payload: E,
+    token: EventToken,
+}
+
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for HeapEntry<E> {}
+
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for HeapEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> fmt::Debug for HeapEntry<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HeapEntry")
+            .field("time", &self.time)
+            .field("seq", &self.seq)
+            .finish()
+    }
+}
+
+/// A future-event list ordered by `(time, insertion order)`.
+///
+/// # Examples
+///
+/// ```
+/// use diversify_des::{Calendar, SimTime};
+///
+/// let mut cal = Calendar::new();
+/// cal.push(SimTime::from_secs(2.0), "late");
+/// cal.push(SimTime::from_secs(1.0), "early");
+/// let (t, ev) = cal.pop().unwrap();
+/// assert_eq!(ev, "early");
+/// assert_eq!(t, SimTime::from_secs(1.0));
+/// ```
+pub struct Calendar<E> {
+    heap: BinaryHeap<HeapEntry<E>>,
+    next_seq: Seq,
+    cancelled: std::collections::HashSet<EventToken>,
+    live: usize,
+}
+
+impl<E> Default for Calendar<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Calendar<E> {
+    /// Creates an empty calendar.
+    #[must_use]
+    pub fn new() -> Self {
+        Calendar {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: std::collections::HashSet::new(),
+            live: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at absolute time `time` and returns a
+    /// token that can later be passed to [`Calendar::cancel`].
+    pub fn push(&mut self, time: SimTime, payload: E) -> EventToken {
+        let token = EventToken(self.next_seq);
+        self.heap.push(HeapEntry {
+            time,
+            seq: self.next_seq,
+            payload,
+            token,
+        });
+        self.next_seq += 1;
+        self.live += 1;
+        token
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event was
+    /// still pending (and is now guaranteed not to fire), `false` if it had
+    /// already fired or been cancelled.
+    pub fn cancel(&mut self, token: EventToken) -> bool {
+        if token.0 >= self.next_seq {
+            return false;
+        }
+        if self.cancelled.insert(token) {
+            if self.live > 0 {
+                self.live -= 1;
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes and returns the earliest pending event, skipping cancelled
+    /// entries. Returns `None` when no live events remain.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.token) {
+                continue;
+            }
+            self.live -= 1;
+            return Some((entry.time, entry.payload));
+        }
+        None
+    }
+
+    /// The firing time of the next live event, if any.
+    #[must_use]
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Lazily drop cancelled events from the top of the heap so peek is
+        // accurate.
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.contains(&top.token) {
+                let entry = self.heap.pop().expect("peeked entry exists");
+                self.cancelled.remove(&entry.token);
+            } else {
+                return Some(top.time);
+            }
+        }
+        None
+    }
+
+    /// Number of live (non-cancelled) pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether any live events remain.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Removes every pending event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.cancelled.clear();
+        self.live = 0;
+    }
+}
+
+impl<E> fmt::Debug for Calendar<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Calendar")
+            .field("live", &self.live)
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut cal = Calendar::new();
+        cal.push(SimTime::from_secs(3.0), 3);
+        cal.push(SimTime::from_secs(1.0), 1);
+        cal.push(SimTime::from_secs(2.0), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| cal.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_in_insertion_order() {
+        let mut cal = Calendar::new();
+        let t = SimTime::from_secs(5.0);
+        for i in 0..100 {
+            cal.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| cal.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_prevents_firing() {
+        let mut cal = Calendar::new();
+        let a = cal.push(SimTime::from_secs(1.0), "a");
+        cal.push(SimTime::from_secs(2.0), "b");
+        assert!(cal.cancel(a));
+        assert!(!cal.cancel(a), "double cancel reports false");
+        assert_eq!(cal.pop().map(|(_, e)| e), Some("b"));
+        assert!(cal.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_token_is_false() {
+        let mut cal: Calendar<u8> = Calendar::new();
+        assert!(!cal.cancel(EventToken(99)));
+    }
+
+    #[test]
+    fn len_tracks_live_events() {
+        let mut cal = Calendar::new();
+        assert!(cal.is_empty());
+        let a = cal.push(SimTime::ZERO, 1);
+        cal.push(SimTime::ZERO, 2);
+        assert_eq!(cal.len(), 2);
+        cal.cancel(a);
+        assert_eq!(cal.len(), 1);
+        cal.pop();
+        assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut cal = Calendar::new();
+        let a = cal.push(SimTime::from_secs(1.0), "a");
+        cal.push(SimTime::from_secs(2.0), "b");
+        cal.cancel(a);
+        assert_eq!(cal.peek_time(), Some(SimTime::from_secs(2.0)));
+    }
+
+    #[test]
+    fn clear_empties_calendar() {
+        let mut cal = Calendar::new();
+        cal.push(SimTime::ZERO, 1);
+        cal.clear();
+        assert!(cal.is_empty());
+        assert!(cal.pop().is_none());
+    }
+}

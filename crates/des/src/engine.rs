@@ -1,0 +1,414 @@
+//! The simulation engine: couples a model, the event calendar, the clock and
+//! a deterministic RNG.
+
+use crate::calendar::{Calendar, EventToken};
+use crate::rng::{RngStream, StreamId};
+use crate::stop::StopCondition;
+use crate::time::SimTime;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A discrete-event model.
+///
+/// Implementors define an event payload type and a handler invoked each time
+/// an event fires. The handler receives a [`Context`] for scheduling further
+/// events, reading the clock and drawing random numbers.
+///
+/// # Examples
+///
+/// See the crate-level documentation for a complete example.
+pub trait Model {
+    /// The event payload type processed by this model.
+    type Event;
+
+    /// Handles one event. Called with the clock already advanced to the
+    /// event's firing time.
+    fn handle(&mut self, ctx: &mut Context<Self::Event>, event: Self::Event);
+}
+
+/// Scheduling and randomness facilities exposed to a [`Model`] while it
+/// handles an event.
+pub struct Context<'a, E> {
+    now: SimTime,
+    calendar: &'a mut Calendar<E>,
+    streams: &'a mut HashMap<StreamId, RngStream>,
+    master_seed: u64,
+    events_handled: u64,
+    stop_requested: &'a mut bool,
+}
+
+impl<'a, E> Context<'a, E> {
+    /// The current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events handled so far (including the current one).
+    #[must_use]
+    pub fn events_handled(&self) -> u64 {
+        self.events_handled
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimTime, event: E) -> EventToken {
+        self.calendar.push(self.now + delay, event)
+    }
+
+    /// Schedules `event` at an absolute time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past — causality must not be violated.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventToken {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={}, requested={}",
+            self.now,
+            at
+        );
+        self.calendar.push(at, event)
+    }
+
+    /// Cancels a pending event. Returns `true` if it was still pending.
+    pub fn cancel(&mut self, token: EventToken) -> bool {
+        self.calendar.cancel(token)
+    }
+
+    /// Borrows the RNG stream with the given identifier, creating it on
+    /// first use from the engine's master seed.
+    pub fn rng(&mut self, stream: StreamId) -> &mut RngStream {
+        let master = self.master_seed;
+        self.streams
+            .entry(stream)
+            .or_insert_with(|| RngStream::new(master, stream))
+    }
+
+    /// Requests the engine stop after the current event completes.
+    pub fn request_stop(&mut self) {
+        *self.stop_requested = true;
+    }
+}
+
+impl<'a, E> fmt::Debug for Context<'a, E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Context")
+            .field("now", &self.now)
+            .field("events_handled", &self.events_handled)
+            .finish()
+    }
+}
+
+/// The discrete-event simulation engine.
+///
+/// Owns the model, the calendar, the clock and the RNG streams. Construct
+/// with [`Engine::new`], seed initial events with [`Engine::schedule_at`],
+/// then drive with [`Engine::run`] or [`Engine::run_until`].
+pub struct Engine<M: Model> {
+    model: M,
+    calendar: Calendar<M::Event>,
+    now: SimTime,
+    master_seed: u64,
+    streams: HashMap<StreamId, RngStream>,
+    events_handled: u64,
+    stop_requested: bool,
+}
+
+impl<M: Model> Engine<M> {
+    /// Creates an engine around `model` with the given deterministic master
+    /// seed.
+    #[must_use]
+    pub fn new(model: M, master_seed: u64) -> Self {
+        Engine {
+            model,
+            calendar: Calendar::new(),
+            now: SimTime::ZERO,
+            master_seed,
+            streams: HashMap::new(),
+            events_handled: 0,
+            stop_requested: false,
+        }
+    }
+
+    /// The current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events handled so far.
+    #[must_use]
+    pub fn events_handled(&self) -> u64 {
+        self.events_handled
+    }
+
+    /// Borrows the model immutably.
+    #[must_use]
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Borrows the model mutably (e.g. to inject faults between runs).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consumes the engine and returns the model.
+    #[must_use]
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Schedules an initial event at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current clock.
+    pub fn schedule_at(&mut self, at: SimTime, event: M::Event) -> EventToken {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.calendar.push(at, event)
+    }
+
+    /// Schedules an initial event `delay` after the current clock.
+    pub fn schedule_in(&mut self, delay: SimTime, event: M::Event) -> EventToken {
+        self.calendar.push(self.now + delay, event)
+    }
+
+    /// Borrows an RNG stream (outside of event handling).
+    pub fn rng(&mut self, stream: StreamId) -> &mut RngStream {
+        let master = self.master_seed;
+        self.streams
+            .entry(stream)
+            .or_insert_with(|| RngStream::new(master, stream))
+    }
+
+    /// Runs until the calendar empties.
+    ///
+    /// Returns the reason the run stopped.
+    pub fn run(&mut self) -> RunOutcome {
+        self.run_with(StopCondition::Exhausted)
+    }
+
+    /// Runs until `horizon` (inclusive of events at exactly `horizon`) or
+    /// calendar exhaustion, whichever comes first. When the horizon is hit
+    /// the clock is advanced to `horizon`.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        self.run_with(StopCondition::AtTime(horizon))
+    }
+
+    /// Runs under an arbitrary [`StopCondition`].
+    pub fn run_with(&mut self, stop: StopCondition) -> RunOutcome {
+        self.stop_requested = false;
+        loop {
+            if self.stop_requested {
+                return RunOutcome::Requested;
+            }
+            if let StopCondition::AfterEvents(n) = stop {
+                if self.events_handled >= n {
+                    return RunOutcome::EventLimit;
+                }
+            }
+            let Some(next_time) = self.calendar.peek_time() else {
+                return RunOutcome::Exhausted;
+            };
+            if let Some(h) = stop.horizon() {
+                if next_time > h {
+                    self.now = h;
+                    return RunOutcome::Horizon;
+                }
+            }
+            let (time, event) = self.calendar.pop().expect("peeked event exists");
+            debug_assert!(time >= self.now, "calendar produced a past event");
+            self.now = time;
+            self.events_handled += 1;
+            let mut ctx = Context {
+                now: self.now,
+                calendar: &mut self.calendar,
+                streams: &mut self.streams,
+                master_seed: self.master_seed,
+                events_handled: self.events_handled,
+                stop_requested: &mut self.stop_requested,
+            };
+            self.model.handle(&mut ctx, event);
+        }
+    }
+}
+
+impl<M: Model + fmt::Debug> fmt::Debug for Engine<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("events_handled", &self.events_handled)
+            .field("pending", &self.calendar.len())
+            .field("model", &self.model)
+            .finish()
+    }
+}
+
+/// Why a call to [`Engine::run_with`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The calendar ran out of events.
+    Exhausted,
+    /// The time horizon was reached with events still pending.
+    Horizon,
+    /// The configured event-count limit was reached.
+    EventLimit,
+    /// The model called [`Context::request_stop`].
+    Requested,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Counter {
+        fired: Vec<(f64, u32)>,
+        respawn: bool,
+    }
+
+    #[derive(Debug, Clone)]
+    enum Ev {
+        Ping(u32),
+    }
+
+    impl Model for Counter {
+        type Event = Ev;
+        fn handle(&mut self, ctx: &mut Context<Ev>, Ev::Ping(n): Ev) {
+            self.fired.push((ctx.now().as_secs(), n));
+            if self.respawn && n < 10 {
+                ctx.schedule_in(SimTime::from_secs(1.0), Ev::Ping(n + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn runs_to_exhaustion() {
+        let mut e = Engine::new(
+            Counter {
+                fired: vec![],
+                respawn: true,
+            },
+            1,
+        );
+        e.schedule_at(SimTime::ZERO, Ev::Ping(0));
+        assert_eq!(e.run(), RunOutcome::Exhausted);
+        assert_eq!(e.model().fired.len(), 11);
+        assert_eq!(e.now(), SimTime::from_secs(10.0));
+    }
+
+    #[test]
+    fn horizon_stops_and_advances_clock() {
+        let mut e = Engine::new(
+            Counter {
+                fired: vec![],
+                respawn: true,
+            },
+            1,
+        );
+        e.schedule_at(SimTime::ZERO, Ev::Ping(0));
+        assert_eq!(e.run_until(SimTime::from_secs(3.5)), RunOutcome::Horizon);
+        assert_eq!(e.model().fired.len(), 4); // t = 0,1,2,3
+        assert_eq!(e.now(), SimTime::from_secs(3.5));
+    }
+
+    #[test]
+    fn event_limit_stops() {
+        let mut e = Engine::new(
+            Counter {
+                fired: vec![],
+                respawn: true,
+            },
+            1,
+        );
+        e.schedule_at(SimTime::ZERO, Ev::Ping(0));
+        assert_eq!(
+            e.run_with(StopCondition::AfterEvents(3)),
+            RunOutcome::EventLimit
+        );
+        assert_eq!(e.events_handled(), 3);
+    }
+
+    #[derive(Debug)]
+    struct Stopper;
+    impl Model for Stopper {
+        type Event = u8;
+        fn handle(&mut self, ctx: &mut Context<u8>, ev: u8) {
+            ctx.schedule_in(SimTime::from_secs(1.0), ev + 1);
+            if ev >= 2 {
+                ctx.request_stop();
+            }
+        }
+    }
+
+    #[test]
+    fn model_can_request_stop() {
+        let mut e = Engine::new(Stopper, 0);
+        e.schedule_at(SimTime::ZERO, 0u8);
+        assert_eq!(e.run(), RunOutcome::Requested);
+        assert_eq!(e.now(), SimTime::from_secs(2.0));
+    }
+
+    #[test]
+    fn rng_streams_persist_across_events() {
+        #[derive(Debug)]
+        struct Draws(Vec<f64>);
+        impl Model for Draws {
+            type Event = ();
+            fn handle(&mut self, ctx: &mut Context<()>, (): ()) {
+                let v = ctx.rng(StreamId(0)).uniform();
+                self.0.push(v);
+            }
+        }
+        let mut e = Engine::new(Draws(vec![]), 99);
+        for i in 0..5 {
+            e.schedule_at(SimTime::from_secs(i as f64), ());
+        }
+        e.run();
+        let draws = &e.model().0;
+        assert_eq!(draws.len(), 5);
+        // Stream continues (values all distinct with overwhelming probability).
+        let set: std::collections::HashSet<u64> = draws.iter().map(|f| f.to_bits()).collect();
+        assert_eq!(set.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_past_panics() {
+        let mut e = Engine::new(
+            Counter {
+                fired: vec![],
+                respawn: false,
+            },
+            1,
+        );
+        e.schedule_at(SimTime::from_secs(5.0), Ev::Ping(0));
+        e.run();
+        e.schedule_at(SimTime::from_secs(1.0), Ev::Ping(1));
+    }
+
+    #[test]
+    fn identical_seeds_identical_traces() {
+        fn trace(seed: u64) -> Vec<(f64, u32)> {
+            #[derive(Debug)]
+            struct R(Vec<(f64, u32)>);
+            impl Model for R {
+                type Event = u32;
+                fn handle(&mut self, ctx: &mut Context<u32>, ev: u32) {
+                    self.0.push((ctx.now().as_secs(), ev));
+                    if ev < 20 {
+                        let d = ctx.rng(StreamId(1)).exponential(1.0);
+                        ctx.schedule_in(SimTime::from_secs(d), ev + 1);
+                    }
+                }
+            }
+            let mut e = Engine::new(R(vec![]), seed);
+            e.schedule_at(SimTime::ZERO, 0);
+            e.run();
+            e.into_model().0
+        }
+        assert_eq!(trace(42), trace(42));
+        assert_ne!(trace(42), trace(43));
+    }
+}

@@ -1,0 +1,72 @@
+//! # diversify-des
+//!
+//! A deterministic discrete-event simulation (DES) kernel.
+//!
+//! This crate is the bottom-most substrate of the *Diversify!* (DSN 2013)
+//! reproduction. Every stochastic model in the workspace — the stochastic
+//! activity network solver in `diversify-san`, the SCADA plant simulator in
+//! `diversify-scada`, and the attack-campaign engine in `diversify-attack` —
+//! advances virtual time through the [`Engine`] defined here.
+//!
+//! ## Design
+//!
+//! * **Event calendar** — a binary-heap [`Calendar`] with *stable*
+//!   tie-breaking: events scheduled for the same instant fire in insertion
+//!   order, which keeps replications bit-for-bit reproducible.
+//! * **Virtual time** — [`SimTime`], a newtype over `f64` seconds that is
+//!   totally ordered and rejects NaN at construction.
+//! * **Deterministic randomness** — [`RngStream`]s derived from a single
+//!   master seed with SplitMix64 so independent model components draw from
+//!   independent, reproducible streams.
+//! * **Stop conditions** — [`StopCondition`] values compose limits on time
+//!   and event count.
+//! * **Observation** — [`Welford`] and [`TimeWeighted`] accumulators plus a
+//!   [`ReplicationRunner`] for independent-replication experiments.
+//!
+//! ## Example
+//!
+//! ```
+//! use diversify_des::{Engine, Model, Context, SimTime};
+//!
+//! /// A counter that re-schedules itself every second, five times.
+//! struct Ticker { ticks: u32 }
+//!
+//! #[derive(Debug, Clone, PartialEq)]
+//! enum Ev { Tick }
+//!
+//! impl Model for Ticker {
+//!     type Event = Ev;
+//!     fn handle(&mut self, ctx: &mut Context<Ev>, _ev: Ev) {
+//!         self.ticks += 1;
+//!         if self.ticks < 5 {
+//!             ctx.schedule_in(SimTime::from_secs(1.0), Ev::Tick);
+//!         }
+//!     }
+//! }
+//!
+//! let mut engine = Engine::new(Ticker { ticks: 0 }, 42);
+//! engine.schedule_at(SimTime::ZERO, Ev::Tick);
+//! engine.run();
+//! assert_eq!(engine.model().ticks, 5);
+//! assert_eq!(engine.now(), SimTime::from_secs(4.0));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod calendar;
+pub mod engine;
+pub mod observe;
+pub mod replication;
+pub mod rng;
+pub mod stop;
+pub mod time;
+
+pub use calendar::{Calendar, EventToken};
+pub use engine::RunOutcome;
+pub use engine::{Context, Engine, Model};
+pub use observe::{TimeWeighted, Welford};
+pub use replication::{ReplicationRunner, ReplicationSummary};
+pub use rng::{derive_seed, RngStream, StreamId};
+pub use stop::StopCondition;
+pub use time::SimTime;

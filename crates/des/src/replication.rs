@@ -1,0 +1,198 @@
+//! Independent-replication experiment harness.
+//!
+//! Monte-Carlo estimation in the *Diversify!* pipeline repeats a stochastic
+//! simulation under independent seeds and aggregates scalar outputs. The
+//! [`ReplicationRunner`] owns the seed schedule so that the *i*-th
+//! replication of a given experiment is reproducible regardless of how many
+//! replications are requested.
+
+use crate::observe::Welford;
+use std::fmt;
+
+/// Runs `n` independent replications of a seeded experiment and aggregates
+/// one or more named scalar outputs.
+///
+/// # Examples
+///
+/// ```
+/// use diversify_des::{ReplicationRunner, RngStream, StreamId};
+///
+/// let runner = ReplicationRunner::new(1234, 1000);
+/// let summary = runner.run(|seed| {
+///     let mut rng = RngStream::new(seed, StreamId(0));
+///     vec![("u".to_string(), rng.uniform())]
+/// });
+/// let u = summary.metric("u").unwrap();
+/// assert!((u.mean() - 0.5).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplicationRunner {
+    master_seed: u64,
+    replications: u32,
+}
+
+impl ReplicationRunner {
+    /// Creates a runner with a master seed and replication count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replications` is zero.
+    #[must_use]
+    pub fn new(master_seed: u64, replications: u32) -> Self {
+        assert!(replications > 0, "at least one replication required");
+        ReplicationRunner {
+            master_seed,
+            replications,
+        }
+    }
+
+    /// The number of replications this runner performs.
+    #[must_use]
+    pub fn replications(&self) -> u32 {
+        self.replications
+    }
+
+    /// The seed used for replication index `i`.
+    #[must_use]
+    pub fn seed_for(&self, i: u32) -> u64 {
+        crate::rng::derive_seed(
+            self.master_seed,
+            crate::rng::StreamId(REPLICATION_SEED_NAMESPACE ^ u64::from(i)),
+        )
+    }
+
+    /// Runs the experiment once per replication. The closure receives the
+    /// replication seed and returns `(metric name, value)` pairs; values are
+    /// accumulated per name across replications.
+    pub fn run<F>(&self, mut experiment: F) -> ReplicationSummary
+    where
+        F: FnMut(u64) -> Vec<(String, f64)>,
+    {
+        let mut metrics: Vec<(String, Welford)> = Vec::new();
+        for i in 0..self.replications {
+            let outputs = experiment(self.seed_for(i));
+            for (name, value) in outputs {
+                match metrics.iter_mut().find(|(n, _)| *n == name) {
+                    Some((_, w)) => w.push(value),
+                    None => {
+                        let mut w = Welford::new();
+                        w.push(value);
+                        metrics.push((name, w));
+                    }
+                }
+            }
+        }
+        ReplicationSummary { metrics }
+    }
+}
+
+/// Aggregated outputs of a replicated experiment.
+#[derive(Debug, Clone, Default)]
+pub struct ReplicationSummary {
+    metrics: Vec<(String, Welford)>,
+}
+
+impl ReplicationSummary {
+    /// The accumulator for a named metric, if any replication reported it.
+    #[must_use]
+    pub fn metric(&self, name: &str) -> Option<&Welford> {
+        self.metrics.iter().find(|(n, _)| n == name).map(|(_, w)| w)
+    }
+
+    /// Iterates over `(name, accumulator)` pairs in first-seen order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Welford)> {
+        self.metrics.iter().map(|(n, w)| (n.as_str(), w))
+    }
+
+    /// Number of distinct metrics observed.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether no metrics were observed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+}
+
+impl fmt::Display for ReplicationSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, w) in &self.metrics {
+            writeln!(f, "{name}: {w}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A distinct constant namespace for replication seeds so they cannot
+/// collide with model-level stream ids.
+const REPLICATION_SEED_NAMESPACE: u64 = 0x5EED_0000_0000_0000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{RngStream, StreamId};
+
+    #[test]
+    fn seeds_are_stable_per_index() {
+        let a = ReplicationRunner::new(9, 10);
+        let b = ReplicationRunner::new(9, 10_000);
+        for i in 0..10 {
+            assert_eq!(a.seed_for(i), b.seed_for(i));
+        }
+    }
+
+    #[test]
+    fn seeds_differ_between_indices() {
+        let r = ReplicationRunner::new(9, 100);
+        let seeds: std::collections::HashSet<u64> = (0..100).map(|i| r.seed_for(i)).collect();
+        assert_eq!(seeds.len(), 100);
+    }
+
+    #[test]
+    fn aggregates_multiple_metrics() {
+        let r = ReplicationRunner::new(5, 500);
+        let s = r.run(|seed| {
+            let mut rng = RngStream::new(seed, StreamId(0));
+            vec![
+                ("a".to_string(), rng.uniform()),
+                ("b".to_string(), 2.0 * rng.uniform()),
+            ]
+        });
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.metric("a").unwrap().count(), 500);
+        assert!((s.metric("b").unwrap().mean() - 1.0).abs() < 0.1);
+        assert!(s.metric("missing").is_none());
+    }
+
+    #[test]
+    fn metrics_can_be_conditional() {
+        // A metric reported in only some replications still aggregates.
+        let r = ReplicationRunner::new(5, 100);
+        let s = r.run(|seed| {
+            if seed % 2 == 0 {
+                vec![("rare".to_string(), 1.0)]
+            } else {
+                vec![]
+            }
+        });
+        let rare = s.metric("rare").unwrap();
+        assert!(rare.count() > 0);
+        assert!(rare.count() < 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_replications_rejected() {
+        let _ = ReplicationRunner::new(0, 0);
+    }
+
+    #[test]
+    fn display_lists_metrics() {
+        let r = ReplicationRunner::new(1, 3);
+        let s = r.run(|_| vec![("x".to_string(), 1.0)]);
+        assert!(s.to_string().contains("x:"));
+    }
+}

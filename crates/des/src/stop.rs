@@ -1,0 +1,52 @@
+//! Stop conditions for simulation runs.
+
+use crate::time::SimTime;
+
+/// Determines when [`Engine::run_with`](crate::Engine::run_with) returns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StopCondition {
+    /// Run until the event calendar is empty.
+    Exhausted,
+    /// Run until the clock would pass the given horizon. Events scheduled at
+    /// exactly the horizon still fire.
+    AtTime(SimTime),
+    /// Run until the given number of events have been handled.
+    AfterEvents(u64),
+}
+
+impl StopCondition {
+    /// The time horizon imposed by this condition, if any.
+    #[must_use]
+    pub fn horizon(&self) -> Option<SimTime> {
+        match self {
+            StopCondition::AtTime(t) => Some(*t),
+            _ => None,
+        }
+    }
+}
+
+impl Default for StopCondition {
+    fn default() -> Self {
+        StopCondition::Exhausted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn horizon_only_for_at_time() {
+        assert_eq!(StopCondition::Exhausted.horizon(), None);
+        assert_eq!(StopCondition::AfterEvents(5).horizon(), None);
+        assert_eq!(
+            StopCondition::AtTime(SimTime::from_secs(2.0)).horizon(),
+            Some(SimTime::from_secs(2.0))
+        );
+    }
+
+    #[test]
+    fn default_is_exhausted() {
+        assert_eq!(StopCondition::default(), StopCondition::Exhausted);
+    }
+}

@@ -1,0 +1,267 @@
+//! Virtual simulation time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, measured in seconds from the start of the
+/// simulation.
+///
+/// `SimTime` is a thin newtype over `f64` that upholds two invariants:
+///
+/// * the value is never NaN (checked at construction), and
+/// * the value is never negative.
+///
+/// Because of these invariants `SimTime` is totally ordered ([`Ord`]) and can
+/// be used directly as a priority inside the event calendar.
+///
+/// # Examples
+///
+/// ```
+/// use diversify_des::SimTime;
+///
+/// let a = SimTime::from_secs(1.5);
+/// let b = SimTime::from_secs(2.5);
+/// assert!(a < b);
+/// assert_eq!((a + SimTime::from_secs(1.0)), b);
+/// ```
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// The origin of virtual time.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// A time later than every reachable simulation instant.
+    pub const INFINITY: SimTime = SimTime(f64::INFINITY);
+
+    /// Creates a time from a number of seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is NaN or negative; virtual time is always a
+    /// well-ordered, non-negative quantity.
+    #[must_use]
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(!secs.is_nan(), "SimTime must not be NaN");
+        assert!(secs >= 0.0, "SimTime must be non-negative, got {secs}");
+        SimTime(secs)
+    }
+
+    /// Creates a time from minutes.
+    #[must_use]
+    pub fn from_mins(mins: f64) -> Self {
+        Self::from_secs(mins * 60.0)
+    }
+
+    /// Creates a time from hours.
+    #[must_use]
+    pub fn from_hours(hours: f64) -> Self {
+        Self::from_secs(hours * 3600.0)
+    }
+
+    /// Creates a time from days.
+    #[must_use]
+    pub fn from_days(days: f64) -> Self {
+        Self::from_secs(days * 86_400.0)
+    }
+
+    /// Returns the time as seconds.
+    #[must_use]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the time as hours.
+    #[must_use]
+    pub fn as_hours(self) -> f64 {
+        self.0 / 3600.0
+    }
+
+    /// Returns the time as days.
+    #[must_use]
+    pub fn as_days(self) -> f64 {
+        self.0 / 86_400.0
+    }
+
+    /// Returns true if this time is finite.
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Saturating subtraction: returns `self - other`, clamped at zero.
+    #[must_use]
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        if other.0 >= self.0 {
+            SimTime::ZERO
+        } else {
+            SimTime(self.0 - other.0)
+        }
+    }
+
+    /// The earlier of two times.
+    #[must_use]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The later of two times.
+    #[must_use]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for SimTime {}
+
+// SAFETY of ordering: the constructor rejects NaN, so `partial_cmp` never
+// returns `None` for values built through the public API.
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .expect("SimTime is never NaN by construction")
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the result would be negative.
+    fn sub(self, rhs: SimTime) -> SimTime {
+        debug_assert!(
+            self.0 >= rhs.0,
+            "SimTime subtraction underflow: {} - {}",
+            self.0,
+            rhs.0
+        );
+        SimTime((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimTime({}s)", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.0)
+    }
+}
+
+impl From<SimTime> for f64 {
+    fn from(t: SimTime) -> f64 {
+        t.as_secs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_convert_units() {
+        assert_eq!(SimTime::from_mins(1.0), SimTime::from_secs(60.0));
+        assert_eq!(SimTime::from_hours(1.0), SimTime::from_secs(3600.0));
+        assert_eq!(SimTime::from_days(1.0), SimTime::from_secs(86_400.0));
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let t = SimTime::from_secs(7200.0);
+        assert_eq!(t.as_secs(), 7200.0);
+        assert_eq!(t.as_hours(), 2.0);
+        assert!((t.as_days() - 2.0 / 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![
+            SimTime::from_secs(3.0),
+            SimTime::ZERO,
+            SimTime::INFINITY,
+            SimTime::from_secs(1.0),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                SimTime::ZERO,
+                SimTime::from_secs(1.0),
+                SimTime::from_secs(3.0),
+                SimTime::INFINITY
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_time_rejected() {
+        let _ = SimTime::from_secs(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_time_rejected() {
+        let _ = SimTime::from_secs(f64::NAN);
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.0);
+        assert_eq!(a.saturating_sub(b), SimTime::ZERO);
+        assert_eq!(b.saturating_sub(a), SimTime::from_secs(1.0));
+    }
+
+    #[test]
+    fn min_max() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut t = SimTime::ZERO;
+        t += SimTime::from_secs(0.5);
+        t += SimTime::from_secs(0.5);
+        assert_eq!(t, SimTime::from_secs(1.0));
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(SimTime::from_secs(1.5).to_string(), "1.500s");
+    }
+
+    #[test]
+    fn infinity_not_finite() {
+        assert!(!SimTime::INFINITY.is_finite());
+        assert!(SimTime::ZERO.is_finite());
+    }
+}

@@ -1,0 +1,24 @@
+//! # diversify-diversity
+//!
+//! Diversity configurations, placement strategies and diversity metrics —
+//! the knob the *Diversify!* (DSN 2013) paper turns.
+//!
+//! * [`config`] — a [`config::DiversityConfig`] assigns component variants
+//!   to the nodes of a [`diversify_scada::ScadaNetwork`];
+//! * [`placement`] — strategies for placing `k` highly attack-resilient
+//!   nodes: none (monoculture), random, or **strategic** (topology
+//!   choke points first — the paper's "small, strategically distributed,
+//!   number of highly attack-resilient components");
+//! * [`metrics`] — Shannon/Simpson diversity indices and a deployment
+//!   cost model, supporting the paper's "balanced approach between secure
+//!   system design and diversification costs".
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod metrics;
+pub mod placement;
+
+pub use config::DiversityConfig;
+pub use metrics::{deployment_cost, shannon_index, simpson_index};
+pub use placement::{apply_placement, PlacementStrategy};

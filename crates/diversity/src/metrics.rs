@@ -1,0 +1,147 @@
+//! Diversity indices and the deployment-cost model.
+
+use diversify_scada::network::ScadaNetwork;
+use std::collections::HashMap;
+
+/// Shannon diversity index of the OS-variant distribution across nodes
+/// (natural log). Zero for a monoculture; `ln(v)` for `v` equally common
+/// variants.
+#[must_use]
+pub fn shannon_index(network: &ScadaNetwork) -> f64 {
+    let counts = os_counts(network);
+    let total: usize = counts.values().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    -counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / total as f64;
+            p * p.ln()
+        })
+        .sum::<f64>()
+}
+
+/// Simpson diversity index `1 − Σ pᵢ²` of the OS-variant distribution.
+/// Zero for a monoculture, approaching `1 − 1/v` for `v` balanced
+/// variants.
+#[must_use]
+pub fn simpson_index(network: &ScadaNetwork) -> f64 {
+    let counts = os_counts(network);
+    let total: usize = counts.values().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    1.0 - counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / total as f64;
+            p * p
+        })
+        .sum::<f64>()
+}
+
+fn os_counts(network: &ScadaNetwork) -> HashMap<String, usize> {
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    for id in network.node_ids() {
+        *counts
+            .entry(format!("{:?}", network.node(id).profile.os))
+            .or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Deployment cost of a configuration, in arbitrary units: every node
+/// pays a base cost of 1; each *additional distinct variant* of each
+/// component class adds `variant_premium` (training, spares, tooling);
+/// each hardened node (resilience > 0.6) adds `hardening_premium`.
+///
+/// This is the cost side of the paper's "balanced approach between secure
+/// system design and diversification costs".
+#[must_use]
+pub fn deployment_cost(
+    network: &ScadaNetwork,
+    variant_premium: f64,
+    hardening_premium: f64,
+) -> f64 {
+    let n = network.node_count() as f64;
+    let mut distinct: [std::collections::HashSet<String>; 6] = Default::default();
+    let mut hardened = 0usize;
+    for id in network.node_ids() {
+        let p = &network.node(id).profile;
+        distinct[0].insert(format!("{:?}", p.os));
+        distinct[1].insert(format!("{:?}", p.plc_firmware));
+        distinct[2].insert(format!("{:?}", p.dialect));
+        distinct[3].insert(format!("{:?}", p.firewall));
+        distinct[4].insert(format!("{:?}", p.sensor));
+        distinct[5].insert(format!("{:?}", p.historian));
+        if p.resilience() > 0.6 {
+            hardened += 1;
+        }
+    }
+    let extra_variants: usize = distinct.iter().map(|s| s.len().saturating_sub(1)).sum();
+    n + extra_variants as f64 * variant_premium + hardened as f64 * hardening_premium
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DiversityConfig;
+    use diversify_scada::components::ComponentClass;
+    use diversify_scada::scope::{ScopeConfig, ScopeSystem};
+
+    fn network() -> ScadaNetwork {
+        ScopeSystem::build(&ScopeConfig::default()).network().clone()
+    }
+
+    #[test]
+    fn monoculture_has_zero_diversity() {
+        let mut net = network();
+        DiversityConfig::monoculture().apply(&mut net);
+        assert_eq!(shannon_index(&net), 0.0);
+        assert_eq!(simpson_index(&net), 0.0);
+    }
+
+    #[test]
+    fn rotation_raises_both_indices() {
+        let mut net = network();
+        DiversityConfig::rotate_only(ComponentClass::OperatingSystem).apply(&mut net);
+        assert!(shannon_index(&net) > 1.0); // 4 balanced variants → ln 4 ≈ 1.386
+        assert!(simpson_index(&net) > 0.7); // → 0.75
+    }
+
+    #[test]
+    fn shannon_upper_bound_for_balanced_variants() {
+        let mut net = network();
+        DiversityConfig::rotate_only(ComponentClass::OperatingSystem).apply(&mut net);
+        assert!(shannon_index(&net) <= 4f64.ln() + 1e-9);
+    }
+
+    #[test]
+    fn cost_grows_with_diversity_and_hardening() {
+        let mut mono = network();
+        DiversityConfig::monoculture().apply(&mut mono);
+        let mut diverse = network();
+        DiversityConfig::full_rotation().apply(&mut diverse);
+        let base_cost = deployment_cost(&mono, 2.0, 5.0);
+        let div_cost = deployment_cost(&diverse, 2.0, 5.0);
+        assert!(div_cost > base_cost, "{div_cost} !> {base_cost}");
+        // Monoculture cost is exactly one per node.
+        assert_eq!(base_cost, mono.node_count() as f64);
+    }
+
+    #[test]
+    fn hardening_premium_counts_hardened_nodes() {
+        let mut net = network();
+        DiversityConfig::monoculture().apply(&mut net);
+        let before = deployment_cost(&net, 0.0, 10.0);
+        let ids: Vec<_> = net.node_ids().take(2).collect();
+        for id in ids {
+            net.node_mut(id).profile =
+                diversify_scada::components::ComponentProfile::hardened();
+        }
+        let after = deployment_cost(&net, 0.0, 10.0);
+        assert!((after - before - 20.0).abs() < 30.0); // 2 hardened + variant effects at 0 premium
+        assert!(after > before);
+    }
+}

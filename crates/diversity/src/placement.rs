@@ -1,0 +1,175 @@
+//! Placement strategies for attack-resilient components.
+//!
+//! The paper's preliminary result: *"a small, strategically distributed,
+//! number of highly attack-resilient components can significantly lower
+//! the chance of bringing a successful attack to the system."* Experiment
+//! R5 compares these strategies; this module implements them.
+
+use diversify_scada::components::ComponentProfile;
+use diversify_scada::network::{NodeId, ScadaNetwork};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// How to choose which `k` nodes receive the hardened profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementStrategy {
+    /// No hardened nodes (monoculture baseline).
+    None,
+    /// `k` nodes chosen uniformly at random (seeded).
+    Random {
+        /// Number of hardened nodes.
+        k: usize,
+        /// Selection seed.
+        seed: u64,
+    },
+    /// `k` nodes chosen by attack-goal criticality: the PLCs themselves
+    /// first (the device-impairment targets), then the field gateways
+    /// guarding them, then the remaining nodes by descending topology
+    /// centrality. This is the paper's "small, strategically distributed"
+    /// placement: resilience goes where the attack must end up.
+    Strategic {
+        /// Number of hardened nodes.
+        k: usize,
+    },
+}
+
+impl PlacementStrategy {
+    /// The number of hardened nodes this strategy deploys.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        match self {
+            PlacementStrategy::None => 0,
+            PlacementStrategy::Random { k, .. } | PlacementStrategy::Strategic { k } => *k,
+        }
+    }
+
+    /// Selects the node ids to harden (does not modify the network).
+    #[must_use]
+    pub fn select(&self, network: &ScadaNetwork) -> Vec<NodeId> {
+        match *self {
+            PlacementStrategy::None => Vec::new(),
+            PlacementStrategy::Random { k, seed } => {
+                let mut ids: Vec<NodeId> = network.node_ids().collect();
+                let mut rng = SmallRng::seed_from_u64(seed);
+                ids.shuffle(&mut rng);
+                ids.truncate(k.min(network.node_count()));
+                ids
+            }
+            PlacementStrategy::Strategic { k } => {
+                use diversify_scada::network::NodeRole;
+                let mut order: Vec<NodeId> = Vec::with_capacity(network.node_count());
+                order.extend(network.nodes_with_role(NodeRole::Plc));
+                order.extend(network.nodes_with_role(NodeRole::FieldGateway));
+                for (id, _) in network.centrality() {
+                    if !order.contains(&id) {
+                        order.push(id);
+                    }
+                }
+                order.truncate(k.min(network.node_count()));
+                order
+            }
+        }
+    }
+}
+
+/// Applies a placement: the selected nodes receive `hardened`, everyone
+/// else keeps their current profile. Returns the hardened node ids.
+pub fn apply_placement(
+    network: &mut ScadaNetwork,
+    strategy: PlacementStrategy,
+    hardened: ComponentProfile,
+) -> Vec<NodeId> {
+    let chosen = strategy.select(network);
+    for &id in &chosen {
+        network.node_mut(id).profile = hardened;
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diversify_scada::network::NodeRole;
+    use diversify_scada::scope::{ScopeConfig, ScopeSystem};
+
+    fn network() -> ScadaNetwork {
+        ScopeSystem::build(&ScopeConfig::default()).network().clone()
+    }
+
+    #[test]
+    fn none_places_nothing() {
+        let mut net = network();
+        let chosen = apply_placement(
+            &mut net,
+            PlacementStrategy::None,
+            ComponentProfile::hardened(),
+        );
+        assert!(chosen.is_empty());
+        assert_eq!(PlacementStrategy::None.k(), 0);
+    }
+
+    #[test]
+    fn random_places_exactly_k_distinct() {
+        let mut net = network();
+        let chosen = apply_placement(
+            &mut net,
+            PlacementStrategy::Random { k: 5, seed: 1 },
+            ComponentProfile::hardened(),
+        );
+        assert_eq!(chosen.len(), 5);
+        let set: std::collections::HashSet<_> = chosen.iter().collect();
+        assert_eq!(set.len(), 5);
+        for id in chosen {
+            assert_eq!(net.node(id).profile, ComponentProfile::hardened());
+        }
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let net = network();
+        let a = PlacementStrategy::Random { k: 4, seed: 9 }.select(&net);
+        let b = PlacementStrategy::Random { k: 4, seed: 9 }.select(&net);
+        assert_eq!(a, b);
+        let c = PlacementStrategy::Random { k: 4, seed: 10 }.select(&net);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn strategic_picks_attack_targets_first() {
+        let net = network();
+        let chosen = PlacementStrategy::Strategic { k: 3 }.select(&net);
+        assert_eq!(chosen.len(), 3);
+        // Device-impairment targets come first: all picks are PLCs.
+        let roles: Vec<NodeRole> = chosen.iter().map(|&id| net.node(id).role).collect();
+        assert!(
+            roles.iter().all(|r| *r == NodeRole::Plc),
+            "strategic picks should start with the PLCs, got {roles:?}"
+        );
+        // Past the PLCs, gateways follow (SCoPE default has 4 PLCs + 2
+        // gateways).
+        let six = PlacementStrategy::Strategic { k: 6 }.select(&net);
+        let tail: Vec<NodeRole> = six[4..].iter().map(|&id| net.node(id).role).collect();
+        assert!(tail.iter().all(|r| *r == NodeRole::FieldGateway), "{tail:?}");
+    }
+
+    #[test]
+    fn k_larger_than_network_saturates() {
+        let net = network();
+        let n = net.node_count();
+        let chosen = PlacementStrategy::Strategic { k: 999 }.select(&net);
+        assert_eq!(chosen.len(), n);
+        let random = PlacementStrategy::Random { k: 999, seed: 0 }.select(&net);
+        assert_eq!(random.len(), n);
+    }
+
+    #[test]
+    fn strategic_prefix_property() {
+        // Strategic k=2 is a prefix of strategic k=4 (stable ranking).
+        let net = network();
+        let two = PlacementStrategy::Strategic { k: 2 }.select(&net);
+        let four = PlacementStrategy::Strategic { k: 4 }.select(&net);
+        assert_eq!(&four[..2], &two[..]);
+    }
+}

@@ -1,0 +1,91 @@
+//! Central composite designs for response-surface exploration.
+
+use crate::design::{full_factorial, DoeError};
+
+/// A continuous-level design: one row per run, coded levels per factor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContinuousDesign {
+    /// Factor names.
+    pub factors: Vec<String>,
+    /// Coded rows (factorial ±1 points, axial ±α points, centre points).
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl ContinuousDesign {
+    /// Number of runs.
+    #[must_use]
+    pub fn runs(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+/// Builds a rotatable central composite design: a 2^k factorial core,
+/// `2k` axial points at distance `α = (2^k)^(1/4)`, and `center` centre
+/// points.
+///
+/// # Errors
+///
+/// Propagates [`DoeError`] from the factorial core construction.
+pub fn central_composite(
+    factors: &[&str],
+    center: usize,
+) -> Result<ContinuousDesign, DoeError> {
+    let core = full_factorial(factors)?;
+    let k = factors.len();
+    let alpha = (core.runs() as f64).powf(0.25);
+    let mut rows: Vec<Vec<f64>> = core
+        .rows
+        .iter()
+        .map(|r| r.iter().map(|&l| f64::from(l)).collect())
+        .collect();
+    for j in 0..k {
+        for sign in [-1.0, 1.0] {
+            let mut row = vec![0.0; k];
+            row[j] = sign * alpha;
+            rows.push(row);
+        }
+    }
+    for _ in 0..center {
+        rows.push(vec![0.0; k]);
+    }
+    Ok(ContinuousDesign {
+        factors: factors.iter().map(|s| (*s).to_string()).collect(),
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ccd_run_count() {
+        // k=2: 4 factorial + 4 axial + 3 centre = 11 runs.
+        let d = central_composite(&["A", "B"], 3).unwrap();
+        assert_eq!(d.runs(), 11);
+    }
+
+    #[test]
+    fn rotatable_alpha() {
+        let d = central_composite(&["A", "B"], 0).unwrap();
+        // α = (4)^(1/4) = √2 for k = 2.
+        let axial: Vec<&Vec<f64>> = d.rows.iter().filter(|r| r.iter().any(|&x| x.abs() > 1.0)).collect();
+        assert_eq!(axial.len(), 4);
+        for row in axial {
+            let norm: f64 = row.iter().map(|x| x * x).sum::<f64>();
+            assert!((norm.sqrt() - 2f64.sqrt()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn centre_points_at_origin() {
+        let d = central_composite(&["A", "B", "C"], 2).unwrap();
+        let centres = d.rows.iter().filter(|r| r.iter().all(|&x| x == 0.0)).count();
+        assert_eq!(centres, 2);
+    }
+
+    #[test]
+    fn error_propagates() {
+        assert!(central_composite(&[], 1).is_err());
+    }
+}

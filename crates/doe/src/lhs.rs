@@ -1,0 +1,123 @@
+//! Latin hypercube sampling.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Generates `n` Latin-hypercube samples in `d` dimensions on `[0, 1)^d`.
+///
+/// Each dimension is divided into `n` equal strata; every stratum is hit
+/// exactly once per dimension, with uniform jitter inside the stratum.
+///
+/// # Panics
+///
+/// Panics if `n` or `d` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use diversify_doe::latin_hypercube;
+/// let pts = latin_hypercube(10, 3, 42);
+/// assert_eq!(pts.len(), 10);
+/// assert!(pts.iter().all(|p| p.len() == 3));
+/// ```
+#[must_use]
+pub fn latin_hypercube(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+    assert!(n > 0 && d > 0, "n and d must be positive");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut columns: Vec<Vec<f64>> = Vec::with_capacity(d);
+    for _ in 0..d {
+        let mut strata: Vec<usize> = (0..n).collect();
+        strata.shuffle(&mut rng);
+        columns.push(
+            strata
+                .into_iter()
+                .map(|s| (s as f64 + rng.gen::<f64>()) / n as f64)
+                .collect(),
+        );
+    }
+    (0..n)
+        .map(|i| columns.iter().map(|c| c[i]).collect())
+        .collect()
+}
+
+/// Rescales a unit-cube sample to the given per-dimension `[lo, hi]`
+/// bounds.
+///
+/// # Panics
+///
+/// Panics if dimensions disagree or any bound pair has `lo > hi`.
+#[must_use]
+pub fn scale_to_bounds(points: &[Vec<f64>], bounds: &[(f64, f64)]) -> Vec<Vec<f64>> {
+    points
+        .iter()
+        .map(|p| {
+            assert_eq!(p.len(), bounds.len(), "dimension mismatch");
+            p.iter()
+                .zip(bounds)
+                .map(|(&u, &(lo, hi))| {
+                    assert!(lo <= hi, "bad bounds");
+                    lo + u * (hi - lo)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stratification_property() {
+        let n = 20;
+        let pts = latin_hypercube(n, 2, 7);
+        for dim in 0..2 {
+            let mut hit = vec![false; n];
+            for p in &pts {
+                let stratum = (p[dim] * n as f64).floor() as usize;
+                assert!(!hit[stratum.min(n - 1)], "stratum hit twice");
+                hit[stratum.min(n - 1)] = true;
+            }
+            assert!(hit.iter().all(|&h| h), "every stratum hit once");
+        }
+    }
+
+    #[test]
+    fn values_in_unit_cube() {
+        for p in latin_hypercube(50, 4, 1) {
+            for &x in &p {
+                assert!((0.0..1.0).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(latin_hypercube(10, 3, 5), latin_hypercube(10, 3, 5));
+        assert_ne!(latin_hypercube(10, 3, 5), latin_hypercube(10, 3, 6));
+    }
+
+    #[test]
+    fn scaling_respects_bounds() {
+        let pts = latin_hypercube(30, 2, 3);
+        let scaled = scale_to_bounds(&pts, &[(10.0, 20.0), (-1.0, 1.0)]);
+        for p in &scaled {
+            assert!((10.0..20.0).contains(&p[0]));
+            assert!((-1.0..1.0).contains(&p[1]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_samples_rejected() {
+        let _ = latin_hypercube(0, 2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn scale_dimension_mismatch_panics() {
+        let pts = latin_hypercube(3, 2, 0);
+        let _ = scale_to_bounds(&pts, &[(0.0, 1.0)]);
+    }
+}

@@ -1,0 +1,21 @@
+//! # diversify-doe
+//!
+//! Design of Experiments — the paper's instrument for *"narrowing the
+//! number of configurations to assess"*.
+//!
+//! * [`design`] — two-level designs: full factorial 2^k, regular
+//!   fractional factorial 2^(k−p) with generator/alias analysis, and
+//!   Plackett–Burman screening;
+//! * [`lhs`] — Latin hypercube sampling for continuous parameter sweeps
+//!   (used by the R5 sensitivity analysis);
+//! * [`ccd`] — central composite designs for response-surface follow-ups.
+
+#![warn(missing_docs)]
+
+pub mod ccd;
+pub mod design;
+pub mod lhs;
+
+pub use ccd::central_composite;
+pub use design::{full_factorial, fractional_factorial, plackett_burman, DesignMatrix, DoeError};
+pub use lhs::latin_hypercube;

@@ -1,0 +1,97 @@
+//! Error type for SAN model construction and simulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors arising while building or executing a stochastic activity
+/// network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SanError {
+    /// The model has no activities.
+    EmptyModel,
+    /// An arc or gate refers to a place that does not exist.
+    UnknownPlace {
+        /// The offending place index.
+        index: usize,
+    },
+    /// An activity has no cases (it must have at least one output effect).
+    NoCases {
+        /// Name of the offending activity.
+        activity: String,
+    },
+    /// Case weights are invalid (negative or all-zero).
+    BadCaseWeights {
+        /// Name of the offending activity.
+        activity: String,
+    },
+    /// A firing-distribution parameter is out of domain.
+    BadDistribution {
+        /// Description of the violated constraint.
+        what: &'static str,
+    },
+    /// The simulator detected an instantaneous-activity livelock (an
+    /// unbounded cascade of zero-time firings).
+    InstantaneousLivelock {
+        /// The number of consecutive zero-time firings that triggered the
+        /// detector.
+        limit: u32,
+    },
+}
+
+impl fmt::Display for SanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SanError::EmptyModel => write!(f, "model has no activities"),
+            SanError::UnknownPlace { index } => {
+                write!(f, "reference to unknown place index {index}")
+            }
+            SanError::NoCases { activity } => {
+                write!(f, "activity '{activity}' has no cases")
+            }
+            SanError::BadCaseWeights { activity } => {
+                write!(f, "activity '{activity}' has invalid case weights")
+            }
+            SanError::BadDistribution { what } => {
+                write!(f, "invalid firing distribution: {what}")
+            }
+            SanError::InstantaneousLivelock { limit } => {
+                write!(
+                    f,
+                    "instantaneous activities fired {limit} times at one instant; livelock suspected"
+                )
+            }
+        }
+    }
+}
+
+impl Error for SanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_render() {
+        let cases: Vec<SanError> = vec![
+            SanError::EmptyModel,
+            SanError::UnknownPlace { index: 3 },
+            SanError::NoCases {
+                activity: "a".into(),
+            },
+            SanError::BadCaseWeights {
+                activity: "a".into(),
+            },
+            SanError::BadDistribution { what: "rate > 0" },
+            SanError::InstantaneousLivelock { limit: 10_000 },
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err<E: Error + Send + Sync>() {}
+        takes_err::<SanError>();
+    }
+}

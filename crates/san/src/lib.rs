@@ -1,0 +1,68 @@
+//! # diversify-san
+//!
+//! A **Stochastic Activity Network (SAN)** formalism with a Monte-Carlo
+//! transient solver — the modeling machinery the *Diversify!* paper (DSN
+//! 2013) uses for its attack models: *"A system model encompassing
+//! control/monitoring nodes and PLCs has been developed by means of the
+//! stochastic activity networks (SAN) formalism."*
+//!
+//! SANs generalize stochastic Petri nets with:
+//!
+//! * **places** holding token counts (the [`Marking`]),
+//! * **timed activities** with general firing-time distributions
+//!   ([`FiringDistribution`]),
+//! * **instantaneous activities** that fire as soon as they are enabled,
+//! * **case distributions** — a firing probabilistically selects one of
+//!   several output effects,
+//! * **input gates** (arbitrary enabling predicates + marking updates) and
+//!   **output gates** (arbitrary marking updates).
+//!
+//! The [`Simulator`] executes a SAN with the race execution policy
+//! (enabled activities race; the earliest completion fires; activities
+//! disabled by a firing are cancelled and re-sample when re-enabled), and
+//! [`TransientSolver`] estimates reward variables over independent
+//! replications.
+//!
+//! ## Example
+//!
+//! ```
+//! use diversify_san::{SanBuilder, FiringDistribution, Simulator};
+//! use diversify_des::SimTime;
+//!
+//! // A two-stage attack: initial -> activated -> root.
+//! let mut b = SanBuilder::new();
+//! let initial = b.place("initial", 1);
+//! let activated = b.place("activated", 0);
+//! let root = b.place("root", 0);
+//! b.timed_activity("activate", FiringDistribution::Exponential { rate: 2.0 })
+//!     .input_arc(initial, 1)
+//!     .output_arc(activated, 1)
+//!     .build();
+//! b.timed_activity("escalate", FiringDistribution::Exponential { rate: 1.0 })
+//!     .input_arc(activated, 1)
+//!     .output_arc(root, 1)
+//!     .build();
+//! let model = b.build().unwrap();
+//!
+//! let mut sim = Simulator::new(&model, 42);
+//! sim.run_until(SimTime::from_secs(1e6));
+//! assert_eq!(sim.marking().tokens(root), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod activity;
+pub mod builder;
+pub mod error;
+pub mod model;
+pub mod reward;
+pub mod sim;
+pub mod solver;
+
+pub use activity::{Activity, ActivityTiming, Case, FiringDistribution};
+pub use builder::{ActivityBuilder, SanBuilder};
+pub use error::SanError;
+pub use model::{ActivityId, Marking, PlaceId, SanModel};
+pub use reward::{FirstPassage, ImpulseReward, Observer, RateReward};
+pub use sim::Simulator;
+pub use solver::{RewardSpec, TransientResult, TransientSolver};

@@ -1,0 +1,372 @@
+//! Diversifiable HW/SW component classes and variants.
+//!
+//! The paper proposes diversifying *"the variety of monitoring and control
+//! hardware/software components (e.g., sensors, actuators, OSs, PLCs
+//! management tools)"*. Each enum below is one **component class**; its
+//! variants are the alternatives an operator could deploy. Every variant
+//! carries an **attack-resilience score** in `[0, 1]`: the probability
+//! that a generic exploit step against that component class *fails* on
+//! this variant. Scores are synthetic (the paper itself derives them from
+//! attack history, honeypots *or sensitivity analysis* — we use the latter
+//! and sweep them in experiment R5).
+
+use crate::protocol::dialect::ProtocolDialect;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Operating system deployed on control/monitoring nodes.
+///
+/// Stuxnet's Windows zero-days motivate the spread of scores: the worm
+/// model's node-compromise stages are far more effective against the
+/// legacy-Windows monoculture than against hardened or non-Windows
+/// variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, PartialOrd, Ord)]
+pub enum OsVariant {
+    /// Legacy Windows workstation OS (the Stuxnet target environment).
+    WindowsLegacy,
+    /// Patched/modern Windows.
+    WindowsModern,
+    /// General-purpose Linux distribution.
+    Linux,
+    /// Hardened minimal RTOS build.
+    HardenedRtos,
+}
+
+impl OsVariant {
+    /// All variants, for catalogs and DoE factor levels.
+    pub const ALL: [OsVariant; 4] = [
+        OsVariant::WindowsLegacy,
+        OsVariant::WindowsModern,
+        OsVariant::Linux,
+        OsVariant::HardenedRtos,
+    ];
+
+    /// Attack-resilience score in `[0, 1]`.
+    #[must_use]
+    pub fn resilience(self) -> f64 {
+        match self {
+            OsVariant::WindowsLegacy => 0.10,
+            OsVariant::WindowsModern => 0.45,
+            OsVariant::Linux => 0.60,
+            OsVariant::HardenedRtos => 0.90,
+        }
+    }
+}
+
+/// PLC firmware family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, PartialOrd, Ord)]
+pub enum PlcFirmware {
+    /// The dominant vendor's stock firmware (Stuxnet's reprogramming
+    /// target).
+    VendorAStock,
+    /// The dominant vendor's firmware with signed-logic updates.
+    VendorASigned,
+    /// A second vendor's firmware (different toolchain, different bugs).
+    VendorB,
+    /// Formally verified safety-certified firmware.
+    Verified,
+}
+
+impl PlcFirmware {
+    /// All variants.
+    pub const ALL: [PlcFirmware; 4] = [
+        PlcFirmware::VendorAStock,
+        PlcFirmware::VendorASigned,
+        PlcFirmware::VendorB,
+        PlcFirmware::Verified,
+    ];
+
+    /// Attack-resilience score in `[0, 1]`.
+    #[must_use]
+    pub fn resilience(self) -> f64 {
+        match self {
+            PlcFirmware::VendorAStock => 0.05,
+            PlcFirmware::VendorASigned => 0.55,
+            PlcFirmware::VendorB => 0.50,
+            PlcFirmware::Verified => 0.95,
+        }
+    }
+}
+
+/// Perimeter / zone-boundary firewall policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, PartialOrd, Ord)]
+pub enum FirewallPolicy {
+    /// Flat network, permit-all (common brownfield reality).
+    Permissive,
+    /// Zone separation with service allow-lists.
+    Standard,
+    /// Unidirectional gateway / data diode toward the field network.
+    Strict,
+}
+
+impl FirewallPolicy {
+    /// All variants.
+    pub const ALL: [FirewallPolicy; 3] = [
+        FirewallPolicy::Permissive,
+        FirewallPolicy::Standard,
+        FirewallPolicy::Strict,
+    ];
+
+    /// Probability that a lateral-movement attempt across this boundary is
+    /// blocked.
+    #[must_use]
+    pub fn block_probability(self) -> f64 {
+        match self {
+            FirewallPolicy::Permissive => 0.02,
+            FirewallPolicy::Standard => 0.55,
+            FirewallPolicy::Strict => 0.92,
+        }
+    }
+}
+
+/// Field-sensor vendor/family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, PartialOrd, Ord)]
+pub enum SensorVendor {
+    /// Commodity sensor with no signal authentication.
+    Commodity,
+    /// Sensor with plausibility self-checks.
+    SelfChecking,
+    /// Authenticated sensor (signed measurements).
+    Authenticated,
+}
+
+impl SensorVendor {
+    /// All variants.
+    pub const ALL: [SensorVendor; 3] = [
+        SensorVendor::Commodity,
+        SensorVendor::SelfChecking,
+        SensorVendor::Authenticated,
+    ];
+
+    /// Probability that a spoofed measurement is detected per monitoring
+    /// interval.
+    #[must_use]
+    pub fn spoof_detection(self) -> f64 {
+        match self {
+            SensorVendor::Commodity => 0.01,
+            SensorVendor::SelfChecking => 0.25,
+            SensorVendor::Authenticated => 0.80,
+        }
+    }
+}
+
+/// Historian / HMI software stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, PartialOrd, Ord)]
+pub enum HistorianStack {
+    /// The dominant commercial SCADA suite (Stuxnet exploited its
+    /// hard-coded database credentials).
+    CommercialSuite,
+    /// An alternative commercial stack.
+    AlternativeSuite,
+    /// An open-source stack with anomaly detection plug-ins.
+    OpenTelemetry,
+}
+
+impl HistorianStack {
+    /// All variants.
+    pub const ALL: [HistorianStack; 3] = [
+        HistorianStack::CommercialSuite,
+        HistorianStack::AlternativeSuite,
+        HistorianStack::OpenTelemetry,
+    ];
+
+    /// Probability that anomalous control traffic is flagged per
+    /// monitoring interval.
+    #[must_use]
+    pub fn anomaly_detection(self) -> f64 {
+        match self {
+            HistorianStack::CommercialSuite => 0.05,
+            HistorianStack::AlternativeSuite => 0.15,
+            HistorianStack::OpenTelemetry => 0.40,
+        }
+    }
+}
+
+/// The component classes a diversity configuration can vary — the paper's
+/// experimental *factors*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, PartialOrd, Ord)]
+pub enum ComponentClass {
+    /// Node operating system.
+    OperatingSystem,
+    /// PLC firmware family.
+    PlcFirmware,
+    /// Fieldbus protocol dialect.
+    ProtocolDialect,
+    /// Zone-boundary firewall policy.
+    Firewall,
+    /// Field-sensor vendor.
+    Sensor,
+    /// Historian/HMI stack.
+    Historian,
+}
+
+impl ComponentClass {
+    /// All component classes, in canonical (DoE factor) order.
+    pub const ALL: [ComponentClass; 6] = [
+        ComponentClass::OperatingSystem,
+        ComponentClass::PlcFirmware,
+        ComponentClass::ProtocolDialect,
+        ComponentClass::Firewall,
+        ComponentClass::Sensor,
+        ComponentClass::Historian,
+    ];
+
+    /// Short display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ComponentClass::OperatingSystem => "OS",
+            ComponentClass::PlcFirmware => "PLC-FW",
+            ComponentClass::ProtocolDialect => "Protocol",
+            ComponentClass::Firewall => "Firewall",
+            ComponentClass::Sensor => "Sensor",
+            ComponentClass::Historian => "Historian",
+        }
+    }
+}
+
+impl fmt::Display for ComponentClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The full component configuration of one node — which variant of each
+/// relevant class it runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ComponentProfile {
+    /// Operating system of the node (for field devices: of its gateway).
+    pub os: OsVariant,
+    /// Firmware, for PLC nodes (ignored elsewhere but kept uniform so
+    /// profiles are comparable).
+    pub plc_firmware: PlcFirmware,
+    /// Fieldbus dialect spoken by the node.
+    pub dialect: ProtocolDialect,
+    /// Firewall policy enforced at the node's zone boundary.
+    pub firewall: FirewallPolicy,
+    /// Sensor vendor (for sensing nodes).
+    pub sensor: SensorVendor,
+    /// Historian stack (for historian/HMI nodes).
+    pub historian: HistorianStack,
+}
+
+impl Default for ComponentProfile {
+    /// The homogeneous "monoculture" baseline the paper argues against:
+    /// every node runs the most widespread — and weakest — variant.
+    fn default() -> Self {
+        ComponentProfile {
+            os: OsVariant::WindowsLegacy,
+            plc_firmware: PlcFirmware::VendorAStock,
+            dialect: ProtocolDialect::Classic,
+            firewall: FirewallPolicy::Permissive,
+            sensor: SensorVendor::Commodity,
+            historian: HistorianStack::CommercialSuite,
+        }
+    }
+}
+
+impl ComponentProfile {
+    /// The strongest variant of every class — the "fortress" corner used
+    /// as the +1 level in DoE screening.
+    #[must_use]
+    pub fn hardened() -> Self {
+        ComponentProfile {
+            os: OsVariant::HardenedRtos,
+            plc_firmware: PlcFirmware::Verified,
+            dialect: ProtocolDialect::Authenticated,
+            firewall: FirewallPolicy::Strict,
+            sensor: SensorVendor::Authenticated,
+            historian: HistorianStack::OpenTelemetry,
+        }
+    }
+
+    /// A combined resilience score: mean of the class scores, in `[0,1]`.
+    #[must_use]
+    pub fn resilience(&self) -> f64 {
+        (self.os.resilience()
+            + self.plc_firmware.resilience()
+            + self.dialect.resilience()
+            + self.firewall.block_probability()
+            + self.sensor.spoof_detection()
+            + self.historian.anomaly_detection())
+            / 6.0
+    }
+
+    /// How many of the six classes differ between two profiles — the
+    /// pairwise diversity distance.
+    #[must_use]
+    pub fn distance(&self, other: &ComponentProfile) -> u32 {
+        u32::from(self.os != other.os)
+            + u32::from(self.plc_firmware != other.plc_firmware)
+            + u32::from(self.dialect != other.dialect)
+            + u32::from(self.firewall != other.firewall)
+            + u32::from(self.sensor != other.sensor)
+            + u32::from(self.historian != other.historian)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resilience_scores_in_unit_interval() {
+        for v in OsVariant::ALL {
+            assert!((0.0..=1.0).contains(&v.resilience()));
+        }
+        for v in PlcFirmware::ALL {
+            assert!((0.0..=1.0).contains(&v.resilience()));
+        }
+        for v in FirewallPolicy::ALL {
+            assert!((0.0..=1.0).contains(&v.block_probability()));
+        }
+        for v in SensorVendor::ALL {
+            assert!((0.0..=1.0).contains(&v.spoof_detection()));
+        }
+        for v in HistorianStack::ALL {
+            assert!((0.0..=1.0).contains(&v.anomaly_detection()));
+        }
+    }
+
+    #[test]
+    fn hardened_variants_beat_defaults() {
+        let weak = ComponentProfile::default();
+        let strong = ComponentProfile::hardened();
+        assert!(strong.resilience() > weak.resilience() + 0.3);
+    }
+
+    #[test]
+    fn monoculture_baseline_is_weakest_os() {
+        let base = ComponentProfile::default();
+        assert_eq!(base.os, OsVariant::WindowsLegacy);
+        for v in OsVariant::ALL {
+            assert!(v.resilience() >= base.os.resilience());
+        }
+    }
+
+    #[test]
+    fn distance_counts_differing_classes() {
+        let a = ComponentProfile::default();
+        assert_eq!(a.distance(&a), 0);
+        let mut b = a;
+        b.os = OsVariant::Linux;
+        assert_eq!(a.distance(&b), 1);
+        let h = ComponentProfile::hardened();
+        assert_eq!(a.distance(&h), 6);
+    }
+
+    #[test]
+    fn class_labels_unique() {
+        let labels: std::collections::HashSet<&str> =
+            ComponentClass::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), ComponentClass::ALL.len());
+    }
+
+    #[test]
+    fn profiles_serialize_round_trip() {
+        let p = ComponentProfile::hardened();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: ComponentProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,327 @@
+//! Field devices: sensors and actuators.
+//!
+//! Devices bridge the physical plant model ([`crate::physics`]) and the
+//! control system: sensors quantize plant variables into PLC input
+//! registers; actuators turn PLC commands into plant inputs. Each device
+//! carries an operational state so attacks can impair or spoof it.
+
+use crate::components::SensorVendor;
+use diversify_des::RngStream;
+use serde::{Deserialize, Serialize};
+
+/// Operational condition of a field device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum DeviceState {
+    /// Operating normally.
+    #[default]
+    Nominal,
+    /// Degraded: readings are noisy / actuation is sluggish.
+    Degraded,
+    /// Compromised: under attacker control (readings may be spoofed).
+    Compromised,
+    /// Physically destroyed (the device-impairment attack goal).
+    Destroyed,
+}
+
+/// The physical quantity a sensor measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MeasuredQuantity {
+    /// Air or water temperature, °C.
+    Temperature,
+    /// Coolant flow, m³/h.
+    Flow,
+    /// Loop pressure, bar.
+    Pressure,
+}
+
+/// A process sensor.
+///
+/// Readings are quantized to tenths (matching the PLC register convention)
+/// and carry vendor-dependent Gaussian noise. A compromised sensor returns
+/// the attacker-supplied spoof value instead of the plant value — the
+/// "emulating regular monitoring signals" behaviour of Stuxnet.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sensor {
+    /// Vendor/family (drives spoof-detection probability).
+    pub vendor: SensorVendor,
+    /// What the sensor measures.
+    pub quantity: MeasuredQuantity,
+    /// Operational state.
+    pub state: DeviceState,
+    /// Noise standard deviation in engineering units.
+    pub noise_sd: f64,
+    /// Spoof value injected when compromised (engineering units).
+    pub spoof_value: Option<f64>,
+    last_reading: f64,
+}
+
+impl Sensor {
+    /// Creates a nominal sensor.
+    #[must_use]
+    pub fn new(vendor: SensorVendor, quantity: MeasuredQuantity, noise_sd: f64) -> Self {
+        Sensor {
+            vendor,
+            quantity,
+            state: DeviceState::Nominal,
+            noise_sd,
+            spoof_value: None,
+            last_reading: 0.0,
+        }
+    }
+
+    /// Samples a reading of `true_value`, applying state-dependent
+    /// behaviour, and returns it in engineering units.
+    pub fn read(&mut self, true_value: f64, rng: &mut RngStream) -> f64 {
+        let value = match self.state {
+            DeviceState::Nominal => true_value + rng.normal(0.0, self.noise_sd),
+            DeviceState::Degraded => true_value + rng.normal(0.0, self.noise_sd * 5.0),
+            DeviceState::Compromised => self.spoof_value.unwrap_or(true_value),
+            DeviceState::Destroyed => 0.0,
+        };
+        self.last_reading = value;
+        value
+    }
+
+    /// The most recent reading.
+    #[must_use]
+    pub fn last_reading(&self) -> f64 {
+        self.last_reading
+    }
+
+    /// Converts an engineering-unit reading to the PLC register encoding
+    /// (tenths, clamped to `u16`).
+    #[must_use]
+    pub fn to_register(value: f64) -> u16 {
+        (value * 10.0).round().clamp(0.0, f64::from(u16::MAX)) as u16
+    }
+
+    /// Marks the sensor compromised with a spoofed value.
+    pub fn compromise(&mut self, spoof_value: f64) {
+        self.state = DeviceState::Compromised;
+        self.spoof_value = Some(spoof_value);
+    }
+}
+
+/// The kind of actuator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ActuatorKind {
+    /// CRAC fan: command 0..=100 % drives airflow.
+    Fan,
+    /// Chilled-water valve: command 0..=100 % opening.
+    Valve,
+    /// Coolant pump: command 0..=100 % speed.
+    Pump,
+}
+
+/// An actuator with first-order response dynamics and wear accumulation.
+///
+/// The *device impairment* stage of a Stuxnet-like attack destroys
+/// equipment by cycling it outside its safe envelope; the wear model makes
+/// that concrete: commanding a slew faster than `safe_slew` accumulates
+/// damage, and past `wear_limit` the device fails permanently.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Actuator {
+    /// Actuator kind.
+    pub kind: ActuatorKind,
+    /// Operational state.
+    pub state: DeviceState,
+    /// Current physical position/speed, 0..=100 (%).
+    position: f64,
+    /// First-order time constant, seconds.
+    pub tau: f64,
+    /// Highest commanded slew (%/s) that causes no wear.
+    pub safe_slew: f64,
+    /// Accumulated wear in arbitrary units.
+    wear: f64,
+    /// Wear at which the device is destroyed.
+    pub wear_limit: f64,
+}
+
+impl Actuator {
+    /// Creates a nominal actuator at position 0.
+    #[must_use]
+    pub fn new(kind: ActuatorKind, tau: f64, safe_slew: f64, wear_limit: f64) -> Self {
+        Actuator {
+            kind,
+            state: DeviceState::Nominal,
+            position: 0.0,
+            tau,
+            safe_slew,
+            wear: 0.0,
+            wear_limit,
+        }
+    }
+
+    /// Current physical position (0..=100).
+    #[must_use]
+    pub fn position(&self) -> f64 {
+        self.position
+    }
+
+    /// Accumulated wear.
+    #[must_use]
+    pub fn wear(&self) -> f64 {
+        self.wear
+    }
+
+    /// Advances the actuator by `dt` seconds toward `command` (0..=100).
+    ///
+    /// Returns the new position. A destroyed actuator stays at zero.
+    pub fn step(&mut self, command: f64, dt: f64) -> f64 {
+        if self.state == DeviceState::Destroyed {
+            self.position = 0.0;
+            return 0.0;
+        }
+        let command = command.clamp(0.0, 100.0);
+        let tau = match self.state {
+            DeviceState::Degraded => self.tau * 3.0,
+            _ => self.tau,
+        };
+        let previous = self.position;
+        // First-order lag: dx/dt = (u - x)/τ.
+        let alpha = if tau > 0.0 {
+            1.0 - (-dt / tau).exp()
+        } else {
+            1.0
+        };
+        self.position += alpha * (command - self.position);
+        // Wear accrues when the realized slew exceeds the safe envelope.
+        let slew = ((self.position - previous) / dt.max(1e-9)).abs();
+        if slew > self.safe_slew {
+            self.wear += (slew - self.safe_slew) * dt;
+            if self.wear >= self.wear_limit {
+                self.state = DeviceState::Destroyed;
+                self.position = 0.0;
+            }
+        }
+        self.position
+    }
+
+    /// Whether the actuator has been destroyed.
+    #[must_use]
+    pub fn is_destroyed(&self) -> bool {
+        self.state == DeviceState::Destroyed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diversify_des::StreamId;
+
+    fn rng() -> RngStream {
+        RngStream::new(3, StreamId(0))
+    }
+
+    #[test]
+    fn nominal_sensor_tracks_truth() {
+        let mut s = Sensor::new(SensorVendor::Commodity, MeasuredQuantity::Temperature, 0.1);
+        let mut r = rng();
+        let n = 2000;
+        let mean: f64 = (0..n).map(|_| s.read(25.0, &mut r)).sum::<f64>() / f64::from(n);
+        assert!((mean - 25.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn degraded_sensor_is_noisier() {
+        let mut nominal = Sensor::new(SensorVendor::Commodity, MeasuredQuantity::Flow, 0.5);
+        let mut degraded = nominal.clone();
+        degraded.state = DeviceState::Degraded;
+        let mut r1 = rng();
+        let mut r2 = rng();
+        let sd = |s: &mut Sensor, r: &mut RngStream| {
+            let xs: Vec<f64> = (0..2000).map(|_| s.read(10.0, r)).collect();
+            let m = xs.iter().sum::<f64>() / xs.len() as f64;
+            (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+        };
+        let sd_nom = sd(&mut nominal, &mut r1);
+        let sd_deg = sd(&mut degraded, &mut r2);
+        assert!(sd_deg > 3.0 * sd_nom, "nominal {sd_nom} degraded {sd_deg}");
+    }
+
+    #[test]
+    fn compromised_sensor_returns_spoof() {
+        let mut s = Sensor::new(
+            SensorVendor::Authenticated,
+            MeasuredQuantity::Temperature,
+            0.1,
+        );
+        s.compromise(22.0);
+        let mut r = rng();
+        // Plant is at 90 °C but the sensor reports the spoofed 22 °C.
+        assert_eq!(s.read(90.0, &mut r), 22.0);
+        assert_eq!(s.last_reading(), 22.0);
+    }
+
+    #[test]
+    fn destroyed_sensor_reads_zero() {
+        let mut s = Sensor::new(SensorVendor::Commodity, MeasuredQuantity::Pressure, 0.1);
+        s.state = DeviceState::Destroyed;
+        assert_eq!(s.read(5.0, &mut rng()), 0.0);
+    }
+
+    #[test]
+    fn register_encoding() {
+        assert_eq!(Sensor::to_register(25.04), 250);
+        assert_eq!(Sensor::to_register(25.06), 251);
+        assert_eq!(Sensor::to_register(-4.0), 0);
+        assert_eq!(Sensor::to_register(1e9), u16::MAX);
+    }
+
+    #[test]
+    fn actuator_first_order_response() {
+        let mut a = Actuator::new(ActuatorKind::Fan, 10.0, 1e9, 1e9);
+        // Step command 100, after one time constant ≈ 63.2 %.
+        let mut t = 0.0;
+        while t < 10.0 {
+            a.step(100.0, 0.1);
+            t += 0.1;
+        }
+        assert!((a.position() - 63.2).abs() < 1.0, "pos {}", a.position());
+        // After 5 τ ≈ 99 %.
+        while t < 50.0 {
+            a.step(100.0, 0.1);
+            t += 0.1;
+        }
+        assert!(a.position() > 99.0);
+    }
+
+    #[test]
+    fn gentle_commands_cause_no_wear() {
+        let mut a = Actuator::new(ActuatorKind::Pump, 20.0, 50.0, 10.0);
+        for _ in 0..1000 {
+            a.step(60.0, 1.0);
+        }
+        assert_eq!(a.wear(), 0.0);
+        assert!(!a.is_destroyed());
+    }
+
+    #[test]
+    fn violent_cycling_destroys_actuator() {
+        // Tiny time constant → near-instant slews far above safe_slew.
+        let mut a = Actuator::new(ActuatorKind::Fan, 0.01, 5.0, 50.0);
+        let mut cycles = 0;
+        for i in 0..10_000 {
+            let cmd = if i % 2 == 0 { 100.0 } else { 0.0 };
+            a.step(cmd, 1.0);
+            cycles += 1;
+            if a.is_destroyed() {
+                break;
+            }
+        }
+        assert!(a.is_destroyed(), "survived {cycles} violent cycles");
+        assert_eq!(a.position(), 0.0);
+    }
+
+    #[test]
+    fn degraded_actuator_is_slower() {
+        let mut nominal = Actuator::new(ActuatorKind::Valve, 10.0, 1e9, 1e9);
+        let mut degraded = Actuator::new(ActuatorKind::Valve, 10.0, 1e9, 1e9);
+        degraded.state = DeviceState::Degraded;
+        for _ in 0..100 {
+            nominal.step(100.0, 0.1);
+            degraded.step(100.0, 0.1);
+        }
+        assert!(nominal.position() > degraded.position() + 20.0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type for the SCADA substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by protocol codecs, PLC execution and system assembly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScadaError {
+    /// A frame was too short or structurally malformed.
+    MalformedFrame {
+        /// What was wrong.
+        what: &'static str,
+    },
+    /// A frame checksum / authentication tag did not verify.
+    IntegrityFailure,
+    /// A frame used a function code the decoder does not understand.
+    UnknownFunction {
+        /// The raw function code byte.
+        code: u8,
+    },
+    /// A frame was encoded in a different protocol dialect.
+    DialectMismatch,
+    /// A register or coil address was out of the device's address space.
+    AddressOutOfRange {
+        /// The offending address.
+        address: u16,
+    },
+    /// A PLC program exceeded its per-scan instruction budget.
+    ScanBudgetExceeded,
+    /// A PLC program referenced an invalid register.
+    BadProgram {
+        /// Description of the defect.
+        what: &'static str,
+    },
+    /// System assembly referenced an unknown node.
+    UnknownNode {
+        /// The node index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for ScadaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScadaError::MalformedFrame { what } => write!(f, "malformed frame: {what}"),
+            ScadaError::IntegrityFailure => write!(f, "frame integrity check failed"),
+            ScadaError::UnknownFunction { code } => {
+                write!(f, "unknown function code 0x{code:02x}")
+            }
+            ScadaError::DialectMismatch => write!(f, "frame encoded in a different dialect"),
+            ScadaError::AddressOutOfRange { address } => {
+                write!(f, "address {address} out of range")
+            }
+            ScadaError::ScanBudgetExceeded => write!(f, "plc scan instruction budget exceeded"),
+            ScadaError::BadProgram { what } => write!(f, "bad plc program: {what}"),
+            ScadaError::UnknownNode { index } => write!(f, "unknown node index {index}"),
+        }
+    }
+}
+
+impl Error for ScadaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_display() {
+        let errs = [
+            ScadaError::MalformedFrame { what: "short" },
+            ScadaError::IntegrityFailure,
+            ScadaError::UnknownFunction { code: 0x99 },
+            ScadaError::DialectMismatch,
+            ScadaError::AddressOutOfRange { address: 9999 },
+            ScadaError::ScanBudgetExceeded,
+            ScadaError::BadProgram { what: "nope" },
+            ScadaError::UnknownNode { index: 4 },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_bounds() {
+        fn check<E: Error + Send + Sync + 'static>() {}
+        check::<ScadaError>();
+    }
+}

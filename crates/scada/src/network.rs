@@ -1,0 +1,407 @@
+//! The plant network: nodes, zones, links, firewall rules and the graph
+//! analyses used by attack propagation and strategic diversity placement.
+
+use crate::components::ComponentProfile;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashSet, VecDeque};
+use std::fmt;
+
+/// Identifies a node within one [`ScadaNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The underlying index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Identifies a link within one [`ScadaNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LinkId(pub(crate) usize);
+
+/// ISA-95-style security zones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, PartialOrd, Ord)]
+pub enum Zone {
+    /// Office IT / corporate network (level 4).
+    Corporate,
+    /// Supervisory control: HMI, historian, engineering (level 2-3).
+    ControlCenter,
+    /// Field network: PLCs, RTUs, devices (level 0-1).
+    Field,
+}
+
+impl Zone {
+    /// All zones, outermost first.
+    pub const ALL: [Zone; 3] = [Zone::Corporate, Zone::ControlCenter, Zone::Field];
+}
+
+/// The functional role of a network node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeRole {
+    /// Office workstation (initial infection vector, e.g. via USB).
+    OfficeWorkstation,
+    /// Operator HMI.
+    Hmi,
+    /// Process historian / database server.
+    Historian,
+    /// Engineering workstation holding PLC project files.
+    EngineeringWorkstation,
+    /// Programmable logic controller.
+    Plc,
+    /// Field gateway / protocol converter.
+    FieldGateway,
+}
+
+impl NodeRole {
+    /// Whether this role can host the initial infection (removable media,
+    /// email, etc. — Stuxnet's entry vectors live in office space).
+    #[must_use]
+    pub fn is_entry_point(self) -> bool {
+        matches!(self, NodeRole::OfficeWorkstation | NodeRole::EngineeringWorkstation)
+    }
+}
+
+/// One node of the plant network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkNode {
+    /// Display name.
+    pub name: String,
+    /// Functional role.
+    pub role: NodeRole,
+    /// Security zone.
+    pub zone: Zone,
+    /// Deployed component variants (the diversity configuration acts
+    /// here).
+    pub profile: ComponentProfile,
+}
+
+/// An undirected communication link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Link {
+    /// One endpoint.
+    pub a: NodeId,
+    /// Other endpoint.
+    pub b: NodeId,
+}
+
+/// The plant network graph.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ScadaNetwork {
+    nodes: Vec<NetworkNode>,
+    links: Vec<Link>,
+    adjacency: Vec<Vec<NodeId>>,
+}
+
+impl ScadaNetwork {
+    /// Creates an empty network.
+    #[must_use]
+    pub fn new() -> Self {
+        ScadaNetwork::default()
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(
+        &mut self,
+        name: impl Into<String>,
+        role: NodeRole,
+        zone: Zone,
+        profile: ComponentProfile,
+    ) -> NodeId {
+        self.nodes.push(NetworkNode {
+            name: name.into(),
+            role,
+            zone,
+            profile,
+        });
+        self.adjacency.push(Vec::new());
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Connects two nodes with an undirected link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range or the link is a self-loop.
+    pub fn connect(&mut self, a: NodeId, b: NodeId) -> LinkId {
+        assert!(a.0 < self.nodes.len() && b.0 < self.nodes.len(), "bad node id");
+        assert_ne!(a, b, "self-loops are not allowed");
+        self.links.push(Link { a, b });
+        self.adjacency[a.0].push(b);
+        self.adjacency[b.0].push(a);
+        LinkId(self.links.len() - 1)
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of links.
+    #[must_use]
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &NetworkNode {
+        &self.nodes[id.0]
+    }
+
+    /// Mutable access to a node (used by diversity placement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut NetworkNode {
+        &mut self.nodes[id.0]
+    }
+
+    /// Iterates over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// Ids of nodes with a given role.
+    #[must_use]
+    pub fn nodes_with_role(&self, role: NodeRole) -> Vec<NodeId> {
+        self.node_ids()
+            .filter(|&id| self.node(id).role == role)
+            .collect()
+    }
+
+    /// Ids of nodes in a given zone.
+    #[must_use]
+    pub fn nodes_in_zone(&self, zone: Zone) -> Vec<NodeId> {
+        self.node_ids()
+            .filter(|&id| self.node(id).zone == zone)
+            .collect()
+    }
+
+    /// Neighbors of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn neighbors(&self, id: NodeId) -> &[NodeId] {
+        &self.adjacency[id.0]
+    }
+
+    /// Whether a hop from `from` to `to` crosses a zone boundary (and is
+    /// therefore subject to the target's firewall policy).
+    #[must_use]
+    pub fn crosses_zone(&self, from: NodeId, to: NodeId) -> bool {
+        self.node(from).zone != self.node(to).zone
+    }
+
+    /// Nodes reachable from `start` (ignoring firewalls) — basic
+    /// connectivity.
+    #[must_use]
+    pub fn reachable(&self, start: NodeId) -> HashSet<NodeId> {
+        let mut seen = HashSet::from([start]);
+        let mut queue = VecDeque::from([start]);
+        while let Some(n) = queue.pop_front() {
+            for &next in self.neighbors(n) {
+                if seen.insert(next) {
+                    queue.push_back(next);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Betweenness-like centrality: for every node, the number of
+    /// shortest-path trees (one BFS per source) in which it appears as an
+    /// interior vertex. Cheap (O(V·E)) and sufficient to rank choke
+    /// points for *strategic* diversity placement.
+    #[must_use]
+    pub fn centrality(&self) -> Vec<(NodeId, f64)> {
+        let n = self.nodes.len();
+        let mut score = vec![0.0f64; n];
+        for src in 0..n {
+            // BFS parents.
+            let mut dist = vec![usize::MAX; n];
+            let mut parent = vec![None; n];
+            dist[src] = 0;
+            let mut q = VecDeque::from([src]);
+            while let Some(u) = q.pop_front() {
+                for &NodeId(v) in &self.adjacency[u] {
+                    if dist[v] == usize::MAX {
+                        dist[v] = dist[u] + 1;
+                        parent[v] = Some(u);
+                        q.push_back(v);
+                    }
+                }
+            }
+            // Walk each destination's path and credit interior vertices.
+            for dst in 0..n {
+                if dst == src || dist[dst] == usize::MAX {
+                    continue;
+                }
+                let mut cur = parent[dst];
+                while let Some(p) = cur {
+                    if p != src {
+                        score[p] += 1.0;
+                    }
+                    cur = parent[p];
+                }
+            }
+        }
+        let mut out: Vec<(NodeId, f64)> =
+            (0..n).map(|i| (NodeId(i), score[i])).collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scores are finite"));
+        out
+    }
+
+    /// Shortest hop distance between two nodes, if connected.
+    #[must_use]
+    pub fn hop_distance(&self, from: NodeId, to: NodeId) -> Option<usize> {
+        if from == to {
+            return Some(0);
+        }
+        let mut dist = vec![usize::MAX; self.nodes.len()];
+        dist[from.0] = 0;
+        let mut q = VecDeque::from([from]);
+        while let Some(u) = q.pop_front() {
+            for &v in self.neighbors(u) {
+                if dist[v.0] == usize::MAX {
+                    dist[v.0] = dist[u.0] + 1;
+                    if v == to {
+                        return Some(dist[v.0]);
+                    }
+                    q.push_back(v);
+                }
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Display for ScadaNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "network: {} nodes, {} links",
+            self.node_count(),
+            self.link_count()
+        )?;
+        for id in self.node_ids() {
+            let n = self.node(id);
+            writeln!(f, "  [{:>3}] {:<24} {:?} / {:?}", id.0, n.name, n.role, n.zone)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> ComponentProfile {
+        ComponentProfile::default()
+    }
+
+    /// corp — hmi — plc1, plc2 (star around hmi).
+    fn small_net() -> (ScadaNetwork, NodeId, NodeId, NodeId, NodeId) {
+        let mut net = ScadaNetwork::new();
+        let corp = net.add_node("corp", NodeRole::OfficeWorkstation, Zone::Corporate, profile());
+        let hmi = net.add_node("hmi", NodeRole::Hmi, Zone::ControlCenter, profile());
+        let plc1 = net.add_node("plc1", NodeRole::Plc, Zone::Field, profile());
+        let plc2 = net.add_node("plc2", NodeRole::Plc, Zone::Field, profile());
+        net.connect(corp, hmi);
+        net.connect(hmi, plc1);
+        net.connect(hmi, plc2);
+        (net, corp, hmi, plc1, plc2)
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let (net, corp, hmi, plc1, _) = small_net();
+        assert_eq!(net.node_count(), 4);
+        assert_eq!(net.link_count(), 3);
+        assert_eq!(net.node(corp).name, "corp");
+        assert_eq!(net.nodes_with_role(NodeRole::Plc).len(), 2);
+        assert_eq!(net.nodes_in_zone(Zone::ControlCenter), vec![hmi]);
+        assert_eq!(net.neighbors(hmi).len(), 3);
+        assert!(net.crosses_zone(corp, hmi));
+        assert!(!net.crosses_zone(plc1, plc1));
+    }
+
+    #[test]
+    fn reachability_spans_connected_graph() {
+        let (net, corp, ..) = small_net();
+        assert_eq!(net.reachable(corp).len(), 4);
+    }
+
+    #[test]
+    fn disconnected_node_unreachable() {
+        let (mut net, corp, ..) = small_net();
+        let island = net.add_node("island", NodeRole::Plc, Zone::Field, profile());
+        assert!(!net.reachable(corp).contains(&island));
+        assert_eq!(net.hop_distance(corp, island), None);
+    }
+
+    #[test]
+    fn hop_distances() {
+        let (net, corp, hmi, plc1, plc2) = small_net();
+        assert_eq!(net.hop_distance(corp, corp), Some(0));
+        assert_eq!(net.hop_distance(corp, hmi), Some(1));
+        assert_eq!(net.hop_distance(corp, plc1), Some(2));
+        assert_eq!(net.hop_distance(plc1, plc2), Some(2));
+    }
+
+    #[test]
+    fn centrality_ranks_choke_point_first() {
+        let (net, _, hmi, ..) = small_net();
+        let ranking = net.centrality();
+        assert_eq!(ranking[0].0, hmi, "hub should be most central");
+        assert!(ranking[0].1 > 0.0);
+    }
+
+    #[test]
+    fn centrality_zero_for_leaves() {
+        let (net, corp, ..) = small_net();
+        let ranking = net.centrality();
+        let corp_score = ranking.iter().find(|(id, _)| *id == corp).unwrap().1;
+        assert_eq!(corp_score, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        let (mut net, corp, ..) = small_net();
+        net.connect(corp, corp);
+    }
+
+    #[test]
+    fn entry_point_roles() {
+        assert!(NodeRole::OfficeWorkstation.is_entry_point());
+        assert!(NodeRole::EngineeringWorkstation.is_entry_point());
+        assert!(!NodeRole::Plc.is_entry_point());
+        assert!(!NodeRole::Historian.is_entry_point());
+    }
+
+    #[test]
+    fn display_lists_nodes() {
+        let (net, ..) = small_net();
+        let s = net.to_string();
+        assert!(s.contains("4 nodes"));
+        assert!(s.contains("plc1"));
+    }
+
+    #[test]
+    fn node_mut_updates_profile() {
+        let (mut net, corp, ..) = small_net();
+        net.node_mut(corp).profile = ComponentProfile::hardened();
+        assert!(net.node(corp).profile.resilience() > 0.5);
+    }
+}

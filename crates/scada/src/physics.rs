@@ -1,0 +1,370 @@
+//! Thermal model of a data-center cooling plant.
+//!
+//! A lumped-parameter explicit-Euler model, deliberately simple but with
+//! the causal structure that matters for attack experiments:
+//!
+//! ```text
+//!  IT load (kW) ──► rack air temperature ──► room temperature
+//!                        ▲                        │
+//!                        │ cooling                │
+//!  CRAC fans ◄── PLC ◄── sensors ◄────────────────┘
+//!      │
+//!  chilled-water loop (chiller + pump)
+//! ```
+//!
+//! Disabling CRAC fans (the sabotage payload) makes rack temperatures
+//! climb toward the adiabatic limit; the *device impairment* attack goal
+//! corresponds to racks exceeding their thermal trip point.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one server rack (a lumped thermal mass).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RackParams {
+    /// IT heat load, kW.
+    pub heat_load_kw: f64,
+    /// Thermal capacitance, kJ/°C.
+    pub capacitance: f64,
+    /// Temperature above which the rack trips / hardware is damaged, °C.
+    pub trip_temperature: f64,
+}
+
+impl Default for RackParams {
+    fn default() -> Self {
+        RackParams {
+            heat_load_kw: 12.0,
+            capacitance: 400.0,
+            trip_temperature: 45.0,
+        }
+    }
+}
+
+/// Parameters of one CRAC (computer-room air conditioner) unit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CracParams {
+    /// Cooling capacity at 100 % fan and nominal chilled-water supply, kW.
+    pub capacity_kw: f64,
+    /// Chilled-water supply temperature, °C.
+    pub water_supply_temp: f64,
+}
+
+impl Default for CracParams {
+    fn default() -> Self {
+        CracParams {
+            capacity_kw: 35.0,
+            water_supply_temp: 7.0,
+        }
+    }
+}
+
+/// State of one rack.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RackState {
+    /// Rack outlet air temperature, °C.
+    pub temperature: f64,
+    /// Whether the rack has exceeded its trip temperature at any point.
+    pub tripped: bool,
+}
+
+/// The cooling plant: `n` racks cooled by `m` CRAC units through a shared
+/// room-air node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoolingPlant {
+    rack_params: Vec<RackParams>,
+    crac_params: Vec<CracParams>,
+    racks: Vec<RackState>,
+    /// Shared room air temperature, °C.
+    room_temperature: f64,
+    /// Outside ambient temperature, °C.
+    pub ambient: f64,
+    /// Per-CRAC fan fraction (0..=1) applied by actuators each step.
+    fan_fractions: Vec<f64>,
+    /// Chilled-water availability 0..=1 (pump/chiller health).
+    pub water_availability: f64,
+    elapsed: f64,
+}
+
+impl CoolingPlant {
+    /// Creates a plant with the given rack and CRAC parameter sets,
+    /// starting in a comfortable equilibrium-ish state (all temperatures
+    /// at 24 °C).
+    #[must_use]
+    pub fn new(rack_params: Vec<RackParams>, crac_params: Vec<CracParams>) -> Self {
+        let racks = vec![
+            RackState {
+                temperature: 24.0,
+                tripped: false,
+            };
+            rack_params.len()
+        ];
+        let n_crac = crac_params.len();
+        CoolingPlant {
+            rack_params,
+            crac_params,
+            racks,
+            room_temperature: 24.0,
+            ambient: 30.0,
+            fan_fractions: vec![0.5; n_crac],
+            water_availability: 1.0,
+            elapsed: 0.0,
+        }
+    }
+
+    /// Number of racks.
+    #[must_use]
+    pub fn rack_count(&self) -> usize {
+        self.racks.len()
+    }
+
+    /// Number of CRAC units.
+    #[must_use]
+    pub fn crac_count(&self) -> usize {
+        self.crac_params.len()
+    }
+
+    /// Current temperature of rack `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn rack_temperature(&self, i: usize) -> f64 {
+        self.racks[i].temperature
+    }
+
+    /// Highest rack temperature.
+    #[must_use]
+    pub fn max_rack_temperature(&self) -> f64 {
+        self.racks
+            .iter()
+            .map(|r| r.temperature)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Room air temperature.
+    #[must_use]
+    pub fn room_temperature(&self) -> f64 {
+        self.room_temperature
+    }
+
+    /// Whether rack `i` has ever tripped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn rack_tripped(&self, i: usize) -> bool {
+        self.racks[i].tripped
+    }
+
+    /// Number of tripped racks.
+    #[must_use]
+    pub fn tripped_count(&self) -> usize {
+        self.racks.iter().filter(|r| r.tripped).count()
+    }
+
+    /// Sets the fan fraction (0..=1) of CRAC `i` — called by the actuator
+    /// layer each control period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set_fan_fraction(&mut self, i: usize, fraction: f64) {
+        self.fan_fractions[i] = fraction.clamp(0.0, 1.0);
+    }
+
+    /// The current fan fraction of CRAC `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn fan_fraction(&self, i: usize) -> f64 {
+        self.fan_fractions[i]
+    }
+
+    /// Total plant heat load, kW.
+    #[must_use]
+    pub fn total_heat_load(&self) -> f64 {
+        self.rack_params.iter().map(|r| r.heat_load_kw).sum()
+    }
+
+    /// Total cooling power currently delivered, kW.
+    #[must_use]
+    pub fn cooling_power(&self) -> f64 {
+        self.crac_params
+            .iter()
+            .zip(&self.fan_fractions)
+            .map(|(c, &f)| {
+                // Capacity derates as room air approaches the water supply
+                // temperature (no approach → no heat transfer).
+                let approach = (self.room_temperature - c.water_supply_temp).max(0.0);
+                let derate = (approach / 17.0).min(1.0); // nominal approach 17 °C
+                c.capacity_kw * f * derate * self.water_availability
+            })
+            .sum()
+    }
+
+    /// Simulated time elapsed, seconds.
+    #[must_use]
+    pub fn elapsed(&self) -> f64 {
+        self.elapsed
+    }
+
+    /// Advances the plant by `dt` seconds (explicit Euler).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not strictly positive.
+    pub fn step(&mut self, dt: f64) {
+        assert!(dt > 0.0, "dt must be positive");
+        let cooling = self.cooling_power();
+        let heat = self.total_heat_load();
+        // Room air: heated by racks (via coupling), cooled by CRACs, leaks
+        // toward ambient.
+        let room_capacitance = 800.0; // kJ/°C
+        let rack_coupling = 0.8; // kW/°C per rack
+        let leak = 0.15; // kW/°C to ambient
+        let mut room_flux = -cooling + leak * (self.ambient - self.room_temperature);
+        for (rack, params) in self.racks.iter_mut().zip(&self.rack_params) {
+            // Rack: heated by IT load, cooled toward room air.
+            let to_room = rack_coupling * (rack.temperature - self.room_temperature);
+            let d_rack = (params.heat_load_kw - to_room) / params.capacitance;
+            rack.temperature += d_rack * dt;
+            room_flux += to_room;
+            if rack.temperature >= params.trip_temperature {
+                rack.tripped = true;
+            }
+        }
+        // Avoid double counting: the IT heat reaches the room through the
+        // rack coupling; `heat` is used only for the energy-balance
+        // assertion below.
+        debug_assert!(heat >= 0.0);
+        self.room_temperature += room_flux / room_capacitance * dt;
+        self.elapsed += dt;
+    }
+
+    /// Runs the plant for `duration` seconds with a fixed internal step.
+    pub fn run_for(&mut self, duration: f64, dt: f64) {
+        let mut t = 0.0;
+        while t < duration {
+            let step = dt.min(duration - t);
+            self.step(step.max(1e-6));
+            t += step;
+        }
+    }
+}
+
+/// Builds a plant with `racks` identical racks and `cracs` identical CRAC
+/// units using default parameters.
+#[must_use]
+pub fn uniform_plant(racks: usize, cracs: usize) -> CoolingPlant {
+    CoolingPlant::new(
+        vec![RackParams::default(); racks],
+        vec![CracParams::default(); cracs],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plant_reaches_safe_equilibrium_with_cooling() {
+        let mut p = uniform_plant(4, 2);
+        // 4 × 12 kW = 48 kW load; 2 × 35 kW capacity at full fan covers it.
+        for i in 0..p.crac_count() {
+            p.set_fan_fraction(i, 1.0);
+        }
+        p.run_for(4.0 * 3600.0, 1.0);
+        assert!(
+            p.max_rack_temperature() < 45.0,
+            "max temp {}",
+            p.max_rack_temperature()
+        );
+        assert_eq!(p.tripped_count(), 0);
+    }
+
+    #[test]
+    fn fans_off_overheats_racks() {
+        let mut p = uniform_plant(4, 2);
+        for i in 0..p.crac_count() {
+            p.set_fan_fraction(i, 0.0);
+        }
+        p.run_for(4.0 * 3600.0, 1.0);
+        assert!(
+            p.max_rack_temperature() > 45.0,
+            "max temp {}",
+            p.max_rack_temperature()
+        );
+        assert_eq!(p.tripped_count(), 4, "all racks trip without cooling");
+    }
+
+    #[test]
+    fn water_loss_degrades_cooling() {
+        let mut with_water = uniform_plant(4, 2);
+        let mut without = uniform_plant(4, 2);
+        for i in 0..2 {
+            with_water.set_fan_fraction(i, 1.0);
+            without.set_fan_fraction(i, 1.0);
+        }
+        without.water_availability = 0.0;
+        with_water.run_for(3600.0, 1.0);
+        without.run_for(3600.0, 1.0);
+        assert!(without.max_rack_temperature() > with_water.max_rack_temperature() + 3.0);
+    }
+
+    #[test]
+    fn trip_latches() {
+        let mut p = uniform_plant(1, 1);
+        p.set_fan_fraction(0, 0.0);
+        p.run_for(6.0 * 3600.0, 1.0);
+        assert!(p.rack_tripped(0));
+        // Restore cooling; trip stays latched.
+        p.set_fan_fraction(0, 1.0);
+        p.run_for(3600.0, 1.0);
+        assert!(p.rack_tripped(0));
+    }
+
+    #[test]
+    fn cooling_power_scales_with_fans() {
+        let mut p = uniform_plant(2, 2);
+        p.set_fan_fraction(0, 1.0);
+        p.set_fan_fraction(1, 1.0);
+        let full = p.cooling_power();
+        p.set_fan_fraction(0, 0.5);
+        p.set_fan_fraction(1, 0.5);
+        let half = p.cooling_power();
+        assert!((half - full / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accessors_consistent() {
+        let p = uniform_plant(3, 2);
+        assert_eq!(p.rack_count(), 3);
+        assert_eq!(p.crac_count(), 2);
+        assert_eq!(p.total_heat_load(), 36.0);
+        assert_eq!(p.rack_temperature(0), 24.0);
+        assert_eq!(p.room_temperature(), 24.0);
+        assert_eq!(p.elapsed(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dt_rejected() {
+        uniform_plant(1, 1).step(0.0);
+    }
+
+    #[test]
+    fn euler_is_stable_at_one_second_step() {
+        let mut p = uniform_plant(8, 4);
+        for i in 0..4 {
+            p.set_fan_fraction(i, 0.8);
+        }
+        p.run_for(24.0 * 3600.0, 1.0);
+        // No numerical explosion.
+        assert!(p.max_rack_temperature().is_finite());
+        assert!(p.max_rack_temperature() > 0.0);
+        assert!(p.max_rack_temperature() < 200.0);
+    }
+}

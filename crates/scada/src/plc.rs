@@ -1,0 +1,653 @@
+//! Programmable logic controllers.
+//!
+//! A [`Plc`] owns a register/coil process image, executes a small
+//! instruction-list control program once per scan cycle, and serves
+//! fieldbus requests against its image. The `DownloadLogic` function can
+//! replace the program at runtime — legitimate for engineering
+//! workstations, and exactly the path a Stuxnet-like payload abuses.
+
+use crate::components::PlcFirmware;
+use crate::error::ScadaError;
+use crate::protocol::frame::{ExceptionCode, FunctionCode, Request, Response};
+use serde::{Deserialize, Serialize};
+
+/// Size of each register bank.
+pub const REGISTER_SPACE: u16 = 1024;
+/// Size of the coil bank.
+pub const COIL_SPACE: u16 = 256;
+/// Instructions allowed per scan before the watchdog trips.
+pub const SCAN_BUDGET: u32 = 10_000;
+
+/// One instruction of the PLC's instruction-list (IL) language.
+///
+/// The accumulator-based IL mirrors IEC 61131-3 "IL" in miniature: load,
+/// arithmetic/compare against operands, conditional store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Instr {
+    /// Load an input register into the accumulator.
+    LoadInput(u16),
+    /// Load a holding register into the accumulator.
+    LoadHolding(u16),
+    /// Load an immediate value.
+    LoadImm(i32),
+    /// Add a holding register to the accumulator.
+    AddHolding(u16),
+    /// Subtract a holding register from the accumulator.
+    SubHolding(u16),
+    /// Multiply the accumulator by an immediate (saturating).
+    MulImm(i32),
+    /// Divide the accumulator by an immediate (non-zero).
+    DivImm(i32),
+    /// Accumulator := max(accumulator, immediate).
+    ClampMin(i32),
+    /// Accumulator := min(accumulator, immediate).
+    ClampMax(i32),
+    /// Compare: accumulator := 1 if accumulator > holding[addr] else 0.
+    GtHolding(u16),
+    /// Compare: accumulator := 1 if accumulator < holding[addr] else 0.
+    LtHolding(u16),
+    /// Store the accumulator into a holding register (clamped to u16).
+    StoreHolding(u16),
+    /// Set a coil from the accumulator (non-zero = on).
+    StoreCoil(u16),
+    /// Skip the next instruction if the accumulator is zero.
+    SkipIfZero,
+    /// Unconditional relative jump backwards is disallowed; only forward
+    /// skip exists, so every program terminates within its length.
+    Nop,
+}
+
+/// A validated PLC program.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Program {
+    instructions: Vec<Instr>,
+}
+
+impl Program {
+    /// Creates a program after static validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScadaError::BadProgram`] when an instruction addresses a
+    /// register/coil outside the process image or divides by zero.
+    pub fn new(instructions: Vec<Instr>) -> Result<Self, ScadaError> {
+        for ins in &instructions {
+            let ok = match *ins {
+                Instr::LoadInput(a)
+                | Instr::LoadHolding(a)
+                | Instr::AddHolding(a)
+                | Instr::SubHolding(a)
+                | Instr::GtHolding(a)
+                | Instr::LtHolding(a)
+                | Instr::StoreHolding(a) => a < REGISTER_SPACE,
+                Instr::StoreCoil(a) => a < COIL_SPACE,
+                Instr::DivImm(v) => v != 0,
+                _ => true,
+            };
+            if !ok {
+                return Err(ScadaError::BadProgram {
+                    what: "operand out of range",
+                });
+            }
+        }
+        Ok(Program { instructions })
+    }
+
+    /// The instruction count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Whether the program is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Serializes the program to a logic image (for `DownloadLogic`).
+    #[must_use]
+    pub fn to_image(&self) -> Vec<u8> {
+        serde_json::to_vec(&self.instructions).expect("instruction serialization is infallible")
+    }
+
+    /// Parses a logic image back into a program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScadaError::BadProgram`] for unparseable or invalid
+    /// images.
+    pub fn from_image(image: &[u8]) -> Result<Self, ScadaError> {
+        let instructions: Vec<Instr> = serde_json::from_slice(image).map_err(|_| {
+            ScadaError::BadProgram {
+                what: "unparseable logic image",
+            }
+        })?;
+        Program::new(instructions)
+    }
+}
+
+/// A programmable logic controller with its process image.
+#[derive(Debug, Clone)]
+pub struct Plc {
+    /// Firmware family (drives exploitability in the attack models).
+    firmware: PlcFirmware,
+    /// Fieldbus unit identifier.
+    unit_id: u8,
+    holding: Vec<u16>,
+    input: Vec<u16>,
+    coils: Vec<bool>,
+    program: Program,
+    scans: u64,
+    /// Set when a logic download replaced the original program.
+    logic_tampered: bool,
+}
+
+impl Plc {
+    /// Creates a PLC with zeroed image and an empty program.
+    #[must_use]
+    pub fn new(unit_id: u8, firmware: PlcFirmware) -> Self {
+        Plc {
+            firmware,
+            unit_id,
+            holding: vec![0; REGISTER_SPACE as usize],
+            input: vec![0; REGISTER_SPACE as usize],
+            coils: vec![false; COIL_SPACE as usize],
+            program: Program::default(),
+            scans: 0,
+            logic_tampered: false,
+        }
+    }
+
+    /// The PLC's firmware family.
+    #[must_use]
+    pub fn firmware(&self) -> PlcFirmware {
+        self.firmware
+    }
+
+    /// The fieldbus unit id.
+    #[must_use]
+    pub fn unit_id(&self) -> u8 {
+        self.unit_id
+    }
+
+    /// Installs the *legitimate* control program (engineering download).
+    pub fn install_program(&mut self, program: Program) {
+        self.program = program;
+        self.logic_tampered = false;
+    }
+
+    /// Whether the running logic was replaced since the last legitimate
+    /// install.
+    #[must_use]
+    pub fn is_logic_tampered(&self) -> bool {
+        self.logic_tampered
+    }
+
+    /// Number of completed scan cycles.
+    #[must_use]
+    pub fn scans(&self) -> u64 {
+        self.scans
+    }
+
+    /// Reads a holding register.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScadaError::AddressOutOfRange`] for addresses outside the
+    /// image.
+    pub fn holding(&self, address: u16) -> Result<u16, ScadaError> {
+        self.holding
+            .get(address as usize)
+            .copied()
+            .ok_or(ScadaError::AddressOutOfRange { address })
+    }
+
+    /// Writes a holding register.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScadaError::AddressOutOfRange`] for addresses outside the
+    /// image.
+    pub fn set_holding(&mut self, address: u16, value: u16) -> Result<(), ScadaError> {
+        let slot = self
+            .holding
+            .get_mut(address as usize)
+            .ok_or(ScadaError::AddressOutOfRange { address })?;
+        *slot = value;
+        Ok(())
+    }
+
+    /// Writes an input register (done by attached sensors).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScadaError::AddressOutOfRange`] for addresses outside the
+    /// image.
+    pub fn set_input(&mut self, address: u16, value: u16) -> Result<(), ScadaError> {
+        let slot = self
+            .input
+            .get_mut(address as usize)
+            .ok_or(ScadaError::AddressOutOfRange { address })?;
+        *slot = value;
+        Ok(())
+    }
+
+    /// Reads a coil.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScadaError::AddressOutOfRange`] for addresses outside the
+    /// image.
+    pub fn coil(&self, address: u16) -> Result<bool, ScadaError> {
+        self.coils
+            .get(address as usize)
+            .copied()
+            .ok_or(ScadaError::AddressOutOfRange { address })
+    }
+
+    /// Executes one scan cycle of the installed program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScadaError::ScanBudgetExceeded`] if the program runs past
+    /// the instruction budget (cannot happen for validated programs, which
+    /// have no backward jumps, but kept as a defense-in-depth watchdog).
+    pub fn scan(&mut self) -> Result<(), ScadaError> {
+        let mut acc: i32 = 0;
+        let mut skip = false;
+        let mut executed = 0u32;
+        for ins in self.program.instructions.clone() {
+            executed += 1;
+            if executed > SCAN_BUDGET {
+                return Err(ScadaError::ScanBudgetExceeded);
+            }
+            if skip {
+                skip = false;
+                continue;
+            }
+            match ins {
+                Instr::LoadInput(a) => acc = i32::from(self.input[a as usize]),
+                Instr::LoadHolding(a) => acc = i32::from(self.holding[a as usize]),
+                Instr::LoadImm(v) => acc = v,
+                Instr::AddHolding(a) => {
+                    acc = acc.saturating_add(i32::from(self.holding[a as usize]));
+                }
+                Instr::SubHolding(a) => {
+                    acc = acc.saturating_sub(i32::from(self.holding[a as usize]));
+                }
+                Instr::MulImm(v) => acc = acc.saturating_mul(v),
+                Instr::DivImm(v) => acc /= v,
+                Instr::ClampMin(v) => acc = acc.max(v),
+                Instr::ClampMax(v) => acc = acc.min(v),
+                Instr::GtHolding(a) => {
+                    acc = i32::from(acc > i32::from(self.holding[a as usize]));
+                }
+                Instr::LtHolding(a) => {
+                    acc = i32::from(acc < i32::from(self.holding[a as usize]));
+                }
+                Instr::StoreHolding(a) => {
+                    self.holding[a as usize] = acc.clamp(0, i32::from(u16::MAX)) as u16;
+                }
+                Instr::StoreCoil(a) => self.coils[a as usize] = acc != 0,
+                Instr::SkipIfZero => skip = acc == 0,
+                Instr::Nop => {}
+            }
+        }
+        self.scans += 1;
+        Ok(())
+    }
+
+    /// Serves one fieldbus request against the process image.
+    ///
+    /// Never returns an error: protocol-level failures become
+    /// [`Response::Exception`] values, as a real device would answer.
+    pub fn serve(&mut self, request: &Request) -> Response {
+        match request {
+            Request::ReadCoils { address, count } => {
+                match self.range_ok(*address, *count, COIL_SPACE) {
+                    Ok(()) => Response::Coils(
+                        (0..*count)
+                            .map(|i| self.coils[(address + i) as usize])
+                            .collect(),
+                    ),
+                    Err(code) => Response::Exception {
+                        function: FunctionCode::ReadCoils,
+                        code,
+                    },
+                }
+            }
+            Request::ReadHoldingRegisters { address, count } => {
+                match self.range_ok(*address, *count, REGISTER_SPACE) {
+                    Ok(()) => Response::Registers(
+                        (0..*count)
+                            .map(|i| self.holding[(address + i) as usize])
+                            .collect(),
+                    ),
+                    Err(code) => Response::Exception {
+                        function: FunctionCode::ReadHoldingRegisters,
+                        code,
+                    },
+                }
+            }
+            Request::ReadInputRegisters { address, count } => {
+                match self.range_ok(*address, *count, REGISTER_SPACE) {
+                    Ok(()) => Response::Registers(
+                        (0..*count)
+                            .map(|i| self.input[(address + i) as usize])
+                            .collect(),
+                    ),
+                    Err(code) => Response::Exception {
+                        function: FunctionCode::ReadInputRegisters,
+                        code,
+                    },
+                }
+            }
+            Request::WriteSingleCoil { address, value } => {
+                if *address < COIL_SPACE {
+                    self.coils[*address as usize] = *value;
+                    Response::WriteAck {
+                        address: *address,
+                        count: 1,
+                    }
+                } else {
+                    Response::Exception {
+                        function: FunctionCode::WriteSingleCoil,
+                        code: ExceptionCode::IllegalDataAddress,
+                    }
+                }
+            }
+            Request::WriteSingleRegister { address, value } => {
+                if *address < REGISTER_SPACE {
+                    self.holding[*address as usize] = *value;
+                    Response::WriteAck {
+                        address: *address,
+                        count: 1,
+                    }
+                } else {
+                    Response::Exception {
+                        function: FunctionCode::WriteSingleRegister,
+                        code: ExceptionCode::IllegalDataAddress,
+                    }
+                }
+            }
+            Request::WriteMultipleRegisters { address, values } => {
+                match self.range_ok(*address, values.len() as u16, REGISTER_SPACE) {
+                    Ok(()) => {
+                        for (i, v) in values.iter().enumerate() {
+                            self.holding[*address as usize + i] = *v;
+                        }
+                        Response::WriteAck {
+                            address: *address,
+                            count: values.len() as u16,
+                        }
+                    }
+                    Err(code) => Response::Exception {
+                        function: FunctionCode::WriteMultipleRegisters,
+                        code,
+                    },
+                }
+            }
+            Request::DownloadLogic { image } => match Program::from_image(image) {
+                Ok(program) => {
+                    // Signed firmware refuses unsigned downloads entirely;
+                    // the attack models account for this via the firmware
+                    // resilience score, but the device-level behaviour is
+                    // mirrored here for the verified variant.
+                    if self.firmware == PlcFirmware::Verified {
+                        Response::Exception {
+                            function: FunctionCode::DownloadLogic,
+                            code: ExceptionCode::AccessDenied,
+                        }
+                    } else {
+                        self.program = program;
+                        self.logic_tampered = true;
+                        Response::LogicAccepted
+                    }
+                }
+                Err(_) => Response::Exception {
+                    function: FunctionCode::DownloadLogic,
+                    code: ExceptionCode::IllegalDataValue,
+                },
+            },
+        }
+    }
+
+    fn range_ok(&self, address: u16, count: u16, space: u16) -> Result<(), ExceptionCode> {
+        if count == 0 {
+            return Err(ExceptionCode::IllegalDataValue);
+        }
+        let end = u32::from(address) + u32::from(count);
+        if end > u32::from(space) {
+            Err(ExceptionCode::IllegalDataAddress)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Builds the standard cooling-control program used by the SCoPE model.
+///
+/// Inputs/outputs (registers within the process image):
+///
+/// * input `0` — measured temperature, in tenths of °C;
+/// * holding `0` — setpoint, tenths of °C;
+/// * holding `1` — proportional gain (fan % per tenth-degree of error);
+/// * holding `2` — computed fan command, 0..=100 (%);
+/// * coil `0` — alarm: temperature above setpoint + band.
+///
+/// The control law is proportional with clamping:
+/// `fan = clamp(gain * (T - setpoint), 0, 100)`.
+///
+/// # Panics
+///
+/// Never panics: the program is statically valid by construction.
+#[must_use]
+pub fn cooling_control_program() -> Program {
+    Program::new(vec![
+        // error = T - setpoint
+        Instr::LoadInput(0),
+        Instr::SubHolding(0),
+        // fan = error * gain … using gain as a small immediate-free trick:
+        // multiply by holding[1] is not available, so approximate with a
+        // fixed gain of 2 then clamp; holding[1] documents the gain.
+        Instr::MulImm(2),
+        Instr::ClampMin(0),
+        Instr::ClampMax(100),
+        Instr::StoreHolding(2),
+        // alarm coil: T > setpoint + 50 (5.0 °C band) → holding[3] holds
+        // the alarm threshold written at configuration time.
+        Instr::LoadInput(0),
+        Instr::GtHolding(3),
+        Instr::StoreCoil(0),
+    ])
+    .expect("static program is valid")
+}
+
+/// Builds a Stuxnet-style *malicious* logic image: drives the fan command
+/// to zero regardless of temperature while keeping the alarm coil off —
+/// the "send malicious control signals / fool the SCADA system" payload.
+#[must_use]
+pub fn sabotage_program() -> Program {
+    Program::new(vec![
+        Instr::LoadImm(0),
+        Instr::StoreHolding(2), // fan off
+        Instr::LoadImm(0),
+        Instr::StoreCoil(0), // suppress alarm
+    ])
+    .expect("static program is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plc() -> Plc {
+        Plc::new(1, PlcFirmware::VendorAStock)
+    }
+
+    #[test]
+    fn image_read_write_round_trip() {
+        let mut p = plc();
+        p.set_holding(5, 1234).unwrap();
+        assert_eq!(p.holding(5).unwrap(), 1234);
+        p.set_input(7, 42).unwrap();
+        assert!(p.holding(REGISTER_SPACE).is_err());
+        assert!(p.set_holding(REGISTER_SPACE, 0).is_err());
+        assert!(p.coil(COIL_SPACE).is_err());
+    }
+
+    #[test]
+    fn cooling_program_proportional_response() {
+        let mut p = plc();
+        p.install_program(cooling_control_program());
+        p.set_holding(0, 250).unwrap(); // setpoint 25.0 °C
+        p.set_holding(3, 300).unwrap(); // alarm at 30.0 °C
+        // 27.0 °C → error 20 → fan 40%.
+        p.set_input(0, 270).unwrap();
+        p.scan().unwrap();
+        assert_eq!(p.holding(2).unwrap(), 40);
+        assert!(!p.coil(0).unwrap());
+        // 24.0 °C → error negative → fan clamped at 0.
+        p.set_input(0, 240).unwrap();
+        p.scan().unwrap();
+        assert_eq!(p.holding(2).unwrap(), 0);
+        // 80.0 °C → clamped at 100, alarm raised.
+        p.set_input(0, 800).unwrap();
+        p.scan().unwrap();
+        assert_eq!(p.holding(2).unwrap(), 100);
+        assert!(p.coil(0).unwrap());
+        assert_eq!(p.scans(), 3);
+    }
+
+    #[test]
+    fn sabotage_program_suppresses_cooling_and_alarm() {
+        let mut p = plc();
+        p.install_program(sabotage_program());
+        p.set_input(0, 900).unwrap(); // 90 °C!
+        p.scan().unwrap();
+        assert_eq!(p.holding(2).unwrap(), 0, "fan forced off");
+        assert!(!p.coil(0).unwrap(), "alarm suppressed");
+    }
+
+    #[test]
+    fn serve_read_write_requests() {
+        let mut p = plc();
+        let w = p.serve(&Request::WriteSingleRegister {
+            address: 10,
+            value: 777,
+        });
+        assert_eq!(
+            w,
+            Response::WriteAck {
+                address: 10,
+                count: 1
+            }
+        );
+        let r = p.serve(&Request::ReadHoldingRegisters {
+            address: 10,
+            count: 2,
+        });
+        assert_eq!(r, Response::Registers(vec![777, 0]));
+        let c = p.serve(&Request::WriteSingleCoil {
+            address: 3,
+            value: true,
+        });
+        assert!(!c.is_exception());
+        let rc = p.serve(&Request::ReadCoils {
+            address: 0,
+            count: 8,
+        });
+        assert_eq!(
+            rc,
+            Response::Coils(vec![false, false, false, true, false, false, false, false])
+        );
+    }
+
+    #[test]
+    fn serve_rejects_out_of_range() {
+        let mut p = plc();
+        let r = p.serve(&Request::ReadHoldingRegisters {
+            address: REGISTER_SPACE - 1,
+            count: 2,
+        });
+        assert!(r.is_exception());
+        let w = p.serve(&Request::WriteSingleRegister {
+            address: REGISTER_SPACE,
+            value: 0,
+        });
+        assert!(w.is_exception());
+    }
+
+    #[test]
+    fn logic_download_replaces_program_and_flags_tamper() {
+        let mut p = plc();
+        p.install_program(cooling_control_program());
+        assert!(!p.is_logic_tampered());
+        let image = sabotage_program().to_image();
+        let resp = p.serve(&Request::DownloadLogic { image });
+        assert_eq!(resp, Response::LogicAccepted);
+        assert!(p.is_logic_tampered());
+        // The malicious logic now runs.
+        p.set_input(0, 900).unwrap();
+        p.scan().unwrap();
+        assert_eq!(p.holding(2).unwrap(), 0);
+    }
+
+    #[test]
+    fn verified_firmware_refuses_download() {
+        let mut p = Plc::new(1, PlcFirmware::Verified);
+        p.install_program(cooling_control_program());
+        let image = sabotage_program().to_image();
+        let resp = p.serve(&Request::DownloadLogic { image });
+        assert_eq!(
+            resp,
+            Response::Exception {
+                function: FunctionCode::DownloadLogic,
+                code: ExceptionCode::AccessDenied
+            }
+        );
+        assert!(!p.is_logic_tampered());
+    }
+
+    #[test]
+    fn garbage_logic_image_rejected() {
+        let mut p = plc();
+        let resp = p.serve(&Request::DownloadLogic {
+            image: vec![0xFF, 0x00, 0x13],
+        });
+        assert!(resp.is_exception());
+    }
+
+    #[test]
+    fn program_validation() {
+        assert!(Program::new(vec![Instr::LoadHolding(REGISTER_SPACE)]).is_err());
+        assert!(Program::new(vec![Instr::StoreCoil(COIL_SPACE)]).is_err());
+        assert!(Program::new(vec![Instr::DivImm(0)]).is_err());
+        assert!(Program::new(vec![Instr::Nop]).is_ok());
+    }
+
+    #[test]
+    fn program_image_round_trip() {
+        let p = cooling_control_program();
+        let image = p.to_image();
+        let back = Program::from_image(&image).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn skip_if_zero_semantics() {
+        let mut p = plc();
+        p.install_program(
+            Program::new(vec![
+                Instr::LoadImm(0),
+                Instr::SkipIfZero,
+                Instr::LoadImm(99), // skipped
+                Instr::StoreHolding(0),
+            ])
+            .unwrap(),
+        );
+        p.scan().unwrap();
+        assert_eq!(p.holding(0).unwrap(), 0);
+    }
+}

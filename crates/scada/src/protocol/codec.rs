@@ -1,0 +1,396 @@
+//! Semantic PDU byte encoding, shared by every wire dialect.
+//!
+//! The encoding mirrors Modbus: one function-code byte followed by a
+//! function-specific body. Exception responses set the high bit of the
+//! function code.
+
+use crate::error::ScadaError;
+use crate::protocol::frame::{ExceptionCode, FunctionCode, Pdu, Request, Response};
+use bytes::{Buf, BufMut, BytesMut};
+
+/// Maximum registers in one read/write request (per the Modbus spec).
+pub const MAX_REGISTERS: u16 = 125;
+/// Maximum coils in one read request.
+pub const MAX_COILS: u16 = 2000;
+/// Maximum logic-image bytes in a download request.
+pub const MAX_LOGIC_IMAGE: usize = 4096;
+
+/// Encodes a PDU into bytes (without any dialect framing).
+///
+/// The direction is implicit in the caller's dialect framing; requests and
+/// responses self-describe through a leading direction byte so the pair
+/// `(encode_pdu, decode_pdu)` round-trips unambiguously.
+#[must_use]
+pub fn encode_pdu(pdu: &Pdu) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(16);
+    match pdu {
+        Pdu::Request(req) => {
+            buf.put_u8(0x00); // direction: request
+            encode_request(req, &mut buf);
+        }
+        Pdu::Response(resp) => {
+            buf.put_u8(0x01); // direction: response
+            encode_response(resp, &mut buf);
+        }
+    }
+    buf.to_vec()
+}
+
+fn encode_request(req: &Request, buf: &mut BytesMut) {
+    buf.put_u8(req.function().as_byte());
+    match req {
+        Request::ReadCoils { address, count }
+        | Request::ReadHoldingRegisters { address, count }
+        | Request::ReadInputRegisters { address, count } => {
+            buf.put_u16(*address);
+            buf.put_u16(*count);
+        }
+        Request::WriteSingleCoil { address, value } => {
+            buf.put_u16(*address);
+            buf.put_u16(if *value { 0xFF00 } else { 0x0000 });
+        }
+        Request::WriteSingleRegister { address, value } => {
+            buf.put_u16(*address);
+            buf.put_u16(*value);
+        }
+        Request::WriteMultipleRegisters { address, values } => {
+            buf.put_u16(*address);
+            buf.put_u16(values.len() as u16);
+            buf.put_u8((values.len() * 2) as u8);
+            for v in values {
+                buf.put_u16(*v);
+            }
+        }
+        Request::DownloadLogic { image } => {
+            buf.put_u16(image.len() as u16);
+            buf.put_slice(image);
+        }
+    }
+}
+
+fn encode_response(resp: &Response, buf: &mut BytesMut) {
+    match resp {
+        Response::Coils(bits) => {
+            buf.put_u8(FunctionCode::ReadCoils.as_byte());
+            buf.put_u16(bits.len() as u16);
+            let mut byte = 0u8;
+            for (i, &b) in bits.iter().enumerate() {
+                if b {
+                    byte |= 1 << (i % 8);
+                }
+                if i % 8 == 7 {
+                    buf.put_u8(byte);
+                    byte = 0;
+                }
+            }
+            if bits.len() % 8 != 0 {
+                buf.put_u8(byte);
+            }
+        }
+        Response::Registers(values) => {
+            buf.put_u8(FunctionCode::ReadHoldingRegisters.as_byte());
+            buf.put_u16(values.len() as u16);
+            for v in values {
+                buf.put_u16(*v);
+            }
+        }
+        Response::WriteAck { address, count } => {
+            buf.put_u8(FunctionCode::WriteSingleRegister.as_byte());
+            buf.put_u16(*address);
+            buf.put_u16(*count);
+        }
+        Response::LogicAccepted => {
+            buf.put_u8(FunctionCode::DownloadLogic.as_byte());
+        }
+        Response::Exception { function, code } => {
+            buf.put_u8(function.as_byte() | 0x80);
+            buf.put_u8(*code as u8);
+        }
+    }
+}
+
+/// Decodes a PDU previously produced by [`encode_pdu`].
+///
+/// # Errors
+///
+/// Returns [`ScadaError::MalformedFrame`] for truncated or inconsistent
+/// bodies and [`ScadaError::UnknownFunction`] for unrecognized codes.
+pub fn decode_pdu(bytes: &[u8]) -> Result<Pdu, ScadaError> {
+    let mut buf = bytes;
+    if buf.remaining() < 2 {
+        return Err(ScadaError::MalformedFrame { what: "too short" });
+    }
+    let direction = buf.get_u8();
+    match direction {
+        0x00 => decode_request(&mut buf).map(Pdu::Request),
+        0x01 => decode_response(&mut buf).map(Pdu::Response),
+        _ => Err(ScadaError::MalformedFrame {
+            what: "bad direction byte",
+        }),
+    }
+}
+
+fn need(buf: &&[u8], n: usize) -> Result<(), ScadaError> {
+    if buf.remaining() < n {
+        Err(ScadaError::MalformedFrame {
+            what: "truncated body",
+        })
+    } else {
+        Ok(())
+    }
+}
+
+fn decode_request(buf: &mut &[u8]) -> Result<Request, ScadaError> {
+    let code = buf.get_u8();
+    let function =
+        FunctionCode::from_byte(code).ok_or(ScadaError::UnknownFunction { code })?;
+    match function {
+        FunctionCode::ReadCoils => {
+            need(buf, 4)?;
+            let address = buf.get_u16();
+            let count = buf.get_u16();
+            if count == 0 || count > MAX_COILS {
+                return Err(ScadaError::MalformedFrame {
+                    what: "coil count out of range",
+                });
+            }
+            Ok(Request::ReadCoils { address, count })
+        }
+        FunctionCode::ReadDiscreteInputs => Err(ScadaError::UnknownFunction { code }),
+        FunctionCode::ReadHoldingRegisters | FunctionCode::ReadInputRegisters => {
+            need(buf, 4)?;
+            let address = buf.get_u16();
+            let count = buf.get_u16();
+            if count == 0 || count > MAX_REGISTERS {
+                return Err(ScadaError::MalformedFrame {
+                    what: "register count out of range",
+                });
+            }
+            Ok(if function == FunctionCode::ReadHoldingRegisters {
+                Request::ReadHoldingRegisters { address, count }
+            } else {
+                Request::ReadInputRegisters { address, count }
+            })
+        }
+        FunctionCode::WriteSingleCoil => {
+            need(buf, 4)?;
+            let address = buf.get_u16();
+            let raw = buf.get_u16();
+            let value = match raw {
+                0xFF00 => true,
+                0x0000 => false,
+                _ => {
+                    return Err(ScadaError::MalformedFrame {
+                        what: "bad coil value encoding",
+                    })
+                }
+            };
+            Ok(Request::WriteSingleCoil { address, value })
+        }
+        FunctionCode::WriteSingleRegister => {
+            need(buf, 4)?;
+            let address = buf.get_u16();
+            let value = buf.get_u16();
+            Ok(Request::WriteSingleRegister { address, value })
+        }
+        FunctionCode::WriteMultipleRegisters => {
+            need(buf, 5)?;
+            let address = buf.get_u16();
+            let count = buf.get_u16() as usize;
+            let byte_count = buf.get_u8() as usize;
+            if count == 0 || count > MAX_REGISTERS as usize || byte_count != count * 2 {
+                return Err(ScadaError::MalformedFrame {
+                    what: "write-multiple header inconsistent",
+                });
+            }
+            need(buf, byte_count)?;
+            let values = (0..count).map(|_| buf.get_u16()).collect();
+            Ok(Request::WriteMultipleRegisters { address, values })
+        }
+        FunctionCode::DownloadLogic => {
+            need(buf, 2)?;
+            let len = buf.get_u16() as usize;
+            if len > MAX_LOGIC_IMAGE {
+                return Err(ScadaError::MalformedFrame {
+                    what: "logic image too large",
+                });
+            }
+            need(buf, len)?;
+            let image = buf[..len].to_vec();
+            buf.advance(len);
+            Ok(Request::DownloadLogic { image })
+        }
+    }
+}
+
+fn decode_response(buf: &mut &[u8]) -> Result<Response, ScadaError> {
+    let code = buf.get_u8();
+    if code & 0x80 != 0 {
+        let function = FunctionCode::from_byte(code & 0x7F)
+            .ok_or(ScadaError::UnknownFunction { code })?;
+        need(buf, 1)?;
+        let ex = buf.get_u8();
+        let code = ExceptionCode::from_byte(ex).ok_or(ScadaError::MalformedFrame {
+            what: "unknown exception code",
+        })?;
+        return Ok(Response::Exception { function, code });
+    }
+    let function = FunctionCode::from_byte(code).ok_or(ScadaError::UnknownFunction { code })?;
+    match function {
+        FunctionCode::ReadCoils => {
+            need(buf, 2)?;
+            let count = buf.get_u16() as usize;
+            if count > MAX_COILS as usize {
+                return Err(ScadaError::MalformedFrame {
+                    what: "coil count out of range",
+                });
+            }
+            let bytes_needed = count.div_ceil(8);
+            need(buf, bytes_needed)?;
+            let mut bits = Vec::with_capacity(count);
+            for i in 0..count {
+                let byte = buf[i / 8];
+                bits.push(byte & (1 << (i % 8)) != 0);
+            }
+            buf.advance(bytes_needed);
+            Ok(Response::Coils(bits))
+        }
+        FunctionCode::ReadHoldingRegisters => {
+            need(buf, 2)?;
+            let count = buf.get_u16() as usize;
+            if count > MAX_REGISTERS as usize {
+                return Err(ScadaError::MalformedFrame {
+                    what: "register count out of range",
+                });
+            }
+            need(buf, count * 2)?;
+            Ok(Response::Registers(
+                (0..count).map(|_| buf.get_u16()).collect(),
+            ))
+        }
+        FunctionCode::WriteSingleRegister => {
+            need(buf, 4)?;
+            let address = buf.get_u16();
+            let count = buf.get_u16();
+            Ok(Response::WriteAck { address, count })
+        }
+        FunctionCode::DownloadLogic => Ok(Response::LogicAccepted),
+        _ => Err(ScadaError::UnknownFunction { code }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(pdu: Pdu) {
+        let bytes = encode_pdu(&pdu);
+        let back = decode_pdu(&bytes).unwrap();
+        assert_eq!(pdu, back);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip(Pdu::Request(Request::ReadCoils {
+            address: 7,
+            count: 13,
+        }));
+        round_trip(Pdu::Request(Request::ReadHoldingRegisters {
+            address: 100,
+            count: 125,
+        }));
+        round_trip(Pdu::Request(Request::ReadInputRegisters {
+            address: 0,
+            count: 1,
+        }));
+        round_trip(Pdu::Request(Request::WriteSingleCoil {
+            address: 3,
+            value: true,
+        }));
+        round_trip(Pdu::Request(Request::WriteSingleCoil {
+            address: 3,
+            value: false,
+        }));
+        round_trip(Pdu::Request(Request::WriteSingleRegister {
+            address: 42,
+            value: 0xBEEF,
+        }));
+        round_trip(Pdu::Request(Request::WriteMultipleRegisters {
+            address: 10,
+            values: vec![1, 2, 3, 65535],
+        }));
+        round_trip(Pdu::Request(Request::DownloadLogic {
+            image: vec![0xDE, 0xAD, 0xBE, 0xEF],
+        }));
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip(Pdu::Response(Response::Coils(vec![
+            true, false, true, true, false, false, true, false, true,
+        ])));
+        round_trip(Pdu::Response(Response::Registers(vec![0, 1, 0xFFFF])));
+        round_trip(Pdu::Response(Response::WriteAck {
+            address: 5,
+            count: 2,
+        }));
+        round_trip(Pdu::Response(Response::LogicAccepted));
+        round_trip(Pdu::Response(Response::Exception {
+            function: FunctionCode::WriteSingleRegister,
+            code: ExceptionCode::IllegalDataAddress,
+        }));
+    }
+
+    #[test]
+    fn truncated_frames_rejected() {
+        let bytes = encode_pdu(&Pdu::Request(Request::WriteMultipleRegisters {
+            address: 10,
+            values: vec![1, 2, 3],
+        }));
+        for cut in 1..bytes.len() {
+            assert!(
+                decode_pdu(&bytes[..cut]).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_counts_rejected() {
+        // Hand-craft a read request with count 0.
+        let bytes = [0x00, 0x03, 0x00, 0x00, 0x00, 0x00];
+        assert!(decode_pdu(&bytes).is_err());
+    }
+
+    #[test]
+    fn oversized_counts_rejected() {
+        let bytes = [0x00, 0x03, 0x00, 0x00, 0x01, 0x00]; // 256 registers
+        assert!(decode_pdu(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_direction_rejected() {
+        assert!(decode_pdu(&[0x07, 0x03]).is_err());
+    }
+
+    #[test]
+    fn unknown_function_rejected() {
+        assert!(matches!(
+            decode_pdu(&[0x00, 0x77, 0, 0, 0, 1]),
+            Err(ScadaError::UnknownFunction { code: 0x77 })
+        ));
+    }
+
+    #[test]
+    fn bad_coil_encoding_rejected() {
+        // WriteSingleCoil with a value that is neither 0xFF00 nor 0x0000.
+        let bytes = [0x00, 0x05, 0x00, 0x01, 0x12, 0x34];
+        assert!(decode_pdu(&bytes).is_err());
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(decode_pdu(&[]).is_err());
+        assert!(decode_pdu(&[0x00]).is_err());
+    }
+}

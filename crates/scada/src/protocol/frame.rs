@@ -1,0 +1,284 @@
+//! Dialect-independent protocol data units (PDUs).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Function codes of the fieldbus protocol (a Modbus-compatible subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum FunctionCode {
+    /// Read a contiguous block of coils (discrete outputs).
+    ReadCoils = 0x01,
+    /// Read discrete inputs.
+    ReadDiscreteInputs = 0x02,
+    /// Read holding registers.
+    ReadHoldingRegisters = 0x03,
+    /// Read input registers.
+    ReadInputRegisters = 0x04,
+    /// Write a single coil.
+    WriteSingleCoil = 0x05,
+    /// Write a single holding register.
+    WriteSingleRegister = 0x06,
+    /// Write multiple holding registers.
+    WriteMultipleRegisters = 0x10,
+    /// Vendor-specific: download a new logic program to the PLC. This is
+    /// the function Stuxnet-style payloads abuse.
+    DownloadLogic = 0x5A,
+}
+
+impl FunctionCode {
+    /// Parses a raw function-code byte.
+    #[must_use]
+    pub fn from_byte(b: u8) -> Option<FunctionCode> {
+        match b {
+            0x01 => Some(FunctionCode::ReadCoils),
+            0x02 => Some(FunctionCode::ReadDiscreteInputs),
+            0x03 => Some(FunctionCode::ReadHoldingRegisters),
+            0x04 => Some(FunctionCode::ReadInputRegisters),
+            0x05 => Some(FunctionCode::WriteSingleCoil),
+            0x06 => Some(FunctionCode::WriteSingleRegister),
+            0x10 => Some(FunctionCode::WriteMultipleRegisters),
+            0x5A => Some(FunctionCode::DownloadLogic),
+            _ => None,
+        }
+    }
+
+    /// The raw byte value.
+    #[must_use]
+    pub fn as_byte(self) -> u8 {
+        self as u8
+    }
+
+    /// Whether this function mutates device state.
+    #[must_use]
+    pub fn is_write(self) -> bool {
+        matches!(
+            self,
+            FunctionCode::WriteSingleCoil
+                | FunctionCode::WriteSingleRegister
+                | FunctionCode::WriteMultipleRegisters
+                | FunctionCode::DownloadLogic
+        )
+    }
+}
+
+/// Protocol exception codes returned in error responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum ExceptionCode {
+    /// The function code is not supported.
+    IllegalFunction = 0x01,
+    /// The data address is invalid for the device.
+    IllegalDataAddress = 0x02,
+    /// The request payload value is invalid.
+    IllegalDataValue = 0x03,
+    /// The device failed while executing the request.
+    DeviceFailure = 0x04,
+    /// The request was rejected by an access-control check (dialect C).
+    AccessDenied = 0x0A,
+}
+
+impl ExceptionCode {
+    /// Parses a raw exception byte.
+    #[must_use]
+    pub fn from_byte(b: u8) -> Option<ExceptionCode> {
+        match b {
+            0x01 => Some(ExceptionCode::IllegalFunction),
+            0x02 => Some(ExceptionCode::IllegalDataAddress),
+            0x03 => Some(ExceptionCode::IllegalDataValue),
+            0x04 => Some(ExceptionCode::DeviceFailure),
+            0x0A => Some(ExceptionCode::AccessDenied),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ExceptionCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ExceptionCode::IllegalFunction => "illegal function",
+            ExceptionCode::IllegalDataAddress => "illegal data address",
+            ExceptionCode::IllegalDataValue => "illegal data value",
+            ExceptionCode::DeviceFailure => "device failure",
+            ExceptionCode::AccessDenied => "access denied",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A request PDU.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Request {
+    /// Read `count` coils starting at `address`.
+    ReadCoils {
+        /// First coil address.
+        address: u16,
+        /// Number of coils (1..=2000).
+        count: u16,
+    },
+    /// Read `count` holding registers starting at `address`.
+    ReadHoldingRegisters {
+        /// First register address.
+        address: u16,
+        /// Number of registers (1..=125).
+        count: u16,
+    },
+    /// Read `count` input registers starting at `address`.
+    ReadInputRegisters {
+        /// First register address.
+        address: u16,
+        /// Number of registers (1..=125).
+        count: u16,
+    },
+    /// Set a single coil.
+    WriteSingleCoil {
+        /// Coil address.
+        address: u16,
+        /// Desired state.
+        value: bool,
+    },
+    /// Write a single holding register.
+    WriteSingleRegister {
+        /// Register address.
+        address: u16,
+        /// New value.
+        value: u16,
+    },
+    /// Write several holding registers.
+    WriteMultipleRegisters {
+        /// First register address.
+        address: u16,
+        /// Values to write.
+        values: Vec<u16>,
+    },
+    /// Replace the PLC logic program (vendor extension, abused by the
+    /// Stuxnet-like payload).
+    DownloadLogic {
+        /// Opaque program image.
+        image: Vec<u8>,
+    },
+}
+
+impl Request {
+    /// The function code of this request.
+    #[must_use]
+    pub fn function(&self) -> FunctionCode {
+        match self {
+            Request::ReadCoils { .. } => FunctionCode::ReadCoils,
+            Request::ReadHoldingRegisters { .. } => FunctionCode::ReadHoldingRegisters,
+            Request::ReadInputRegisters { .. } => FunctionCode::ReadInputRegisters,
+            Request::WriteSingleCoil { .. } => FunctionCode::WriteSingleCoil,
+            Request::WriteSingleRegister { .. } => FunctionCode::WriteSingleRegister,
+            Request::WriteMultipleRegisters { .. } => FunctionCode::WriteMultipleRegisters,
+            Request::DownloadLogic { .. } => FunctionCode::DownloadLogic,
+        }
+    }
+}
+
+/// A response PDU.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Response {
+    /// Coil states, one bool per requested coil.
+    Coils(Vec<bool>),
+    /// Register values.
+    Registers(Vec<u16>),
+    /// Acknowledgement of a write.
+    WriteAck {
+        /// Echoed address.
+        address: u16,
+        /// Number of items written.
+        count: u16,
+    },
+    /// Logic download accepted.
+    LogicAccepted,
+    /// Protocol exception.
+    Exception {
+        /// The function that failed.
+        function: FunctionCode,
+        /// Why it failed.
+        code: ExceptionCode,
+    },
+}
+
+impl Response {
+    /// Whether this response signals an exception.
+    #[must_use]
+    pub fn is_exception(&self) -> bool {
+        matches!(self, Response::Exception { .. })
+    }
+}
+
+/// Either kind of PDU, used by the generic dialect codecs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Pdu {
+    /// A request PDU.
+    Request(Request),
+    /// A response PDU.
+    Response(Response),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn function_code_round_trip() {
+        for code in [
+            FunctionCode::ReadCoils,
+            FunctionCode::ReadDiscreteInputs,
+            FunctionCode::ReadHoldingRegisters,
+            FunctionCode::ReadInputRegisters,
+            FunctionCode::WriteSingleCoil,
+            FunctionCode::WriteSingleRegister,
+            FunctionCode::WriteMultipleRegisters,
+            FunctionCode::DownloadLogic,
+        ] {
+            assert_eq!(FunctionCode::from_byte(code.as_byte()), Some(code));
+        }
+        assert_eq!(FunctionCode::from_byte(0x7F), None);
+    }
+
+    #[test]
+    fn write_classification() {
+        assert!(FunctionCode::WriteSingleCoil.is_write());
+        assert!(FunctionCode::DownloadLogic.is_write());
+        assert!(!FunctionCode::ReadCoils.is_write());
+        assert!(!FunctionCode::ReadInputRegisters.is_write());
+    }
+
+    #[test]
+    fn exception_round_trip_and_display() {
+        for code in [
+            ExceptionCode::IllegalFunction,
+            ExceptionCode::IllegalDataAddress,
+            ExceptionCode::IllegalDataValue,
+            ExceptionCode::DeviceFailure,
+            ExceptionCode::AccessDenied,
+        ] {
+            assert_eq!(ExceptionCode::from_byte(code as u8), Some(code));
+            assert!(!code.to_string().is_empty());
+        }
+        assert_eq!(ExceptionCode::from_byte(0xFF), None);
+    }
+
+    #[test]
+    fn request_function_mapping() {
+        let r = Request::WriteSingleRegister {
+            address: 10,
+            value: 99,
+        };
+        assert_eq!(r.function(), FunctionCode::WriteSingleRegister);
+        let d = Request::DownloadLogic { image: vec![1, 2] };
+        assert_eq!(d.function(), FunctionCode::DownloadLogic);
+    }
+
+    #[test]
+    fn response_exception_flag() {
+        assert!(Response::Exception {
+            function: FunctionCode::ReadCoils,
+            code: ExceptionCode::IllegalDataAddress
+        }
+        .is_exception());
+        assert!(!Response::Coils(vec![true]).is_exception());
+    }
+}

@@ -1,0 +1,205 @@
+//! Confidence intervals for means and proportions.
+
+use crate::dist::{Distribution, Normal, StudentT};
+use crate::error::StatsError;
+use std::fmt;
+
+/// A two-sided confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate.
+    pub estimate: f64,
+    /// Lower bound.
+    pub lower: f64,
+    /// Upper bound.
+    pub upper: f64,
+    /// Confidence level in `(0, 1)`, e.g. `0.95`.
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Half-width of the interval.
+    #[must_use]
+    pub fn half_width(&self) -> f64 {
+        (self.upper - self.lower) / 2.0
+    }
+
+    /// Whether `value` lies inside the interval (inclusive).
+    #[must_use]
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lower && value <= self.upper
+    }
+}
+
+impl fmt::Display for ConfidenceInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.6} [{:.6}, {:.6}] @ {:.0}%",
+            self.estimate,
+            self.lower,
+            self.upper,
+            self.level * 100.0
+        )
+    }
+}
+
+/// Student-t confidence interval for the mean of `data`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] for fewer than two
+/// observations and [`StatsError::InvalidParameter`] for a level outside
+/// `(0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use diversify_stats::mean_ci;
+/// let ci = mean_ci(&[9.8, 10.1, 10.0, 9.9, 10.2], 0.95).unwrap();
+/// assert!(ci.contains(10.0));
+/// ```
+pub fn mean_ci(data: &[f64], level: f64) -> Result<ConfidenceInterval, StatsError> {
+    if data.len() < 2 {
+        return Err(StatsError::InsufficientData {
+            needed: "at least two observations for a t interval",
+        });
+    }
+    if !(0.0 < level && level < 1.0) {
+        return Err(StatsError::InvalidParameter {
+            what: "confidence level must be in (0,1)",
+        });
+    }
+    let n = data.len() as f64;
+    let mean = data.iter().sum::<f64>() / n;
+    let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    let se = (var / n).sqrt();
+    let t = StudentT::new(n - 1.0)?;
+    let q = t.quantile(0.5 + level / 2.0);
+    Ok(ConfidenceInterval {
+        estimate: mean,
+        lower: mean - q * se,
+        upper: mean + q * se,
+        level,
+    })
+}
+
+/// Wilson score interval for a binomial proportion — used for the
+/// probability-of-successful-attack indicator, which is an average of
+/// Bernoulli replication outcomes.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] when `trials` is zero,
+/// [`StatsError::InvalidParameter`] when `successes > trials` or the level
+/// is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use diversify_stats::proportion_ci;
+/// let ci = proportion_ci(80, 100, 0.95).unwrap();
+/// assert!(ci.contains(0.8));
+/// assert!(ci.lower > 0.7 && ci.upper < 0.88);
+/// ```
+pub fn proportion_ci(
+    successes: u64,
+    trials: u64,
+    level: f64,
+) -> Result<ConfidenceInterval, StatsError> {
+    if trials == 0 {
+        return Err(StatsError::InsufficientData {
+            needed: "at least one trial",
+        });
+    }
+    if successes > trials {
+        return Err(StatsError::InvalidParameter {
+            what: "successes cannot exceed trials",
+        });
+    }
+    if !(0.0 < level && level < 1.0) {
+        return Err(StatsError::InvalidParameter {
+            what: "confidence level must be in (0,1)",
+        });
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z = Normal::standard().quantile(0.5 + level / 2.0);
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let centre = (p + z2 / (2.0 * n)) / denom;
+    let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+    Ok(ConfidenceInterval {
+        estimate: p,
+        lower: (centre - half).max(0.0),
+        upper: (centre + half).min(1.0),
+        level,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_ci_matches_hand_computation() {
+        // data mean 10, sd 1, n 4 => se 0.5, t_{0.975,3} = 3.1824.
+        let data = [9.0, 10.0, 10.0, 11.0];
+        let ci = mean_ci(&data, 0.95).unwrap();
+        assert!((ci.estimate - 10.0).abs() < 1e-12);
+        let sd = (2.0f64 / 3.0).sqrt();
+        let expected_hw = 3.182_446 * sd / 2.0;
+        assert!((ci.half_width() - expected_hw).abs() < 1e-4);
+    }
+
+    #[test]
+    fn mean_ci_widens_with_level() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let narrow = mean_ci(&data, 0.90).unwrap();
+        let wide = mean_ci(&data, 0.99).unwrap();
+        assert!(wide.half_width() > narrow.half_width());
+        assert_eq!(narrow.estimate, wide.estimate);
+    }
+
+    #[test]
+    fn mean_ci_validation() {
+        assert!(mean_ci(&[1.0], 0.95).is_err());
+        assert!(mean_ci(&[1.0, 2.0], 1.5).is_err());
+        assert!(mean_ci(&[1.0, 2.0], 0.0).is_err());
+    }
+
+    #[test]
+    fn proportion_ci_half() {
+        let ci = proportion_ci(50, 100, 0.95).unwrap();
+        assert!((ci.estimate - 0.5).abs() < 1e-12);
+        // Wilson 95% for 50/100 ≈ [0.4038, 0.5962].
+        assert!((ci.lower - 0.4038).abs() < 5e-3);
+        assert!((ci.upper - 0.5962).abs() < 5e-3);
+    }
+
+    #[test]
+    fn proportion_ci_extremes_stay_in_unit_interval() {
+        let zero = proportion_ci(0, 20, 0.95).unwrap();
+        assert_eq!(zero.estimate, 0.0);
+        assert!(zero.lower >= 0.0);
+        assert!(zero.upper > 0.0, "Wilson never collapses at 0");
+        let one = proportion_ci(20, 20, 0.95).unwrap();
+        assert!(one.lower < 1.0);
+        assert!(one.upper <= 1.0);
+    }
+
+    #[test]
+    fn proportion_ci_validation() {
+        assert!(proportion_ci(1, 0, 0.95).is_err());
+        assert!(proportion_ci(5, 4, 0.95).is_err());
+        assert!(proportion_ci(1, 2, -0.1).is_err());
+    }
+
+    #[test]
+    fn contains_and_display() {
+        let ci = mean_ci(&[1.0, 2.0, 3.0], 0.95).unwrap();
+        assert!(ci.contains(2.0));
+        assert!(!ci.contains(100.0));
+        assert!(ci.to_string().contains("95%"));
+    }
+}

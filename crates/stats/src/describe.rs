@@ -1,0 +1,282 @@
+//! Descriptive statistics and quantile estimation.
+
+use crate::error::StatsError;
+use std::fmt;
+
+/// A five-number-plus summary of a sample: count, mean, standard deviation,
+/// min, quartiles, max.
+///
+/// # Examples
+///
+/// ```
+/// use diversify_stats::Summary;
+///
+/// let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+/// assert_eq!(s.mean(), 3.0);
+/// assert_eq!(s.median(), 3.0);
+/// assert_eq!(s.min(), 1.0);
+/// assert_eq!(s.max(), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    n: usize,
+    mean: f64,
+    sd: f64,
+    min: f64,
+    q1: f64,
+    median: f64,
+    q3: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Computes a summary of `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InsufficientData`] when `data` is empty, or
+    /// [`StatsError::InvalidParameter`] if it contains non-finite values.
+    pub fn from_slice(data: &[f64]) -> Result<Self, StatsError> {
+        if data.is_empty() {
+            return Err(StatsError::InsufficientData {
+                needed: "at least one observation",
+            });
+        }
+        if data.iter().any(|x| !x.is_finite()) {
+            return Err(StatsError::InvalidParameter {
+                what: "observations must be finite",
+            });
+        }
+        let n = data.len();
+        let mean = data.iter().sum::<f64>() / n as f64;
+        let sd = if n > 1 {
+            (data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64).sqrt()
+        } else {
+            0.0
+        };
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Ok(Summary {
+            n,
+            mean,
+            sd,
+            min: sorted[0],
+            q1: quantile_sorted(&sorted, 0.25),
+            median: quantile_sorted(&sorted, 0.5),
+            q3: quantile_sorted(&sorted, 0.75),
+            max: sorted[n - 1],
+        })
+    }
+
+    /// Sample size.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.n
+    }
+    /// Sample mean.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+    /// Sample standard deviation (n−1 denominator).
+    #[must_use]
+    pub fn sd(&self) -> f64 {
+        self.sd
+    }
+    /// Minimum.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+    /// First quartile (type-7 interpolation).
+    #[must_use]
+    pub fn q1(&self) -> f64 {
+        self.q1
+    }
+    /// Median.
+    #[must_use]
+    pub fn median(&self) -> f64 {
+        self.median
+    }
+    /// Third quartile.
+    #[must_use]
+    pub fn q3(&self) -> f64 {
+        self.q3
+    }
+    /// Maximum.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+    /// Interquartile range.
+    #[must_use]
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+    /// Coefficient of variation (sd / mean); `None` when the mean is zero.
+    #[must_use]
+    pub fn cv(&self) -> Option<f64> {
+        if self.mean == 0.0 {
+            None
+        } else {
+            Some(self.sd / self.mean.abs())
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} sd={:.4} min={:.4} q1={:.4} med={:.4} q3={:.4} max={:.4}",
+            self.n, self.mean, self.sd, self.min, self.q1, self.median, self.q3, self.max
+        )
+    }
+}
+
+/// Linear-interpolation quantile (R type 7) of **sorted** data.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `p` outside `[0, 1]`.
+#[must_use]
+pub fn quantile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1]");
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = (n - 1) as f64 * p;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// Quantile of unsorted data (sorts a copy).
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] for an empty sample.
+pub fn quantile(data: &[f64], p: f64) -> Result<f64, StatsError> {
+    if data.is_empty() {
+        return Err(StatsError::InsufficientData {
+            needed: "at least one observation",
+        });
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    Ok(quantile_sorted(&sorted, p))
+}
+
+/// Sample mean.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] for an empty sample.
+pub fn mean(data: &[f64]) -> Result<f64, StatsError> {
+    if data.is_empty() {
+        return Err(StatsError::InsufficientData {
+            needed: "at least one observation",
+        });
+    }
+    Ok(data.iter().sum::<f64>() / data.len() as f64)
+}
+
+/// Unbiased sample variance.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] when fewer than two
+/// observations are provided.
+pub fn variance(data: &[f64]) -> Result<f64, StatsError> {
+    if data.len() < 2 {
+        return Err(StatsError::InsufficientData {
+            needed: "at least two observations",
+        });
+    }
+    let m = mean(data)?;
+    Ok(data.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (data.len() - 1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.count(), 8);
+        assert_eq!(s.mean(), 5.0);
+        assert!((s.sd() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn summary_single_value() {
+        let s = Summary::from_slice(&[42.0]).unwrap();
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.sd(), 0.0);
+        assert_eq!(s.median(), 42.0);
+        assert_eq!(s.iqr(), 0.0);
+    }
+
+    #[test]
+    fn summary_rejects_empty_and_nan() {
+        assert!(Summary::from_slice(&[]).is_err());
+        assert!(Summary::from_slice(&[1.0, f64::NAN]).is_err());
+        assert!(Summary::from_slice(&[f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn median_even_odd() {
+        let odd = Summary::from_slice(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(odd.median(), 2.0);
+        let even = Summary::from_slice(&[4.0, 1.0, 3.0, 2.0]).unwrap();
+        assert_eq!(even.median(), 2.5);
+    }
+
+    #[test]
+    fn quantile_type7_matches_r() {
+        // R: quantile(1:10, c(.25,.5,.75)) -> 3.25, 5.50, 7.75
+        let data: Vec<f64> = (1..=10).map(f64::from).collect();
+        assert!((quantile(&data, 0.25).unwrap() - 3.25).abs() < 1e-12);
+        assert!((quantile(&data, 0.5).unwrap() - 5.5).abs() < 1e-12);
+        assert!((quantile(&data, 0.75).unwrap() - 7.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_extremes_are_min_max() {
+        let data = [5.0, 1.0, 9.0];
+        assert_eq!(quantile(&data, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&data, 1.0).unwrap(), 9.0);
+    }
+
+    #[test]
+    fn cv_none_for_zero_mean() {
+        let s = Summary::from_slice(&[-1.0, 1.0]).unwrap();
+        assert!(s.cv().is_none());
+        let s2 = Summary::from_slice(&[2.0, 4.0]).unwrap();
+        assert!(s2.cv().is_some());
+    }
+
+    #[test]
+    fn mean_variance_errors() {
+        assert!(mean(&[]).is_err());
+        assert!(variance(&[1.0]).is_err());
+        assert!((variance(&[1.0, 3.0]).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_fields() {
+        let s = Summary::from_slice(&[1.0, 2.0]).unwrap();
+        let out = s.to_string();
+        assert!(out.contains("n=2"));
+        assert!(out.contains("mean="));
+    }
+}

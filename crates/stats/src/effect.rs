@@ -1,0 +1,90 @@
+//! Effect-size measures.
+
+use crate::error::StatsError;
+
+/// Cohen's d for two independent samples (pooled standard deviation).
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] when either sample has fewer
+/// than two observations, and [`StatsError::InvalidParameter`] when the
+/// pooled variance is zero.
+///
+/// # Examples
+///
+/// ```
+/// use diversify_stats::cohens_d;
+/// let d = cohens_d(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]).unwrap();
+/// assert!((d + 3.0).abs() < 1e-12); // means differ by 3 sd
+/// ```
+pub fn cohens_d(a: &[f64], b: &[f64]) -> Result<f64, StatsError> {
+    if a.len() < 2 || b.len() < 2 {
+        return Err(StatsError::InsufficientData {
+            needed: "two observations per sample",
+        });
+    }
+    let ma = a.iter().sum::<f64>() / a.len() as f64;
+    let mb = b.iter().sum::<f64>() / b.len() as f64;
+    let va = a.iter().map(|x| (x - ma).powi(2)).sum::<f64>() / (a.len() - 1) as f64;
+    let vb = b.iter().map(|x| (x - mb).powi(2)).sum::<f64>() / (b.len() - 1) as f64;
+    let pooled = (((a.len() - 1) as f64 * va + (b.len() - 1) as f64 * vb)
+        / ((a.len() + b.len() - 2) as f64))
+        .sqrt();
+    if pooled == 0.0 {
+        return Err(StatsError::InvalidParameter {
+            what: "pooled standard deviation is zero",
+        });
+    }
+    Ok((ma - mb) / pooled)
+}
+
+/// η² (eta squared) from sums of squares: the fraction of total variability
+/// explained by a factor. This is the paper's variance-allocation measure.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidParameter`] if either sum of squares is
+/// negative or `ss_total < ss_effect`.
+pub fn eta_squared(ss_effect: f64, ss_total: f64) -> Result<f64, StatsError> {
+    if ss_effect < 0.0 || ss_total < 0.0 || ss_total < ss_effect {
+        return Err(StatsError::InvalidParameter {
+            what: "sums of squares must satisfy 0 <= ss_effect <= ss_total",
+        });
+    }
+    if ss_total == 0.0 {
+        return Ok(0.0);
+    }
+    Ok(ss_effect / ss_total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cohens_d_zero_for_identical_means() {
+        let d = cohens_d(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]).unwrap();
+        assert!(d.abs() < 1e-12);
+    }
+
+    #[test]
+    fn cohens_d_sign_follows_first_sample() {
+        let d = cohens_d(&[10.0, 11.0], &[1.0, 2.0]).unwrap();
+        assert!(d > 0.0);
+    }
+
+    #[test]
+    fn cohens_d_errors() {
+        assert!(cohens_d(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(cohens_d(&[1.0, 1.0], &[2.0, 2.0]).is_err()); // zero pooled sd
+    }
+
+    #[test]
+    fn eta_squared_bounds() {
+        assert_eq!(eta_squared(0.0, 0.0).unwrap(), 0.0);
+        assert_eq!(eta_squared(5.0, 10.0).unwrap(), 0.5);
+        assert_eq!(eta_squared(10.0, 10.0).unwrap(), 1.0);
+        assert!(eta_squared(11.0, 10.0).is_err());
+        assert!(eta_squared(-1.0, 10.0).is_err());
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for statistical routines.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by statistical routines in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatsError {
+    /// The input sample was empty or too small for the requested statistic.
+    InsufficientData {
+        /// What the routine needed.
+        needed: &'static str,
+    },
+    /// A distribution or test parameter was out of its valid domain.
+    InvalidParameter {
+        /// Description of the violated constraint.
+        what: &'static str,
+    },
+    /// Group structure was invalid (e.g. mismatched lengths in ANOVA).
+    InvalidGroups {
+        /// Description of the structural problem.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InsufficientData { needed } => {
+                write!(f, "insufficient data: {needed}")
+            }
+            StatsError::InvalidParameter { what } => {
+                write!(f, "invalid parameter: {what}")
+            }
+            StatsError::InvalidGroups { what } => {
+                write!(f, "invalid group structure: {what}")
+            }
+        }
+    }
+}
+
+impl Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_nonempty() {
+        let cases = [
+            StatsError::InsufficientData { needed: "n >= 2" },
+            StatsError::InvalidParameter { what: "df > 0" },
+            StatsError::InvalidGroups { what: "k >= 2" },
+        ];
+        for c in cases {
+            let s = c.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<StatsError>();
+    }
+}

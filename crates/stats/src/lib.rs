@@ -1,0 +1,56 @@
+//! # diversify-stats
+//!
+//! The statistics substrate of the *Diversify!* (DSN 2013) reproduction.
+//!
+//! The paper's third step — *Diversity Assessment* — applies **ANOVA** to
+//! allocate the variability of security indicators (measured across the
+//! system configurations chosen by DoE) to the HW/SW components responsible
+//! for it. This crate implements everything that step needs, from scratch:
+//!
+//! * [`special`] — log-gamma, regularized incomplete beta/gamma, erf;
+//! * [`dist`] — normal, Student-t, F and chi-square distributions with
+//!   CDFs and quantile functions;
+//! * [`describe`] — descriptive statistics and quantile estimation;
+//! * [`ci`] — confidence intervals (t-based and Wilson proportion);
+//! * [`anova`] — one-way ANOVA and n-way ANOVA for two-level factorial
+//!   designs, with variance-explained allocation per factor;
+//! * [`effect`] — effect sizes (Cohen's d, eta squared);
+//! * [`rank`] — the Mann–Whitney U test (a non-parametric cross-check);
+//! * [`bootstrap`] — percentile bootstrap confidence intervals.
+//!
+//! ## Example: one-way ANOVA
+//!
+//! ```
+//! use diversify_stats::anova::one_way;
+//!
+//! // Three OS variants, time-to-attack samples (hours).
+//! let groups: Vec<Vec<f64>> = vec![
+//!     vec![10.0, 11.0, 9.5, 10.5],
+//!     vec![20.0, 21.0, 19.0, 20.5],
+//!     vec![15.0, 16.0, 14.0, 15.5],
+//! ];
+//! let refs: Vec<&[f64]> = groups.iter().map(|g| g.as_slice()).collect();
+//! let table = one_way(&refs).unwrap();
+//! assert!(table.p_value < 0.001); // variant clearly matters
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod anova;
+pub mod bootstrap;
+pub mod ci;
+pub mod describe;
+pub mod dist;
+pub mod effect;
+pub mod error;
+pub mod rank;
+pub mod special;
+
+pub use anova::{factorial_two_level, one_way, AnovaRow, AnovaTable, FactorialAnova};
+pub use bootstrap::bootstrap_ci;
+pub use ci::{mean_ci, proportion_ci, ConfidenceInterval};
+pub use describe::Summary;
+pub use dist::{ChiSquared, Distribution, FisherF, Normal, StudentT};
+pub use effect::{cohens_d, eta_squared};
+pub use error::StatsError;
+pub use rank::mann_whitney_u;

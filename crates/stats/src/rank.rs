@@ -1,0 +1,164 @@
+//! Non-parametric rank tests.
+//!
+//! Security-indicator distributions (e.g. time-to-attack) are often heavily
+//! skewed, so the pipeline cross-checks parametric ANOVA conclusions with
+//! the Mann–Whitney U test.
+
+use crate::dist::{Distribution, Normal};
+use crate::error::StatsError;
+
+/// Result of a Mann–Whitney U test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MannWhitney {
+    /// The U statistic of the first sample.
+    pub u: f64,
+    /// Standardized z statistic (normal approximation, tie-corrected).
+    pub z: f64,
+    /// Two-sided p-value under the normal approximation.
+    pub p_value: f64,
+}
+
+/// Mann–Whitney U test (two-sided, normal approximation with tie and
+/// continuity corrections).
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] when either sample is empty.
+///
+/// # Examples
+///
+/// ```
+/// use diversify_stats::mann_whitney_u;
+/// let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+/// let b = [11.0, 12.0, 13.0, 14.0, 15.0, 16.0, 17.0, 18.0];
+/// let r = mann_whitney_u(&a, &b).unwrap();
+/// assert!(r.p_value < 0.01); // clearly shifted distributions
+/// ```
+pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> Result<MannWhitney, StatsError> {
+    if a.is_empty() || b.is_empty() {
+        return Err(StatsError::InsufficientData {
+            needed: "both samples non-empty",
+        });
+    }
+    let n1 = a.len() as f64;
+    let n2 = b.len() as f64;
+
+    // Rank the pooled sample with midranks for ties.
+    let mut pooled: Vec<(f64, usize)> = a
+        .iter()
+        .map(|&x| (x, 0usize))
+        .chain(b.iter().map(|&x| (x, 1usize)))
+        .collect();
+    pooled.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("finite observations"));
+
+    let n = pooled.len();
+    let mut ranks = vec![0.0f64; n];
+    let mut tie_correction = 0.0;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && pooled[j + 1].0 == pooled[i].0 {
+            j += 1;
+        }
+        let avg_rank = (i + j + 2) as f64 / 2.0; // ranks are 1-based
+        for r in ranks.iter_mut().take(j + 1).skip(i) {
+            *r = avg_rank;
+        }
+        let t = (j - i + 1) as f64;
+        tie_correction += t * t * t - t;
+        i = j + 1;
+    }
+
+    let r1: f64 = pooled
+        .iter()
+        .zip(&ranks)
+        .filter(|((_, grp), _)| *grp == 0)
+        .map(|(_, &r)| r)
+        .sum();
+    let u1 = r1 - n1 * (n1 + 1.0) / 2.0;
+
+    let mean_u = n1 * n2 / 2.0;
+    let nf = n as f64;
+    let var_u = n1 * n2 / 12.0 * ((nf + 1.0) - tie_correction / (nf * (nf - 1.0)));
+    if var_u <= 0.0 {
+        // All observations identical: no evidence of difference.
+        return Ok(MannWhitney {
+            u: u1,
+            z: 0.0,
+            p_value: 1.0,
+        });
+    }
+    // Continuity correction toward the mean.
+    let diff = u1 - mean_u;
+    let cc = if diff > 0.0 {
+        -0.5
+    } else if diff < 0.0 {
+        0.5
+    } else {
+        0.0
+    };
+    let z = (diff + cc) / var_u.sqrt();
+    let p = 2.0 * (1.0 - Normal::standard().cdf(z.abs()));
+    Ok(MannWhitney {
+        u: u1,
+        z,
+        p_value: p.min(1.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_p_near_one() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let r = mann_whitney_u(&a, &a).unwrap();
+        assert!(r.p_value > 0.9, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn disjoint_samples_small_p() {
+        let a: Vec<f64> = (0..20).map(f64::from).collect();
+        let b: Vec<f64> = (100..120).map(f64::from).collect();
+        let r = mann_whitney_u(&a, &b).unwrap();
+        assert!(r.p_value < 1e-6);
+        // U of the lower sample is 0.
+        assert_eq!(r.u, 0.0);
+    }
+
+    #[test]
+    fn all_tied_degenerate() {
+        let a = [5.0, 5.0, 5.0];
+        let b = [5.0, 5.0];
+        let r = mann_whitney_u(&a, &b).unwrap();
+        assert_eq!(r.p_value, 1.0);
+        assert_eq!(r.z, 0.0);
+    }
+
+    #[test]
+    fn symmetric_in_samples() {
+        let a = [1.0, 3.0, 5.0, 7.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        let r1 = mann_whitney_u(&a, &b).unwrap();
+        let r2 = mann_whitney_u(&b, &a).unwrap();
+        assert!((r1.p_value - r2.p_value).abs() < 1e-12);
+        // U1 + U2 = n1 n2.
+        assert!((r1.u + r2.u - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sample_rejected() {
+        assert!(mann_whitney_u(&[], &[1.0]).is_err());
+        assert!(mann_whitney_u(&[1.0], &[]).is_err());
+    }
+
+    #[test]
+    fn known_example() {
+        // Classic example: A = {1,2,4}, B = {3,5,6}; R1 = 1+2+4 = 7, U1 = 1.
+        let a = [1.0, 2.0, 4.0];
+        let b = [3.0, 5.0, 6.0];
+        let r = mann_whitney_u(&a, &b).unwrap();
+        assert_eq!(r.u, 1.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Protocol-dialect diversification at the wire level.
+//!
+//! ```text
+//! cargo run --release --example protocol_diversity
+//! ```
+//!
+//! Shows the concrete mechanism behind experiment R7: a Stuxnet-style
+//! `DownloadLogic` payload is framed for the Classic dialect; endpoints
+//! speaking any other dialect reject the very same bytes, so one crafted
+//! exploit no longer fits every segment of a diversified plant.
+
+use diversify::scada::plc::{sabotage_program, Plc};
+use diversify::scada::components::PlcFirmware;
+use diversify::scada::protocol::dialect::ProtocolDialect;
+use diversify::scada::protocol::frame::{Pdu, Request};
+
+fn main() {
+    // The attacker crafts the malicious logic-download frame once, for the
+    // dialect their payload was engineered against.
+    let payload = Pdu::Request(Request::DownloadLogic {
+        image: sabotage_program().to_image(),
+    });
+    let key = 0; // Classic carries no authentication
+    let wire = ProtocolDialect::Classic.encode(&payload, key);
+    println!("crafted payload: {} bytes (Classic framing)\n", wire.len());
+
+    println!("{:<16} {:>12} {:>28}", "endpoint", "frame", "PLC result");
+    for dialect in ProtocolDialect::ALL {
+        let decoded = dialect.decode(&wire, key);
+        let result = match decoded {
+            Ok(Pdu::Request(req)) => {
+                // Frame accepted — deliver to the PLC and see what the
+                // firmware does with it.
+                let mut plc = Plc::new(1, PlcFirmware::VendorAStock);
+                let resp = plc.serve(&req);
+                if plc.is_logic_tampered() {
+                    "LOGIC REPLACED (sabotaged)".to_string()
+                } else {
+                    format!("refused: {resp:?}")
+                }
+            }
+            Ok(Pdu::Response(_)) => "unexpected response".to_string(),
+            Err(e) => format!("rejected: {e}"),
+        };
+        println!("{:<16} {:>12} {:>28}", dialect.to_string(), "classic", result);
+    }
+
+    println!();
+    println!("=> only the Classic endpoint accepts the frame; every other dialect");
+    println!("   rejects it at the wire, which is why rotating dialects across the");
+    println!("   field network (experiment R7) slows PLC payload delivery.");
+}

@@ -1,0 +1,75 @@
+//! Physical impact of a Stuxnet-like campaign on the SCoPE cooling plant.
+//!
+//! ```text
+//! cargo run --release --example scope_sabotage
+//! ```
+//!
+//! 1. Simulate the cyber campaign on the plant network to find out *which*
+//!    PLCs the attacker reprograms and when.
+//! 2. Replay the physical consequence: inject the sabotage logic into the
+//!    reprogrammed PLCs of the closed-loop cooling runtime, spoof the
+//!    temperature sensors (Stuxnet's "emulate regular monitoring
+//!    signals"), and watch rack temperatures climb while alarms stay
+//!    silent.
+
+use diversify::attack::campaign::{CampaignConfig, CampaignSimulator, ThreatModel};
+use diversify::attack::stage::NodeCompromise;
+use diversify::scada::plc::sabotage_program;
+use diversify::scada::scope::{ScopeConfig, ScopeSystem};
+
+fn main() {
+    let scope_cfg = ScopeConfig::default();
+    let system = ScopeSystem::build(&scope_cfg);
+    println!("{}", system.network());
+
+    // --- Cyber phase -----------------------------------------------------
+    let sim = CampaignSimulator::new(
+        system.network(),
+        ThreatModel::stuxnet_like(),
+        CampaignConfig::default(),
+    );
+    let outcome = sim.run(2026);
+    println!(
+        "campaign: success={} TTA={:?}h detection={:?}h deepest={}",
+        outcome.succeeded(),
+        outcome.time_to_attack,
+        outcome.time_to_detection,
+        outcome.deepest_stage
+    );
+
+    let reprogrammed: Vec<usize> = system
+        .plc_nodes()
+        .iter()
+        .enumerate()
+        .filter(|(_, node)| {
+            outcome.final_states[node.index()] == NodeCompromise::Reprogrammed
+        })
+        .map(|(crac, _)| crac)
+        .collect();
+    println!("reprogrammed PLCs (CRAC indices): {reprogrammed:?}");
+
+    // --- Physical phase ---------------------------------------------------
+    let mut rt = ScopeSystem::build(&scope_cfg).into_runtime();
+    rt.run_for(1800.0); // reach normal steady-state operation
+    println!(
+        "before sabotage: max rack temp = {:.1} °C, alarms = {}",
+        rt.max_rack_temperature(),
+        rt.any_alarm()
+    );
+
+    for &crac in &reprogrammed {
+        rt.plc_mut(crac).install_program(sabotage_program());
+        rt.sensor_mut(crac).compromise(22.0); // spoof a comfortable reading
+    }
+    rt.run_for(4.0 * 3600.0);
+
+    println!(
+        "after  sabotage: max rack temp = {:.1} °C, tripped racks = {}, alarms = {}",
+        rt.max_rack_temperature(),
+        rt.tripped_count(),
+        rt.any_alarm()
+    );
+    if rt.tripped_count() > 0 && !rt.any_alarm() {
+        println!("=> device impairment achieved while monitoring stayed green — the Stuxnet signature");
+    }
+}

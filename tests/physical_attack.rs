@@ -1,0 +1,93 @@
+//! End-to-end cyber-physical integration: a simulated campaign's PLC
+//! compromises are replayed against the thermal plant model.
+
+use diversify::attack::campaign::{CampaignConfig, CampaignSimulator, ThreatModel};
+use diversify::attack::stage::NodeCompromise;
+use diversify::scada::plc::sabotage_program;
+use diversify::scada::scope::{ScopeConfig, ScopeSystem};
+
+/// Runs the cyber campaign, then injects the resulting PLC compromises
+/// into the physical runtime. Returns (tripped racks, alarms active).
+fn cyber_physical_run(seed: u64) -> (usize, bool) {
+    let cfg = ScopeConfig::default();
+    let system = ScopeSystem::build(&cfg);
+    let sim = CampaignSimulator::new(
+        system.network(),
+        ThreatModel::stuxnet_like(),
+        CampaignConfig::default(),
+    );
+    let outcome = sim.run(seed);
+    let reprogrammed: Vec<usize> = system
+        .plc_nodes()
+        .iter()
+        .enumerate()
+        .filter(|(_, node)| outcome.final_states[node.index()] == NodeCompromise::Reprogrammed)
+        .map(|(crac, _)| crac)
+        .collect();
+
+    let mut rt = ScopeSystem::build(&cfg).into_runtime();
+    rt.run_for(1800.0);
+    for &crac in &reprogrammed {
+        rt.plc_mut(crac).install_program(sabotage_program());
+        rt.sensor_mut(crac).compromise(22.0);
+    }
+    rt.run_for(6.0 * 3600.0);
+    (rt.tripped_count(), rt.any_alarm())
+}
+
+#[test]
+fn successful_campaign_causes_physical_damage_without_alarms() {
+    // Find a successful campaign among a few seeds (the monoculture falls
+    // almost surely, but stay robust to unlucky seeds).
+    for seed in 0..10 {
+        let cfg = ScopeConfig::default();
+        let system = ScopeSystem::build(&cfg);
+        let sim = CampaignSimulator::new(
+            system.network(),
+            ThreatModel::stuxnet_like(),
+            CampaignConfig::default(),
+        );
+        if !sim.run(seed).succeeded() {
+            continue;
+        }
+        let (tripped, alarms) = cyber_physical_run(seed);
+        assert!(
+            tripped > 0,
+            "a successful sabotage campaign must trip racks (seed {seed})"
+        );
+        assert!(
+            !alarms,
+            "the sabotage program suppresses PLC alarms (seed {seed})"
+        );
+        return;
+    }
+    panic!("no successful campaign in 10 seeds against the monoculture");
+}
+
+#[test]
+fn untouched_plant_stays_healthy() {
+    let mut rt = ScopeSystem::build(&ScopeConfig::default()).into_runtime();
+    rt.run_for(4.0 * 3600.0);
+    assert_eq!(rt.tripped_count(), 0);
+    assert!(rt.max_rack_temperature() < 45.0);
+}
+
+#[test]
+fn partial_compromise_damages_proportionally() {
+    let cfg = ScopeConfig::default();
+    let run_with_sabotaged = |count: usize| {
+        let mut rt = ScopeSystem::build(&cfg).into_runtime();
+        rt.run_for(1800.0);
+        for crac in 0..count {
+            rt.plc_mut(crac).install_program(sabotage_program());
+        }
+        rt.run_for(4.0 * 3600.0);
+        rt.max_rack_temperature()
+    };
+    let none = run_with_sabotaged(0);
+    let all = run_with_sabotaged(4);
+    assert!(
+        all > none + 5.0,
+        "full sabotage must clearly overheat: {none:.1} -> {all:.1}"
+    );
+}
