@@ -172,11 +172,7 @@ impl BayesNet {
     ///
     /// Panics if the network has more than 24 variables (enumeration
     /// would be unreasonable; stage networks are far smaller).
-    pub fn query(
-        &self,
-        query: VarId,
-        evidence: &HashMap<VarId, bool>,
-    ) -> Result<f64, BayesError> {
+    pub fn query(&self, query: VarId, evidence: &HashMap<VarId, bool>) -> Result<f64, BayesError> {
         let n = self.variables.len();
         assert!(n <= 24, "enumeration limited to 24 variables");
         if query.0 >= n || evidence.keys().any(|v| v.0 >= n) {
@@ -339,7 +335,10 @@ mod tests {
             net.query(a, &ev).unwrap_err(),
             BayesError::ImpossibleEvidence
         );
-        assert_eq!(net.marginal(VarId(9)).unwrap_err(), BayesError::UnknownVariable);
+        assert_eq!(
+            net.marginal(VarId(9)).unwrap_err(),
+            BayesError::UnknownVariable
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use crate::exploit::ExploitCatalog;
 use crate::stage::{AttackStage, NodeCompromise};
-use diversify_des::{RngStream, StreamId};
+use diversify_des::{Executor, ReplicationPlan, RngStream, StreamId};
 use diversify_scada::network::{NodeId, NodeRole, ScadaNetwork};
 use serde::{Deserialize, Serialize};
 
@@ -337,17 +337,15 @@ impl<'n> CampaignSimulator<'n> {
                 if rng.bernoulli(p) {
                     time_to_detection = Some(tick);
                     if self.config.detection_stops_attack {
-                        let ratio = states.iter().filter(|s| s.is_compromised()).count()
-                            as f64
-                            / n as f64;
+                        let ratio =
+                            states.iter().filter(|s| s.is_compromised()).count() as f64 / n as f64;
                         ratio_curve.push(ratio);
                         break 'ticks;
                     }
                 }
             }
 
-            let ratio =
-                states.iter().filter(|s| s.is_compromised()).count() as f64 / n as f64;
+            let ratio = states.iter().filter(|s| s.is_compromised()).count() as f64 / n as f64;
             ratio_curve.push(ratio);
 
             // Early exit when nothing further can change.
@@ -368,19 +366,33 @@ impl<'n> CampaignSimulator<'n> {
     }
 
     /// Runs `replications` campaigns under distinct seeds derived from
-    /// `master_seed` and returns every outcome.
+    /// `master_seed` on the default (parallel) [`Executor`] and returns
+    /// every outcome in replication order. Zero replications yield an
+    /// empty vector.
     #[must_use]
     pub fn run_many(&self, replications: u32, master_seed: u64) -> Vec<CampaignOutcome> {
-        (0..replications)
-            .map(|i| {
-                self.run(diversify_des::derive_seed(
-                    master_seed,
-                    StreamId(0xCA_0000 + u64::from(i)),
-                ))
-            })
-            .collect()
+        if replications == 0 {
+            return Vec::new();
+        }
+        self.run_plan(
+            &ReplicationPlan::flat(replications, master_seed)
+                .with_namespace(CAMPAIGN_RUN_NAMESPACE),
+            Executor::default(),
+        )
+    }
+
+    /// Runs every replication of an explicit plan — the entry point for
+    /// callers that manage seed schedules and scheduling themselves.
+    #[must_use]
+    pub fn run_plan(&self, plan: &ReplicationPlan, executor: Executor) -> Vec<CampaignOutcome> {
+        executor.run(plan, |rep| self.run(rep.seed))
     }
 }
+
+/// Stream namespace `run_many` has always derived its seeds under. The
+/// pre-Executor loop used additive ids (`0xCA_0000 + i`); XOR derivation
+/// matches it exactly for every index below 2^17.
+const CAMPAIGN_RUN_NAMESPACE: u64 = 0xCA_0000;
 
 #[cfg(test)]
 mod tests {
@@ -389,17 +401,24 @@ mod tests {
     use diversify_scada::scope::{ScopeConfig, ScopeSystem};
 
     fn scope_network() -> ScadaNetwork {
-        ScopeSystem::build(&ScopeConfig::default()).network().clone()
+        ScopeSystem::build(&ScopeConfig::default())
+            .network()
+            .clone()
+    }
+
+    #[test]
+    fn run_many_zero_replications_is_empty() {
+        let net = scope_network();
+        let sim =
+            CampaignSimulator::new(&net, ThreatModel::stuxnet_like(), CampaignConfig::default());
+        assert!(sim.run_many(0, 1).is_empty());
     }
 
     #[test]
     fn stuxnet_succeeds_against_monoculture() {
         let net = scope_network();
-        let sim = CampaignSimulator::new(
-            &net,
-            ThreatModel::stuxnet_like(),
-            CampaignConfig::default(),
-        );
+        let sim =
+            CampaignSimulator::new(&net, ThreatModel::stuxnet_like(), CampaignConfig::default());
         let outcomes = sim.run_many(50, 7);
         let successes = outcomes.iter().filter(|o| o.succeeded()).count();
         assert!(
@@ -457,22 +476,16 @@ mod tests {
     #[test]
     fn outcomes_are_reproducible() {
         let net = scope_network();
-        let sim = CampaignSimulator::new(
-            &net,
-            ThreatModel::stuxnet_like(),
-            CampaignConfig::default(),
-        );
+        let sim =
+            CampaignSimulator::new(&net, ThreatModel::stuxnet_like(), CampaignConfig::default());
         assert_eq!(sim.run(42), sim.run(42));
     }
 
     #[test]
     fn compromised_ratio_is_monotone_without_remediation() {
         let net = scope_network();
-        let sim = CampaignSimulator::new(
-            &net,
-            ThreatModel::stuxnet_like(),
-            CampaignConfig::default(),
-        );
+        let sim =
+            CampaignSimulator::new(&net, ThreatModel::stuxnet_like(), CampaignConfig::default());
         let o = sim.run(5);
         for w in o.compromised_ratio.windows(2) {
             assert!(w[1] >= w[0] - 1e-12, "ratio decreased: {w:?}");
@@ -498,11 +511,13 @@ mod tests {
     #[test]
     fn duqu_exfiltration_goal_reachable() {
         let net = scope_network();
-        let sim =
-            CampaignSimulator::new(&net, ThreatModel::duqu_like(), CampaignConfig::default());
+        let sim = CampaignSimulator::new(&net, ThreatModel::duqu_like(), CampaignConfig::default());
         let outcomes = sim.run_many(30, 13);
         let successes = outcomes.iter().filter(|o| o.succeeded()).count();
-        assert!(successes > 15, "duqu should usually exfiltrate: {successes}/30");
+        assert!(
+            successes > 15,
+            "duqu should usually exfiltrate: {successes}/30"
+        );
     }
 
     #[test]
@@ -526,14 +541,10 @@ mod tests {
         let mut net = scope_network();
         let ids: Vec<_> = net.node_ids().collect();
         for id in ids {
-            net.node_mut(id).profile.firewall =
-                diversify_scada::components::FirewallPolicy::Strict;
+            net.node_mut(id).profile.firewall = diversify_scada::components::FirewallPolicy::Strict;
         }
-        let sim = CampaignSimulator::new(
-            &net,
-            ThreatModel::stuxnet_like(),
-            CampaignConfig::default(),
-        );
+        let sim =
+            CampaignSimulator::new(&net, ThreatModel::stuxnet_like(), CampaignConfig::default());
         let o = sim.run(9);
         assert!(o.firewall_blocks > 0, "strict firewalls should log blocks");
     }

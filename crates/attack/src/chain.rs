@@ -10,7 +10,8 @@
 //! [`simulate_chain`] estimates the same probability by Monte Carlo so
 //! experiment R1 can show agreement.
 
-use diversify_des::{RngStream, StreamId};
+use diversify_des::exec::MeanCollector;
+use diversify_des::{Executor, ReplicationPlan, RngStream, StreamId};
 
 /// A chain of machines the attacker must compromise in order. Each entry
 /// is `(variant id, per-machine compromise probability)`.
@@ -104,35 +105,43 @@ pub fn chain_success_probability(chain: &MachineChain) -> f64 {
     p_total
 }
 
-/// Monte-Carlo estimate of the chain success probability.
+/// Monte-Carlo estimate of the chain success probability, replicated on
+/// the unified [`Executor`] layer (each replication draws from its own
+/// plan-derived stream, so the estimate is independent of scheduling).
 ///
 /// Each replication walks the chain; a fresh variant is broken with its
 /// probability, a previously broken variant falls for free, and any
 /// failure aborts the attack.
+///
+/// # Panics
+///
+/// Panics if `replications` is zero.
 #[must_use]
 pub fn simulate_chain(chain: &MachineChain, replications: u32, seed: u64) -> f64 {
-    let mut rng = RngStream::new(seed, StreamId(0xC4A1));
-    let mut successes = 0u32;
-    for _ in 0..replications {
-        let mut broken: Vec<u32> = Vec::new();
-        let mut ok = true;
-        for &(variant, p) in chain.machines() {
-            if broken.contains(&variant) {
-                continue;
+    let plan = ReplicationPlan::flat(replications, seed).with_namespace(CHAIN_STREAM_NAMESPACE);
+    Executor::default().collect(
+        &plan,
+        |rep| {
+            let mut rng = RngStream::new(rep.seed, StreamId(0xC4A1));
+            let mut broken: Vec<u32> = Vec::new();
+            for &(variant, p) in chain.machines() {
+                if broken.contains(&variant) {
+                    continue;
+                }
+                if rng.bernoulli(p) {
+                    broken.push(variant);
+                } else {
+                    return 0.0;
+                }
             }
-            if rng.bernoulli(p) {
-                broken.push(variant);
-            } else {
-                ok = false;
-                break;
-            }
-        }
-        if ok {
-            successes += 1;
-        }
-    }
-    f64::from(successes) / f64::from(replications)
+            1.0
+        },
+        &MeanCollector,
+    )
 }
+
+/// Stream namespace for chain-walk replication seeds.
+const CHAIN_STREAM_NAMESPACE: u64 = 0xC4A1_0000_0000_0000;
 
 #[cfg(test)]
 mod tests {

@@ -35,9 +35,7 @@ pub mod stage;
 pub mod to_san;
 pub mod tree;
 
-pub use campaign::{
-    AttackGoal, CampaignConfig, CampaignOutcome, CampaignSimulator, ThreatModel,
-};
+pub use campaign::{AttackGoal, CampaignConfig, CampaignOutcome, CampaignSimulator, ThreatModel};
 pub use chain::{chain_success_probability, simulate_chain, MachineChain};
 pub use exploit::ExploitCatalog;
 pub use stage::{AttackStage, NodeCompromise};

@@ -154,6 +154,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "four transitions")]
     fn wrong_transition_count_panics() {
-        let _ = compile_stage_chain(&params(0.5, 1.0)[..2].to_vec());
+        let _ = compile_stage_chain(&params(0.5, 1.0)[..2]);
     }
 }

@@ -134,9 +134,7 @@ impl AttackTree {
                 TreeNode::Leaf { name, .. } => {
                     vec![BTreeSet::from([name.clone()])]
                 }
-                TreeNode::Or(children) => {
-                    children.iter().flat_map(cut_sets).collect()
-                }
+                TreeNode::Or(children) => children.iter().flat_map(cut_sets).collect(),
                 TreeNode::And(children) => {
                     let mut acc: Vec<BTreeSet<String>> = vec![BTreeSet::new()];
                     for child in children {
@@ -184,9 +182,7 @@ impl AttackTree {
                 TreeNode::And(ch) => {
                     TreeNode::And(ch.iter().map(|c| rewrite(c, name, p)).collect())
                 }
-                TreeNode::Or(ch) => {
-                    TreeNode::Or(ch.iter().map(|c| rewrite(c, name, p)).collect())
-                }
+                TreeNode::Or(ch) => TreeNode::Or(ch.iter().map(|c| rewrite(c, name, p)).collect()),
             }
         }
         AttackTree {
@@ -296,8 +292,12 @@ mod tests {
         let base = t.success_probability();
         // Halve the payload step (in every cut set) vs halving one entry
         // option (in half the cut sets).
-        let harden_payload = t.with_leaf_probability("plc-payload", 0.4).success_probability();
-        let harden_usb = t.with_leaf_probability("usb-infection", 0.3).success_probability();
+        let harden_payload = t
+            .with_leaf_probability("plc-payload", 0.4)
+            .success_probability();
+        let harden_usb = t
+            .with_leaf_probability("usb-infection", 0.3)
+            .success_probability();
         assert!(harden_payload < harden_usb);
         assert!(harden_payload < base && harden_usb < base);
     }

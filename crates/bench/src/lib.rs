@@ -14,9 +14,10 @@ use diversify_attack::campaign::{CampaignConfig, CampaignSimulator, ThreatModel}
 use diversify_attack::chain::{chain_success_probability, simulate_chain, MachineChain};
 use diversify_attack::to_san::{compile_stage_chain, success_place, StageParams};
 use diversify_attack::tree::stuxnet_tree;
+use diversify_core::exec::{campaign_plan, Executor};
 use diversify_core::pipeline::{Pipeline, PipelineConfig};
 use diversify_core::report::render_series;
-use diversify_core::runner::measure_configuration;
+use diversify_core::runner::measure_configuration_with;
 use diversify_des::SimTime;
 use diversify_diversity::config::DiversityConfig;
 use diversify_diversity::placement::{apply_placement, PlacementStrategy};
@@ -80,26 +81,29 @@ pub fn r2_indicators(scale: Scale) -> String {
         ("monoculture", DiversityConfig::monoculture()),
         ("full-rotation", DiversityConfig::full_rotation()),
     ] {
-        let mut net = ScopeSystem::build(&ScopeConfig::default()).network().clone();
+        let mut net = ScopeSystem::build(&ScopeConfig::default())
+            .network()
+            .clone();
         cfg.apply(&mut net);
-        let m = measure_configuration(
+        let m = measure_configuration_with(
             &net,
             &ThreatModel::stuxnet_like(),
             CampaignConfig {
                 max_ticks: 24 * 30,
                 detection_stops_attack: false,
             },
-            4,
-            batch,
-            7,
+            &campaign_plan(4, batch, 7),
+            Executor::default(),
         );
         let s = &m.summary;
         let _ = writeln!(
             out,
             "{name:<16} {:>8.3} {:>9} {:>10} {:>12.3}",
             s.p_success,
-            s.mean_tta.map_or("-".to_string(), |v: f64| format!("{v:.1}")),
-            s.mean_ttsf.map_or("-".to_string(), |v: f64| format!("{v:.1}")),
+            s.mean_tta
+                .map_or("-".to_string(), |v: f64| format!("{v:.1}")),
+            s.mean_ttsf
+                .map_or("-".to_string(), |v: f64| format!("{v:.1}")),
             s.mean_compromised_ratio
         );
     }
@@ -132,18 +136,19 @@ pub fn r5_sensitivity(scale: Scale) -> String {
     let mut strategic_series = Vec::new();
     for k in [0usize, 1, 2, 3, 4, 6, 8] {
         let p_for = |strategy: PlacementStrategy, seed: u64| {
-            let mut net = ScopeSystem::build(&ScopeConfig::default()).network().clone();
+            let mut net = ScopeSystem::build(&ScopeConfig::default())
+                .network()
+                .clone();
             apply_placement(&mut net, strategy, ComponentProfile::hardened());
-            measure_configuration(
+            measure_configuration_with(
                 &net,
                 &ThreatModel::stuxnet_like(),
                 CampaignConfig {
                     max_ticks: 48,
                     detection_stops_attack: false,
                 },
-                2,
-                batch,
-                seed,
+                &campaign_plan(2, batch, seed),
+                Executor::default(),
             )
             .summary
             .p_success
@@ -186,7 +191,9 @@ pub fn r5_sensitivity(scale: Scale) -> String {
 #[must_use]
 pub fn r6_threats(scale: Scale) -> String {
     let reps = scale.reps(20, 200);
-    let net = ScopeSystem::build(&ScopeConfig::default()).network().clone();
+    let net = ScopeSystem::build(&ScopeConfig::default())
+        .network()
+        .clone();
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -206,6 +213,8 @@ pub fn r6_threats(scale: Scale) -> String {
                 detection_stops_attack: false,
             },
         );
+        // run_many routes through the Executor and keeps the historical
+        // 0xCA_0000 campaign seed schedule.
         let outcomes = sim.run_many(reps, 17);
         let s = diversify_core::indicators::IndicatorSummary::from_outcomes(&outcomes);
         let _ = writeln!(
@@ -213,8 +222,10 @@ pub fn r6_threats(scale: Scale) -> String {
             "{:<14} {:>8.3} {:>9} {:>10} {:>12.3}",
             threat.name,
             s.p_success,
-            s.mean_tta.map_or("-".to_string(), |v: f64| format!("{v:.1}")),
-            s.mean_ttsf.map_or("-".to_string(), |v: f64| format!("{v:.1}")),
+            s.mean_tta
+                .map_or("-".to_string(), |v: f64| format!("{v:.1}")),
+            s.mean_ttsf
+                .map_or("-".to_string(), |v: f64| format!("{v:.1}")),
             s.mean_compromised_ratio
         );
     }
@@ -235,25 +246,27 @@ pub fn r7_protocol(scale: Scale) -> String {
             DiversityConfig::rotate_only(ComponentClass::ProtocolDialect),
         ),
     ] {
-        let mut net = ScopeSystem::build(&ScopeConfig::default()).network().clone();
+        let mut net = ScopeSystem::build(&ScopeConfig::default())
+            .network()
+            .clone();
         cfg.apply(&mut net);
-        let m = measure_configuration(
+        let m = measure_configuration_with(
             &net,
             &ThreatModel::stuxnet_like(),
             CampaignConfig {
                 max_ticks: 24 * 30,
                 detection_stops_attack: false,
             },
-            2,
-            batch,
-            23,
+            &campaign_plan(2, batch, 23),
+            Executor::default(),
         );
         let s = &m.summary;
         let _ = writeln!(
             out,
             "{name:<22} {:>8.3} {:>9}",
             s.p_success,
-            s.mean_tta.map_or("-".to_string(), |v: f64| format!("{v:.1}")),
+            s.mean_tta
+                .map_or("-".to_string(), |v: f64| format!("{v:.1}")),
         );
     }
     out

@@ -1,0 +1,101 @@
+//! The unified execution layer, specialized for campaign measurement.
+//!
+//! Re-exports the generic engine from [`diversify_des::exec`] — a
+//! [`ReplicationPlan`] (seeds + batch structure) run by a serial or
+//! parallel [`Executor`] and folded by a [`Collector`] — and adds the
+//! campaign-level pieces: [`MeasurementsCollector`], which turns ordered
+//! [`CampaignOutcome`]s into the batched [`Measurements`] the ANOVA
+//! stage consumes, and the stream namespace campaign measurement has
+//! always used for its seed schedule.
+//!
+//! This is the single seam every replication loop in the workspace goes
+//! through: `core::runner::measure_configuration`, the
+//! [`Pipeline`](crate::pipeline::Pipeline) design-point sweep,
+//! `des::replication::ReplicationRunner`, the attack-crate Monte-Carlo
+//! helpers, and the bench experiments all build a plan and hand it to an
+//! executor. Future scaling work (sharding, multi-backend execution,
+//! result caching) lands here once.
+
+pub use diversify_des::exec::{
+    Collector, ExecMode, Executor, MeanCollector, Replication, ReplicationPlan,
+    DEFAULT_STREAM_NAMESPACE,
+};
+
+use crate::indicators::IndicatorSummary;
+use crate::runner::Measurements;
+use diversify_attack::campaign::CampaignOutcome;
+
+/// The stream namespace campaign measurement derives its per-replication
+/// seeds under. The original hand-rolled loop used *additive* stream ids
+/// (`0x4E_0000 + i`); the plan's XOR derivation reproduces that schedule
+/// exactly for every index below 2^17 (the lowest set bit of the
+/// namespace) — far above any plan size this workspace runs. Plans with
+/// ≥ 2^17 replications get a valid but different (still
+/// collision-free) schedule.
+pub const CAMPAIGN_STREAM_NAMESPACE: u64 = 0x4E_0000;
+
+/// A campaign-measurement plan: `batches × batch_size` replications
+/// under the campaign stream namespace.
+///
+/// # Panics
+///
+/// Panics if `batches` or `batch_size` is zero.
+#[must_use]
+pub fn campaign_plan(batches: u32, batch_size: u32, master_seed: u64) -> ReplicationPlan {
+    ReplicationPlan::new(batches, batch_size, master_seed).with_namespace(CAMPAIGN_STREAM_NAMESPACE)
+}
+
+/// A [`Collector`] aggregating campaign outcomes into [`Measurements`]:
+/// the overall [`IndicatorSummary`] plus per-batch success fractions and
+/// compromised ratios (the ANOVA replicate units).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MeasurementsCollector;
+
+impl Collector<CampaignOutcome> for MeasurementsCollector {
+    type Output = Measurements;
+
+    fn finish(&self, plan: &ReplicationPlan, samples: Vec<CampaignOutcome>) -> Measurements {
+        let summary = IndicatorSummary::from_outcomes(&samples);
+        let batch_size = f64::from(plan.batch_size());
+        let mut batch_p_success = Vec::with_capacity(plan.batches() as usize);
+        let mut batch_compromised = Vec::with_capacity(plan.batches() as usize);
+        for range in plan.batch_ranges() {
+            let slice = &samples[range];
+            let successes = slice.iter().filter(|o| o.succeeded()).count() as f64;
+            batch_p_success.push(successes / batch_size);
+            batch_compromised.push(
+                slice
+                    .iter()
+                    .map(CampaignOutcome::final_compromised_ratio)
+                    .sum::<f64>()
+                    / batch_size,
+            );
+        }
+        Measurements {
+            summary,
+            batch_p_success,
+            batch_compromised,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_plan_keeps_legacy_seed_schedule() {
+        // The original loop seeded replication i with
+        // derive_seed(master, StreamId(0x4E_0000 + i)).
+        let plan = campaign_plan(4, 25, 0xD1CE);
+        for i in 0..plan.total() {
+            assert_eq!(
+                plan.seed_for(i),
+                diversify_des::derive_seed(
+                    0xD1CE,
+                    diversify_des::StreamId(0x4E_0000 + u64::from(i))
+                )
+            );
+        }
+    }
+}

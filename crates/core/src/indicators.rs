@@ -90,7 +90,11 @@ impl IndicatorSummary {
     ///
     /// Propagates [`StatsError`] for degenerate inputs.
     pub fn p_success_ci(&self, level: f64) -> Result<ConfidenceInterval, StatsError> {
-        proportion_ci(u64::from(self.successes), u64::from(self.replications), level)
+        proportion_ci(
+            u64::from(self.successes),
+            u64::from(self.replications),
+            level,
+        )
     }
 
     /// Student-t confidence interval for the mean Time-To-Attack.
@@ -112,8 +116,7 @@ impl fmt::Display for IndicatorSummary {
             self.p_success,
             self.successes,
             self.replications,
-            self.mean_tta
-                .map_or("-".to_string(), |v| format!("{v:.1}")),
+            self.mean_tta.map_or("-".to_string(), |v| format!("{v:.1}")),
             self.mean_ttsf
                 .map_or("-".to_string(), |v| format!("{v:.1}")),
             self.mean_compromised_ratio
@@ -128,12 +131,11 @@ mod tests {
     use diversify_scada::scope::{ScopeConfig, ScopeSystem};
 
     fn outcomes(n: u32) -> Vec<CampaignOutcome> {
-        let net = ScopeSystem::build(&ScopeConfig::default()).network().clone();
-        let sim = CampaignSimulator::new(
-            &net,
-            ThreatModel::stuxnet_like(),
-            CampaignConfig::default(),
-        );
+        let net = ScopeSystem::build(&ScopeConfig::default())
+            .network()
+            .clone();
+        let sim =
+            CampaignSimulator::new(&net, ThreatModel::stuxnet_like(), CampaignConfig::default());
         sim.run_many(n, 5)
     }
 

@@ -33,13 +33,15 @@
 
 #![warn(missing_docs)]
 
+pub mod exec;
 pub mod factors;
 pub mod indicators;
 pub mod pipeline;
 pub mod report;
 pub mod runner;
 
+pub use exec::{Collector, ExecMode, Executor, ReplicationPlan};
 pub use factors::{factor_profile, FactorLevel};
 pub use indicators::IndicatorSummary;
 pub use pipeline::{Pipeline, PipelineConfig, PipelineReport};
-pub use runner::{measure_configuration, Measurements};
+pub use runner::{measure_configuration, measure_configuration_with, Measurements};

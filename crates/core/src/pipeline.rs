@@ -1,10 +1,12 @@
 //! The three-step pipeline — the paper's Figure 1 as an executable API.
 
+use crate::exec::{campaign_plan, Executor};
 use crate::factors::{factor_profile, FactorLevel};
 use crate::report::render_measurement_table;
-use crate::runner::{measure_configuration, Measurements};
+use crate::runner::{measure_configuration_with, Measurements};
 use diversify_attack::campaign::{CampaignConfig, ThreatModel};
 use diversify_attack::tree::{stuxnet_tree, AttackTree};
+use diversify_des::StreamId;
 use diversify_doe::design::{fractional_factorial, DesignMatrix};
 use diversify_scada::components::ComponentClass;
 use diversify_scada::scope::{ScopeConfig, ScopeSystem};
@@ -26,6 +28,9 @@ pub struct PipelineConfig {
     pub batch_size: u32,
     /// Master seed.
     pub seed: u64,
+    /// How measurement replications are scheduled. Serial and parallel
+    /// executors produce bit-identical reports.
+    pub executor: Executor,
 }
 
 impl Default for PipelineConfig {
@@ -40,6 +45,7 @@ impl Default for PipelineConfig {
             batches: 4,
             batch_size: 25,
             seed: 0xD1CE,
+            executor: Executor::default(),
         }
     }
 }
@@ -165,6 +171,14 @@ impl Pipeline {
         let labels: Vec<&str> = ComponentClass::ALL.iter().map(|c| c.label()).collect();
         let (design, _words) = fractional_factorial(&labels, &[vec![0, 1, 2], vec![1, 2, 3]])
             .expect("built-in 2^(6-2) design is valid");
+        // One base plan; every design point gets its own decorrelated
+        // sub-plan derived from its run index. Replications inside a run
+        // are scheduled by the configured executor.
+        let base_plan = campaign_plan(
+            self.config.batches,
+            self.config.batch_size,
+            self.config.seed,
+        );
         let mut measurements = Vec::with_capacity(design.runs());
         for (run_idx, row) in design.rows.iter().enumerate() {
             let levels: Vec<FactorLevel> =
@@ -173,13 +187,12 @@ impl Pipeline {
             let mut scope_cfg = self.config.scope.clone();
             scope_cfg.baseline_profile = profile;
             let system = ScopeSystem::build(&scope_cfg);
-            let m = measure_configuration(
+            let m = measure_configuration_with(
                 system.network(),
                 &self.config.threat,
                 self.config.campaign,
-                self.config.batches,
-                self.config.batch_size,
-                self.config.seed ^ (run_idx as u64) << 32,
+                &base_plan.derived(StreamId(run_idx as u64)),
+                self.config.executor,
             );
             measurements.push(m);
         }
@@ -288,16 +301,32 @@ mod tests {
     }
 
     #[test]
+    fn serial_and_parallel_sweeps_are_bit_identical() {
+        let serial = Pipeline::new(PipelineConfig {
+            executor: Executor::serial(),
+            ..tiny_config()
+        })
+        .doe_measurements();
+        let parallel = Pipeline::new(PipelineConfig {
+            executor: Executor::parallel(),
+            ..tiny_config()
+        })
+        .doe_measurements();
+        for (a, b) in serial.measurements.iter().zip(&parallel.measurements) {
+            assert_eq!(a.batch_p_success, b.batch_p_success);
+            assert_eq!(a.batch_compromised, b.batch_compromised);
+            assert_eq!(a.summary.p_success, b.summary.p_success);
+        }
+    }
+
+    #[test]
     fn assessment_is_deterministic() {
         let p = Pipeline::new(tiny_config());
         let a = p.doe_measurements();
         let b = p.doe_measurements();
         let ra = p.assess(&a);
         let rb = p.assess(&b);
-        assert_eq!(
-            ra.anova_p_success.rows.len(),
-            rb.anova_p_success.rows.len()
-        );
+        assert_eq!(ra.anova_p_success.rows.len(), rb.anova_p_success.rows.len());
         for (x, y) in ra.ranking.iter().zip(&rb.ranking) {
             assert_eq!(x.0, y.0);
             assert!((x.1 - y.1).abs() < 1e-12);

@@ -13,11 +13,19 @@ pub fn render_measurement_table(design: &DesignMatrix, measurements: &[Measureme
     for f in &design.factors {
         let _ = write!(out, " {f:>9}");
     }
-    let _ = writeln!(out, " {:>8} {:>9} {:>10} {:>11}", "P_SA", "TTA(h)", "TTSF(h)", "compromised");
+    let _ = writeln!(
+        out,
+        " {:>8} {:>9} {:>10} {:>11}",
+        "P_SA", "TTA(h)", "TTSF(h)", "compromised"
+    );
     for (i, m) in measurements.iter().enumerate() {
         let _ = write!(out, "{i:>3}");
         for j in 0..design.factor_count() {
-            let _ = write!(out, " {:>9}", if design.level(i, j) == 1 { "+1" } else { "-1" });
+            let _ = write!(
+                out,
+                " {:>9}",
+                if design.level(i, j) == 1 { "+1" } else { "-1" }
+            );
         }
         let s = &m.summary;
         let _ = writeln!(

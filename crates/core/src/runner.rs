@@ -1,10 +1,10 @@
-//! Parallel Monte-Carlo measurement of one system configuration.
+//! Monte-Carlo measurement of one system configuration, on the unified
+//! [`exec`](crate::exec) layer.
 
+use crate::exec::{campaign_plan, Executor, MeasurementsCollector, ReplicationPlan};
 use crate::indicators::IndicatorSummary;
 use diversify_attack::campaign::{CampaignConfig, CampaignSimulator, ThreatModel};
-use diversify_des::{derive_seed, StreamId};
 use diversify_scada::network::ScadaNetwork;
-use rayon::prelude::*;
 
 /// Replication-level measurements of one configuration, batched so ANOVA
 /// has replicate groups with an error term.
@@ -20,7 +20,8 @@ pub struct Measurements {
 }
 
 /// Runs `batches × batch_size` campaign replications of `threat` against
-/// `network` (parallelized with rayon) and aggregates the indicators.
+/// `network` on the default (parallel) [`Executor`] and aggregates the
+/// indicators.
 ///
 /// # Panics
 ///
@@ -34,32 +35,28 @@ pub fn measure_configuration(
     batch_size: u32,
     master_seed: u64,
 ) -> Measurements {
-    assert!(batches > 0 && batch_size > 0, "non-empty batch plan required");
+    measure_configuration_with(
+        network,
+        threat,
+        config,
+        &campaign_plan(batches, batch_size, master_seed),
+        Executor::default(),
+    )
+}
+
+/// Measures one configuration under an explicit [`ReplicationPlan`] and
+/// [`Executor`] — the entry point for callers that manage their own
+/// plans (the pipeline sweep, the bench experiments, determinism tests).
+#[must_use]
+pub fn measure_configuration_with(
+    network: &ScadaNetwork,
+    threat: &ThreatModel,
+    config: CampaignConfig,
+    plan: &ReplicationPlan,
+    executor: Executor,
+) -> Measurements {
     let sim = CampaignSimulator::new(network, threat.clone(), config);
-    let all: Vec<_> = (0..batches * batch_size)
-        .into_par_iter()
-        .map(|i| sim.run(derive_seed(master_seed, StreamId(0x4E_0000 + u64::from(i)))))
-        .collect();
-    let summary = IndicatorSummary::from_outcomes(&all);
-    let mut batch_p_success = Vec::with_capacity(batches as usize);
-    let mut batch_compromised = Vec::with_capacity(batches as usize);
-    for b in 0..batches {
-        let slice = &all[(b * batch_size) as usize..((b + 1) * batch_size) as usize];
-        let succ = slice.iter().filter(|o| o.succeeded()).count() as f64;
-        batch_p_success.push(succ / f64::from(batch_size));
-        batch_compromised.push(
-            slice
-                .iter()
-                .map(|o| o.final_compromised_ratio())
-                .sum::<f64>()
-                / f64::from(batch_size),
-        );
-    }
-    Measurements {
-        summary,
-        batch_p_success,
-        batch_compromised,
-    }
+    executor.collect(plan, |rep| sim.run(rep.seed), &MeasurementsCollector)
 }
 
 #[cfg(test)]
@@ -69,7 +66,9 @@ mod tests {
 
     #[test]
     fn batching_covers_all_replications() {
-        let net = ScopeSystem::build(&ScopeConfig::default()).network().clone();
+        let net = ScopeSystem::build(&ScopeConfig::default())
+            .network()
+            .clone();
         let m = measure_configuration(
             &net,
             &ThreatModel::stuxnet_like(),
@@ -88,7 +87,9 @@ mod tests {
 
     #[test]
     fn deterministic_under_seed() {
-        let net = ScopeSystem::build(&ScopeConfig::default()).network().clone();
+        let net = ScopeSystem::build(&ScopeConfig::default())
+            .network()
+            .clone();
         let run = |seed| {
             measure_configuration(
                 &net,
@@ -105,9 +106,32 @@ mod tests {
     }
 
     #[test]
+    fn serial_and_parallel_measurements_are_bit_identical() {
+        let net = ScopeSystem::build(&ScopeConfig::default())
+            .network()
+            .clone();
+        let plan = campaign_plan(3, 8, 0xFEED);
+        let threat = ThreatModel::stuxnet_like();
+        let config = CampaignConfig::default();
+        let serial = measure_configuration_with(&net, &threat, config, &plan, Executor::serial());
+        let parallel =
+            measure_configuration_with(&net, &threat, config, &plan, Executor::parallel());
+        assert_eq!(serial.summary.p_success, parallel.summary.p_success);
+        assert_eq!(serial.batch_p_success, parallel.batch_p_success);
+        assert_eq!(serial.batch_compromised, parallel.batch_compromised);
+        assert_eq!(
+            serial.summary.compromised_ratios,
+            parallel.summary.compromised_ratios
+        );
+        assert_eq!(serial.summary.tta_samples, parallel.summary.tta_samples);
+    }
+
+    #[test]
     #[should_panic(expected = "non-empty batch plan")]
     fn zero_batches_panics() {
-        let net = ScopeSystem::build(&ScopeConfig::default()).network().clone();
+        let net = ScopeSystem::build(&ScopeConfig::default())
+            .network()
+            .clone();
         let _ = measure_configuration(
             &net,
             &ThreatModel::stuxnet_like(),

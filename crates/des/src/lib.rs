@@ -22,6 +22,10 @@
 //!   and event count.
 //! * **Observation** — [`Welford`] and [`TimeWeighted`] accumulators plus a
 //!   [`ReplicationRunner`] for independent-replication experiments.
+//! * **Execution** — the [`exec`] layer: a [`ReplicationPlan`] describing
+//!   seeds and batch structure, run by a serial or parallel [`Executor`]
+//!   and folded by pluggable [`Collector`]s. Every replication loop in
+//!   the workspace goes through this one seam.
 //!
 //! ## Example
 //!
@@ -56,6 +60,7 @@
 
 pub mod calendar;
 pub mod engine;
+pub mod exec;
 pub mod observe;
 pub mod replication;
 pub mod rng;
@@ -65,6 +70,7 @@ pub mod time;
 pub use calendar::{Calendar, EventToken};
 pub use engine::RunOutcome;
 pub use engine::{Context, Engine, Model};
+pub use exec::{Collector, ExecMode, Executor, Replication, ReplicationPlan};
 pub use observe::{TimeWeighted, Welford};
 pub use replication::{ReplicationRunner, ReplicationSummary};
 pub use rng::{derive_seed, RngStream, StreamId};

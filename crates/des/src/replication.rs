@@ -2,10 +2,13 @@
 //!
 //! Monte-Carlo estimation in the *Diversify!* pipeline repeats a stochastic
 //! simulation under independent seeds and aggregates scalar outputs. The
-//! [`ReplicationRunner`] owns the seed schedule so that the *i*-th
-//! replication of a given experiment is reproducible regardless of how many
-//! replications are requested.
+//! [`ReplicationRunner`] is a thin facade over the unified
+//! [`exec`](crate::exec) layer: the seed schedule lives in a
+//! [`ReplicationPlan`] so that the *i*-th replication of a given experiment
+//! is reproducible regardless of how many replications are requested or
+//! which [`Executor`] mode runs them.
 
+use crate::exec::{Collector, Executor, ReplicationPlan};
 use crate::observe::Welford;
 use std::fmt;
 
@@ -27,8 +30,8 @@ use std::fmt;
 /// ```
 #[derive(Debug, Clone)]
 pub struct ReplicationRunner {
-    master_seed: u64,
-    replications: u32,
+    plan: ReplicationPlan,
+    executor: Executor,
 }
 
 impl ReplicationRunner {
@@ -41,36 +44,64 @@ impl ReplicationRunner {
     pub fn new(master_seed: u64, replications: u32) -> Self {
         assert!(replications > 0, "at least one replication required");
         ReplicationRunner {
-            master_seed,
-            replications,
+            plan: ReplicationPlan::flat(replications, master_seed),
+            executor: Executor::default(),
         }
+    }
+
+    /// Replaces the executor (e.g. [`Executor::serial`] for debugging).
+    /// Results are identical in every mode.
+    #[must_use]
+    pub fn with_executor(mut self, executor: Executor) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// The underlying replication plan.
+    #[must_use]
+    pub fn plan(&self) -> &ReplicationPlan {
+        &self.plan
     }
 
     /// The number of replications this runner performs.
     #[must_use]
     pub fn replications(&self) -> u32 {
-        self.replications
+        self.plan.total()
     }
 
     /// The seed used for replication index `i`.
     #[must_use]
     pub fn seed_for(&self, i: u32) -> u64 {
-        crate::rng::derive_seed(
-            self.master_seed,
-            crate::rng::StreamId(REPLICATION_SEED_NAMESPACE ^ u64::from(i)),
-        )
+        self.plan.seed_for(i)
     }
 
     /// Runs the experiment once per replication. The closure receives the
     /// replication seed and returns `(metric name, value)` pairs; values are
-    /// accumulated per name across replications.
-    pub fn run<F>(&self, mut experiment: F) -> ReplicationSummary
+    /// accumulated per name across replications, in replication order.
+    pub fn run<F>(&self, experiment: F) -> ReplicationSummary
     where
-        F: FnMut(u64) -> Vec<(String, f64)>,
+        F: Fn(u64) -> Vec<(String, f64)> + Sync + Send,
     {
+        self.executor
+            .collect(&self.plan, |rep| experiment(rep.seed), &MetricsCollector)
+    }
+}
+
+/// A [`Collector`] folding named scalar outputs into per-metric
+/// [`Welford`] accumulators (first-seen metric order).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MetricsCollector;
+
+impl Collector<Vec<(String, f64)>> for MetricsCollector {
+    type Output = ReplicationSummary;
+
+    fn finish(
+        &self,
+        _plan: &ReplicationPlan,
+        samples: Vec<Vec<(String, f64)>>,
+    ) -> ReplicationSummary {
         let mut metrics: Vec<(String, Welford)> = Vec::new();
-        for i in 0..self.replications {
-            let outputs = experiment(self.seed_for(i));
+        for outputs in samples {
             for (name, value) in outputs {
                 match metrics.iter_mut().find(|(n, _)| *n == name) {
                     Some((_, w)) => w.push(value),
@@ -126,10 +157,6 @@ impl fmt::Display for ReplicationSummary {
     }
 }
 
-/// A distinct constant namespace for replication seeds so they cannot
-/// collide with model-level stream ids.
-const REPLICATION_SEED_NAMESPACE: u64 = 0x5EED_0000_0000_0000;
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,6 +208,22 @@ mod tests {
         let rare = s.metric("rare").unwrap();
         assert!(rare.count() > 0);
         assert!(rare.count() < 100);
+    }
+
+    #[test]
+    fn serial_and_parallel_summaries_match() {
+        let experiment = |seed: u64| {
+            let mut rng = RngStream::new(seed, StreamId(3));
+            vec![("x".to_string(), rng.uniform())]
+        };
+        let parallel = ReplicationRunner::new(11, 300).run(experiment);
+        let serial = ReplicationRunner::new(11, 300)
+            .with_executor(Executor::serial())
+            .run(experiment);
+        let (p, s) = (parallel.metric("x").unwrap(), serial.metric("x").unwrap());
+        assert_eq!(p.count(), s.count());
+        assert_eq!(p.mean().to_bits(), s.mean().to_bits());
+        assert_eq!(p.sample_variance().to_bits(), s.sample_variance().to_bits());
     }
 
     #[test]

@@ -185,7 +185,10 @@ impl RngStream {
     ///
     /// Panics if either parameter is not strictly positive.
     pub fn weibull(&mut self, shape: f64, scale: f64) -> f64 {
-        assert!(shape > 0.0 && scale > 0.0, "weibull parameters must be positive");
+        assert!(
+            shape > 0.0 && scale > 0.0,
+            "weibull parameters must be positive"
+        );
         let u = loop {
             let u = self.uniform();
             if u > 0.0 {

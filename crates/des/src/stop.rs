@@ -3,9 +3,10 @@
 use crate::time::SimTime;
 
 /// Determines when [`Engine::run_with`](crate::Engine::run_with) returns.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum StopCondition {
     /// Run until the event calendar is empty.
+    #[default]
     Exhausted,
     /// Run until the clock would pass the given horizon. Events scheduled at
     /// exactly the horizon still fire.
@@ -22,12 +23,6 @@ impl StopCondition {
             StopCondition::AtTime(t) => Some(*t),
             _ => None,
         }
-    }
-}
-
-impl Default for StopCondition {
-    fn default() -> Self {
-        StopCondition::Exhausted
     }
 }
 

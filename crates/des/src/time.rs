@@ -24,7 +24,7 @@ use std::ops::{Add, AddAssign, Sub};
 /// assert!(a < b);
 /// assert_eq!((a + SimTime::from_secs(1.0)), b);
 /// ```
-#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+#[derive(Clone, Copy, PartialEq, Default)]
 pub struct SimTime(f64);
 
 impl SimTime {
@@ -129,6 +129,12 @@ impl Ord for SimTime {
         self.0
             .partial_cmp(&other.0)
             .expect("SimTime is never NaN by construction")
+    }
+}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
     }
 }
 

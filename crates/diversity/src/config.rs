@@ -17,21 +17,12 @@ use serde::{Deserialize, Serialize};
 /// the relevant kind, which is the cheapest way to guarantee that two
 /// adjacent nodes rarely share a variant (the paper's "smartly combine
 /// diverse technologies").
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct DiversityConfig {
     /// The base profile applied to every node first.
     pub base: ComponentProfile,
     /// Component classes whose variants are rotated across nodes.
     pub rotate: Vec<ComponentClass>,
-}
-
-impl Default for DiversityConfig {
-    fn default() -> Self {
-        DiversityConfig {
-            base: ComponentProfile::default(),
-            rotate: Vec::new(),
-        }
-    }
 }
 
 impl DiversityConfig {
@@ -103,7 +94,9 @@ mod tests {
     use diversify_scada::scope::{ScopeConfig, ScopeSystem};
 
     fn network() -> ScadaNetwork {
-        ScopeSystem::build(&ScopeConfig::default()).network().clone()
+        ScopeSystem::build(&ScopeConfig::default())
+            .network()
+            .clone()
     }
 
     #[test]

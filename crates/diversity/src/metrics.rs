@@ -91,7 +91,9 @@ mod tests {
     use diversify_scada::scope::{ScopeConfig, ScopeSystem};
 
     fn network() -> ScadaNetwork {
-        ScopeSystem::build(&ScopeConfig::default()).network().clone()
+        ScopeSystem::build(&ScopeConfig::default())
+            .network()
+            .clone()
     }
 
     #[test]
@@ -137,8 +139,7 @@ mod tests {
         let before = deployment_cost(&net, 0.0, 10.0);
         let ids: Vec<_> = net.node_ids().take(2).collect();
         for id in ids {
-            net.node_mut(id).profile =
-                diversify_scada::components::ComponentProfile::hardened();
+            net.node_mut(id).profile = diversify_scada::components::ComponentProfile::hardened();
         }
         let after = deployment_cost(&net, 0.0, 10.0);
         assert!((after - before - 20.0).abs() < 30.0); // 2 hardened + variant effects at 0 premium

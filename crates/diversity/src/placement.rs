@@ -95,7 +95,9 @@ mod tests {
     use diversify_scada::scope::{ScopeConfig, ScopeSystem};
 
     fn network() -> ScadaNetwork {
-        ScopeSystem::build(&ScopeConfig::default()).network().clone()
+        ScopeSystem::build(&ScopeConfig::default())
+            .network()
+            .clone()
     }
 
     #[test]
@@ -151,7 +153,10 @@ mod tests {
         // gateways).
         let six = PlacementStrategy::Strategic { k: 6 }.select(&net);
         let tail: Vec<NodeRole> = six[4..].iter().map(|&id| net.node(id).role).collect();
-        assert!(tail.iter().all(|r| *r == NodeRole::FieldGateway), "{tail:?}");
+        assert!(
+            tail.iter().all(|r| *r == NodeRole::FieldGateway),
+            "{tail:?}"
+        );
     }
 
     #[test]

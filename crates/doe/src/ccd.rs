@@ -26,10 +26,7 @@ impl ContinuousDesign {
 /// # Errors
 ///
 /// Propagates [`DoeError`] from the factorial core construction.
-pub fn central_composite(
-    factors: &[&str],
-    center: usize,
-) -> Result<ContinuousDesign, DoeError> {
+pub fn central_composite(factors: &[&str], center: usize) -> Result<ContinuousDesign, DoeError> {
     let core = full_factorial(factors)?;
     let k = factors.len();
     let alpha = (core.runs() as f64).powf(0.25);
@@ -69,7 +66,11 @@ mod tests {
     fn rotatable_alpha() {
         let d = central_composite(&["A", "B"], 0).unwrap();
         // α = (4)^(1/4) = √2 for k = 2.
-        let axial: Vec<&Vec<f64>> = d.rows.iter().filter(|r| r.iter().any(|&x| x.abs() > 1.0)).collect();
+        let axial: Vec<&Vec<f64>> = d
+            .rows
+            .iter()
+            .filter(|r| r.iter().any(|&x| x.abs() > 1.0))
+            .collect();
         assert_eq!(axial.len(), 4);
         for row in axial {
             let norm: f64 = row.iter().map(|x| x * x).sum::<f64>();
@@ -80,7 +81,11 @@ mod tests {
     #[test]
     fn centre_points_at_origin() {
         let d = central_composite(&["A", "B", "C"], 2).unwrap();
-        let centres = d.rows.iter().filter(|r| r.iter().all(|&x| x == 0.0)).count();
+        let centres = d
+            .rows
+            .iter()
+            .filter(|r| r.iter().all(|&x| x == 0.0))
+            .count();
         assert_eq!(centres, 2);
     }
 

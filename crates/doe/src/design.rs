@@ -290,8 +290,7 @@ mod tests {
     #[test]
     fn fractional_half_of_2_4() {
         // 2^(4-1) with D = ABC: resolution IV.
-        let (d, words) =
-            fractional_factorial(&["A", "B", "C", "D"], &[vec![0, 1, 2]]).unwrap();
+        let (d, words) = fractional_factorial(&["A", "B", "C", "D"], &[vec![0, 1, 2]]).unwrap();
         assert_eq!(d.runs(), 8);
         assert_eq!(d.factor_count(), 4);
         assert!(d.is_balanced());
@@ -309,7 +308,14 @@ mod tests {
         // The experiment R3 design: 6 factors in 16 runs, generators
         // E = ABC, F = BCD (resolution IV).
         let (d, words) = fractional_factorial(
-            &["OS", "PLC-FW", "Protocol", "Firewall", "Sensor", "Historian"],
+            &[
+                "OS",
+                "PLC-FW",
+                "Protocol",
+                "Firewall",
+                "Sensor",
+                "Historian",
+            ],
             &[vec![0, 1, 2], vec![1, 2, 3]],
         )
         .unwrap();
@@ -369,8 +375,7 @@ mod tests {
         // 2^(5-2) with D = AB, E = AC → words {A,B,D}, {A,C,E}; their
         // product {B,C,D,E} has length 4; shortest is 3 → resolution III.
         let (_, words) =
-            fractional_factorial(&["A", "B", "C", "D", "E"], &[vec![0, 1], vec![0, 2]])
-                .unwrap();
+            fractional_factorial(&["A", "B", "C", "D", "E"], &[vec![0, 1], vec![0, 2]]).unwrap();
         assert_eq!(resolution(&words), 3);
     }
 }

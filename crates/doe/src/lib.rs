@@ -17,5 +17,5 @@ pub mod design;
 pub mod lhs;
 
 pub use ccd::central_composite;
-pub use design::{full_factorial, fractional_factorial, plackett_burman, DesignMatrix, DoeError};
+pub use design::{fractional_factorial, full_factorial, plackett_burman, DesignMatrix, DoeError};
 pub use lhs::latin_hypercube;

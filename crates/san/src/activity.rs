@@ -103,29 +103,11 @@ impl FiringDistribution {
     }
 }
 
-/// Γ(1 + x) for x in (0, ~100) via Lanczos (duplicated tiny helper to keep
-/// this crate independent of diversify-stats).
+/// Γ(1 + x) for x > 0, delegating to the workspace's single Lanczos
+/// implementation in `diversify-stats` (one coefficient table to
+/// maintain instead of two).
 fn gamma_1p(x: f64) -> f64 {
-    // ln Γ(1+x) = ln(x Γ(x)) — use a compact Stirling/Lanczos hybrid.
-    const COEF: [f64; 9] = [
-        0.999_999_999_999_809_93,
-        676.520_368_121_885_1,
-        -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
-        -176.615_029_162_140_6,
-        12.507_343_278_686_905,
-        -0.138_571_095_265_720_12,
-        9.984_369_578_019_572e-6,
-        1.505_632_735_149_311_6e-7,
-    ];
-    let z = x; // Γ(1+x) with z = x: use Lanczos for Γ(z+1).
-    let mut a = COEF[0];
-    let t = z + 7.5;
-    for (i, &c) in COEF.iter().enumerate().skip(1) {
-        a += c / (z + i as f64);
-    }
-    let ln = 0.5 * (2.0 * std::f64::consts::PI).ln() + (z + 0.5) * t.ln() - t + a.ln();
-    ln.exp()
+    diversify_stats::special::ln_gamma(1.0 + x).exp()
 }
 
 /// How an activity completes.
@@ -276,13 +258,18 @@ mod tests {
 
     #[test]
     fn lognormal_mean_formula() {
-        let d = FiringDistribution::LogNormal { mu: 0.0, sigma: 0.5 };
+        let d = FiringDistribution::LogNormal {
+            mu: 0.0,
+            sigma: 0.5,
+        };
         assert!((d.mean() - (0.125f64).exp()).abs() < 1e-12);
     }
 
     #[test]
     fn validation_rejects_bad_parameters() {
-        assert!(FiringDistribution::Exponential { rate: 0.0 }.validate().is_err());
+        assert!(FiringDistribution::Exponential { rate: 0.0 }
+            .validate()
+            .is_err());
         assert!(FiringDistribution::Deterministic { delay: -1.0 }
             .validate()
             .is_err());

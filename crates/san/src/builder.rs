@@ -1,8 +1,6 @@
 //! Fluent construction of SAN models.
 
-use crate::activity::{
-    Activity, ActivityTiming, Case, FiringDistribution, InputGate, OutputGate,
-};
+use crate::activity::{Activity, ActivityTiming, Case, FiringDistribution, InputGate, OutputGate};
 use crate::error::SanError;
 use crate::model::{Marking, PlaceId, SanModel};
 use std::fmt;

@@ -150,10 +150,7 @@ impl SanModel {
     /// Looks up a place id by name.
     #[must_use]
     pub fn place_by_name(&self, name: &str) -> Option<PlaceId> {
-        self.place_names
-            .iter()
-            .position(|n| n == name)
-            .map(PlaceId)
+        self.place_names.iter().position(|n| n == name).map(PlaceId)
     }
 
     /// Name of an activity.
@@ -196,9 +193,7 @@ impl SanModel {
     #[must_use]
     pub fn is_enabled(&self, activity: ActivityId, marking: &Marking) -> bool {
         let a = &self.activities[activity.0];
-        a.input_arcs
-            .iter()
-            .all(|&(p, n)| marking.tokens(p) >= n)
+        a.input_arcs.iter().all(|&(p, n)| marking.tokens(p) >= n)
             && a.input_gates.iter().all(|g| (g.predicate)(marking))
     }
 
@@ -256,8 +251,8 @@ impl fmt::Debug for SanModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::builder::SanBuilder;
     use crate::activity::FiringDistribution;
+    use crate::builder::SanBuilder;
 
     #[test]
     fn marking_token_operations() {

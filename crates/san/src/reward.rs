@@ -21,8 +21,7 @@ pub trait Observer {
     fn on_marking(&mut self, _now: SimTime, _marking: &Marking) {}
     /// Called after each activity firing with the chosen case index and
     /// the post-firing marking.
-    fn on_fire(&mut self, _now: SimTime, _activity: ActivityId, _case: usize, _marking: &Marking) {
-    }
+    fn on_fire(&mut self, _now: SimTime, _activity: ActivityId, _case: usize, _marking: &Marking) {}
     /// Called once when the run ends (horizon, quiescence or error).
     fn on_end(&mut self, _now: SimTime, _marking: &Marking) {}
 }
@@ -167,7 +166,9 @@ pub struct FirstPassage {
 
 impl std::fmt::Debug for FirstPassage {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("FirstPassage").field("hit", &self.hit).finish()
+        f.debug_struct("FirstPassage")
+            .field("hit", &self.hit)
+            .finish()
     }
 }
 

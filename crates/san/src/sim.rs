@@ -150,9 +150,7 @@ impl<'m> Simulator<'m> {
             return Some(self.now);
         }
         while self.error.is_none() {
-            let Some(next) = self.calendar.peek_time() else {
-                return None;
-            };
+            let next = self.calendar.peek_time()?;
             if next > horizon {
                 self.now = horizon;
                 return None;
@@ -252,9 +250,7 @@ impl<'m> Simulator<'m> {
             match (enabled, self.scheduled[idx]) {
                 (true, None) => {
                     let delay = dist.sample(&mut self.delay_rng);
-                    let token = self
-                        .calendar
-                        .push(self.now + SimTime::from_secs(delay), id);
+                    let token = self.calendar.push(self.now + SimTime::from_secs(delay), id);
                     self.scheduled[idx] = Some(token);
                 }
                 (false, Some(token)) => {
@@ -270,8 +266,8 @@ impl<'m> Simulator<'m> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::builder::SanBuilder;
     use crate::activity::FiringDistribution;
+    use crate::builder::SanBuilder;
 
     /// initial --activate--> activated --escalate--> root
     fn chain_model() -> SanModel {
@@ -350,8 +346,14 @@ mod tests {
         let a = b.place("a", 1);
         let c = b.place("c", 0);
         let d = b.place("d", 0);
-        b.instantaneous_activity("i1").input_arc(a, 1).output_arc(c, 1).build();
-        b.instantaneous_activity("i2").input_arc(c, 1).output_arc(d, 1).build();
+        b.instantaneous_activity("i1")
+            .input_arc(a, 1)
+            .output_arc(c, 1)
+            .build();
+        b.instantaneous_activity("i2")
+            .input_arc(c, 1)
+            .output_arc(d, 1)
+            .build();
         let model = b.build().unwrap();
         let sim = Simulator::new(&model, 5);
         assert_eq!(sim.marking().tokens(d), 1);
@@ -445,10 +447,7 @@ mod tests {
         let pool = b.place("pool", 7);
         let done = b.place("done", 0);
         b.timed_activity("drain", FiringDistribution::Deterministic { delay: 1.0 })
-            .input_gate(
-                move |m| m.tokens(pool) > 0,
-                move |m| m.set_tokens(pool, 0),
-            )
+            .input_gate(move |m| m.tokens(pool) > 0, move |m| m.set_tokens(pool, 0))
             .output_arc(done, 1)
             .build();
         let model = b.build().unwrap();

@@ -213,12 +213,7 @@ impl TransientSolver {
 
     /// Runs one replication and returns per-reward values (`None` for an
     /// unreached first passage).
-    fn solve_one(
-        &self,
-        model: &SanModel,
-        rewards: &[RewardSpec],
-        seed: u64,
-    ) -> Vec<Option<f64>> {
+    fn solve_one(&self, model: &SanModel, rewards: &[RewardSpec], seed: u64) -> Vec<Option<f64>> {
         let mut rates: Vec<(usize, RateReward)> = Vec::new();
         let mut passages: Vec<(usize, FirstPassage)> = Vec::new();
         let mut impulses: Vec<(usize, ImpulseReward)> = Vec::new();
@@ -295,7 +290,11 @@ mod tests {
             })],
         );
         let e = r.estimate("ttf").unwrap();
-        assert!((e.stats.mean() - 0.5).abs() < 0.03, "mean {}", e.stats.mean());
+        assert!(
+            (e.stats.mean() - 0.5).abs() < 0.03,
+            "mean {}",
+            e.stats.mean()
+        );
         assert_eq!(e.occurrences, 4000);
         assert!((e.probability(r.replications) - 1.0).abs() < 1e-12);
     }

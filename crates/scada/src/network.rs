@@ -60,7 +60,10 @@ impl NodeRole {
     /// email, etc. — Stuxnet's entry vectors live in office space).
     #[must_use]
     pub fn is_entry_point(self) -> bool {
-        matches!(self, NodeRole::OfficeWorkstation | NodeRole::EngineeringWorkstation)
+        matches!(
+            self,
+            NodeRole::OfficeWorkstation | NodeRole::EngineeringWorkstation
+        )
     }
 }
 
@@ -126,7 +129,10 @@ impl ScadaNetwork {
     ///
     /// Panics if either id is out of range or the link is a self-loop.
     pub fn connect(&mut self, a: NodeId, b: NodeId) -> LinkId {
-        assert!(a.0 < self.nodes.len() && b.0 < self.nodes.len(), "bad node id");
+        assert!(
+            a.0 < self.nodes.len() && b.0 < self.nodes.len(),
+            "bad node id"
+        );
         assert_ne!(a, b, "self-loops are not allowed");
         self.links.push(Link { a, b });
         self.adjacency[a.0].push(b);
@@ -256,8 +262,7 @@ impl ScadaNetwork {
                 }
             }
         }
-        let mut out: Vec<(NodeId, f64)> =
-            (0..n).map(|i| (NodeId(i), score[i])).collect();
+        let mut out: Vec<(NodeId, f64)> = (0..n).map(|i| (NodeId(i), score[i])).collect();
         out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scores are finite"));
         out
     }
@@ -296,7 +301,11 @@ impl fmt::Display for ScadaNetwork {
         )?;
         for id in self.node_ids() {
             let n = self.node(id);
-            writeln!(f, "  [{:>3}] {:<24} {:?} / {:?}", id.0, n.name, n.role, n.zone)?;
+            writeln!(
+                f,
+                "  [{:>3}] {:<24} {:?} / {:?}",
+                id.0, n.name, n.role, n.zone
+            )?;
         }
         Ok(())
     }
@@ -313,7 +322,12 @@ mod tests {
     /// corp — hmi — plc1, plc2 (star around hmi).
     fn small_net() -> (ScadaNetwork, NodeId, NodeId, NodeId, NodeId) {
         let mut net = ScadaNetwork::new();
-        let corp = net.add_node("corp", NodeRole::OfficeWorkstation, Zone::Corporate, profile());
+        let corp = net.add_node(
+            "corp",
+            NodeRole::OfficeWorkstation,
+            Zone::Corporate,
+            profile(),
+        );
         let hmi = net.add_node("hmi", NodeRole::Hmi, Zone::ControlCenter, profile());
         let plc1 = net.add_node("plc1", NodeRole::Plc, Zone::Field, profile());
         let plc2 = net.add_node("plc2", NodeRole::Plc, Zone::Field, profile());

@@ -118,11 +118,10 @@ impl Program {
     /// Returns [`ScadaError::BadProgram`] for unparseable or invalid
     /// images.
     pub fn from_image(image: &[u8]) -> Result<Self, ScadaError> {
-        let instructions: Vec<Instr> = serde_json::from_slice(image).map_err(|_| {
-            ScadaError::BadProgram {
+        let instructions: Vec<Instr> =
+            serde_json::from_slice(image).map_err(|_| ScadaError::BadProgram {
                 what: "unparseable logic image",
-            }
-        })?;
+            })?;
         Program::new(instructions)
     }
 }
@@ -503,7 +502,7 @@ mod tests {
         p.install_program(cooling_control_program());
         p.set_holding(0, 250).unwrap(); // setpoint 25.0 °C
         p.set_holding(3, 300).unwrap(); // alarm at 30.0 °C
-        // 27.0 °C → error 20 → fan 40%.
+                                        // 27.0 °C → error 20 → fan 40%.
         p.set_input(0, 270).unwrap();
         p.scan().unwrap();
         assert_eq!(p.holding(2).unwrap(), 40);

@@ -142,8 +142,7 @@ fn need(buf: &&[u8], n: usize) -> Result<(), ScadaError> {
 
 fn decode_request(buf: &mut &[u8]) -> Result<Request, ScadaError> {
     let code = buf.get_u8();
-    let function =
-        FunctionCode::from_byte(code).ok_or(ScadaError::UnknownFunction { code })?;
+    let function = FunctionCode::from_byte(code).ok_or(ScadaError::UnknownFunction { code })?;
     match function {
         FunctionCode::ReadCoils => {
             need(buf, 4)?;
@@ -226,8 +225,8 @@ fn decode_request(buf: &mut &[u8]) -> Result<Request, ScadaError> {
 fn decode_response(buf: &mut &[u8]) -> Result<Response, ScadaError> {
     let code = buf.get_u8();
     if code & 0x80 != 0 {
-        let function = FunctionCode::from_byte(code & 0x7F)
-            .ok_or(ScadaError::UnknownFunction { code })?;
+        let function =
+            FunctionCode::from_byte(code & 0x7F).ok_or(ScadaError::UnknownFunction { code })?;
         need(buf, 1)?;
         let ex = buf.get_u8();
         let code = ExceptionCode::from_byte(ex).ok_or(ScadaError::MalformedFrame {

@@ -158,9 +158,8 @@ impl ProtocolDialect {
                     });
                 }
                 let (body, tag_bytes) = rest.split_at(len);
-                let expect = u64::from_be_bytes(
-                    tag_bytes.try_into().expect("split guarantees 8 bytes"),
-                );
+                let expect =
+                    u64::from_be_bytes(tag_bytes.try_into().expect("split guarantees 8 bytes"));
                 if keyed_tag(body, key) != expect {
                     return Err(ScadaError::IntegrityFailure);
                 }
@@ -174,7 +173,9 @@ impl ProtocolDialect {
     #[must_use]
     pub fn detect(frame: &[u8]) -> Option<ProtocolDialect> {
         let magic = *frame.first()?;
-        ProtocolDialect::ALL.into_iter().find(|d| d.magic() == magic)
+        ProtocolDialect::ALL
+            .into_iter()
+            .find(|d| d.magic() == magic)
     }
 }
 
@@ -296,17 +297,12 @@ mod tests {
 
     #[test]
     fn resilience_ordering_matches_mechanism_strength() {
+        assert!(ProtocolDialect::Classic.resilience() < ProtocolDialect::Checksummed.resilience());
         assert!(
-            ProtocolDialect::Classic.resilience()
-                < ProtocolDialect::Checksummed.resilience()
+            ProtocolDialect::Checksummed.resilience() < ProtocolDialect::Obfuscated.resilience()
         );
         assert!(
-            ProtocolDialect::Checksummed.resilience()
-                < ProtocolDialect::Obfuscated.resilience()
-        );
-        assert!(
-            ProtocolDialect::Obfuscated.resilience()
-                < ProtocolDialect::Authenticated.resilience()
+            ProtocolDialect::Obfuscated.resilience() < ProtocolDialect::Authenticated.resilience()
         );
     }
 

@@ -82,7 +82,10 @@ impl ScopeSystem {
     /// Panics if `config` has zero racks or CRACs.
     #[must_use]
     pub fn build(config: &ScopeConfig) -> Self {
-        assert!(config.racks > 0 && config.cracs > 0, "non-empty plant required");
+        assert!(
+            config.racks > 0 && config.cracs > 0,
+            "non-empty plant required"
+        );
         let p = config.baseline_profile;
         let mut net = ScadaNetwork::new();
 
@@ -337,9 +340,7 @@ impl ScopeRuntime {
     /// Whether any PLC currently raises its over-temperature alarm.
     #[must_use]
     pub fn any_alarm(&self) -> bool {
-        self.plcs
-            .iter()
-            .any(|p| p.coil(0).unwrap_or(false))
+        self.plcs.iter().any(|p| p.coil(0).unwrap_or(false))
     }
 
     /// Runs one control period: sense → scan → actuate → integrate plant.
@@ -469,7 +470,10 @@ mod tests {
         rt.run_for(600.0);
         rt.plant_mut().water_availability = 0.0;
         rt.run_for(2.0 * 3600.0);
-        assert!(rt.max_rack_temperature() > 40.0, "no chilled water → overheating");
+        assert!(
+            rt.max_rack_temperature() > 40.0,
+            "no chilled water → overheating"
+        );
     }
 
     #[test]

@@ -118,8 +118,7 @@ pub fn one_way(groups: &[&[f64]]) -> Result<AnovaTable, StatsError> {
             needed: "at least one group with two or more observations",
         });
     }
-    let grand_mean: f64 =
-        groups.iter().flat_map(|g| g.iter()).sum::<f64>() / n_total as f64;
+    let grand_mean: f64 = groups.iter().flat_map(|g| g.iter()).sum::<f64>() / n_total as f64;
 
     let mut ss_between = 0.0;
     let mut ss_within = 0.0;
@@ -144,8 +143,7 @@ pub fn one_way(groups: &[&[f64]]) -> Result<AnovaTable, StatsError> {
         }
     } else {
         let f_stat = ms_between / ms_within;
-        let fdist = FisherF::new(df_between, df_within)
-            .expect("dfs are positive by construction");
+        let fdist = FisherF::new(df_between, df_within).expect("dfs are positive by construction");
         (f_stat, fdist.sf(f_stat))
     };
     Ok(AnovaTable {
@@ -189,11 +187,8 @@ impl FactorialAnova {
     /// "components valuable to diversify" ranking.
     #[must_use]
     pub fn ranking(&self) -> Vec<&AnovaRow> {
-        let mut effects: Vec<&AnovaRow> = self
-            .rows
-            .iter()
-            .filter(|r| r.source != "error")
-            .collect();
+        let mut effects: Vec<&AnovaRow> =
+            self.rows.iter().filter(|r| r.source != "error").collect();
         effects.sort_by(|a, b| {
             b.variance_explained
                 .partial_cmp(&a.variance_explained)
@@ -348,10 +343,7 @@ pub fn factorial_two_level(
     for i in 0..columns.len() {
         for j in (i + 1)..columns.len() {
             let same = columns[i] == columns[j];
-            let opposite = columns[i]
-                .iter()
-                .zip(&columns[j])
-                .all(|(a, b)| *a == -*b);
+            let opposite = columns[i].iter().zip(&columns[j]).all(|(a, b)| *a == -*b);
             if same || opposite {
                 return Err(StatsError::InvalidGroups {
                     what: "two requested effects are aliased in this design",
@@ -361,11 +353,7 @@ pub fn factorial_two_level(
     }
 
     let n_total = (runs * reps) as f64;
-    let grand_mean: f64 = responses
-        .iter()
-        .flat_map(|r| r.iter())
-        .sum::<f64>()
-        / n_total;
+    let grand_mean: f64 = responses.iter().flat_map(|r| r.iter()).sum::<f64>() / n_total;
     let ss_total: f64 = responses
         .iter()
         .flat_map(|r| r.iter())
@@ -585,17 +573,10 @@ mod tests {
         assert!(factorial_two_level(&design, &[vec![1.0]], &effects).is_err());
         // Bad level.
         let bad = vec![vec![0, 1], vec![1, -1]];
-        assert!(
-            factorial_two_level(&bad, &[vec![1.0], vec![1.0]], &effects).is_err()
-        );
+        assert!(factorial_two_level(&bad, &[vec![1.0], vec![1.0]], &effects).is_err());
         // Factor index out of range.
         let responses: Vec<Vec<f64>> = vec![vec![1.0]; 4];
-        assert!(factorial_two_level(
-            &design,
-            &responses,
-            &[EffectSpec::main("Z", 9)]
-        )
-        .is_err());
+        assert!(factorial_two_level(&design, &responses, &[EffectSpec::main("Z", 9)]).is_err());
         // Ragged replicates.
         let ragged = vec![vec![1.0, 2.0], vec![1.0], vec![1.0, 2.0], vec![1.0, 2.0]];
         assert!(factorial_two_level(&design, &ragged, &effects).is_err());

@@ -135,7 +135,7 @@ fn acklam_inverse_normal(p: f64) -> f64 {
         -3.969_683_028_665_376e1,
         2.209_460_984_245_205e2,
         -2.759_285_104_469_687e2,
-        1.383_577_518_672_690e2,
+        1.383_577_518_672_69e2,
         -3.066_479_806_614_716e1,
         2.506_628_277_459_239,
     ];
@@ -210,9 +210,10 @@ impl StudentT {
 impl Distribution for StudentT {
     fn pdf(&self, x: f64) -> f64 {
         let v = self.df;
-        let ln =
-            ln_gamma((v + 1.0) / 2.0) - ln_gamma(v / 2.0) - 0.5 * (v * std::f64::consts::PI).ln()
-                - ((v + 1.0) / 2.0) * (1.0 + x * x / v).ln();
+        let ln = ln_gamma((v + 1.0) / 2.0)
+            - ln_gamma(v / 2.0)
+            - 0.5 * (v * std::f64::consts::PI).ln()
+            - ((v + 1.0) / 2.0) * (1.0 + x * x / v).ln();
         ln.exp()
     }
 

@@ -13,7 +13,9 @@ use diversify::scada::components::ComponentProfile;
 use diversify::scada::scope::{ScopeConfig, ScopeSystem};
 
 fn measure(strategy: PlacementStrategy) -> (f64, f64) {
-    let mut net = ScopeSystem::build(&ScopeConfig::default()).network().clone();
+    let mut net = ScopeSystem::build(&ScopeConfig::default())
+        .network()
+        .clone();
     apply_placement(&mut net, strategy, ComponentProfile::hardened());
     let cost = deployment_cost(&net, 2.0, 5.0);
     let m = measure_configuration(
@@ -31,10 +33,7 @@ fn measure(strategy: PlacementStrategy) -> (f64, f64) {
 }
 
 fn main() {
-    println!(
-        "{:<28} {:>8} {:>10}",
-        "placement", "P_SA", "cost"
-    );
+    println!("{:<28} {:>8} {:>10}", "placement", "P_SA", "cost");
     let (p, c) = measure(PlacementStrategy::None);
     println!("{:<28} {p:>8.3} {c:>10.1}", "none (monoculture)");
     for k in [1usize, 2, 3, 4, 6] {

@@ -9,8 +9,8 @@
 //! speaking any other dialect reject the very same bytes, so one crafted
 //! exploit no longer fits every segment of a diversified plant.
 
-use diversify::scada::plc::{sabotage_program, Plc};
 use diversify::scada::components::PlcFirmware;
+use diversify::scada::plc::{sabotage_program, Plc};
 use diversify::scada::protocol::dialect::ProtocolDialect;
 use diversify::scada::protocol::frame::{Pdu, Request};
 
@@ -42,7 +42,12 @@ fn main() {
             Ok(Pdu::Response(_)) => "unexpected response".to_string(),
             Err(e) => format!("rejected: {e}"),
         };
-        println!("{:<16} {:>12} {:>28}", dialect.to_string(), "classic", result);
+        println!(
+            "{:<16} {:>12} {:>28}",
+            dialect.to_string(),
+            "classic",
+            result
+        );
     }
 
     println!();

@@ -41,9 +41,7 @@ fn main() {
         .plc_nodes()
         .iter()
         .enumerate()
-        .filter(|(_, node)| {
-            outcome.final_states[node.index()] == NodeCompromise::Reprogrammed
-        })
+        .filter(|(_, node)| outcome.final_states[node.index()] == NodeCompromise::Reprogrammed)
         .map(|(crac, _)| crac)
         .collect();
     println!("reprogrammed PLCs (CRAC indices): {reprogrammed:?}");
@@ -70,6 +68,8 @@ fn main() {
         rt.any_alarm()
     );
     if rt.tripped_count() > 0 && !rt.any_alarm() {
-        println!("=> device impairment achieved while monitoring stayed green — the Stuxnet signature");
+        println!(
+            "=> device impairment achieved while monitoring stayed green — the Stuxnet signature"
+        );
     }
 }

@@ -64,7 +64,9 @@ fn diversity_lowers_success_probability() {
     };
     let threat = ThreatModel::stuxnet_like();
     let p_for = |cfg: &DiversityConfig, seed: u64| {
-        let mut net = ScopeSystem::build(&ScopeConfig::default()).network().clone();
+        let mut net = ScopeSystem::build(&ScopeConfig::default())
+            .network()
+            .clone();
         cfg.apply(&mut net);
         measure_configuration(&net, &threat, campaign, 2, 40, seed)
             .summary
@@ -88,19 +90,27 @@ fn strategic_placement_beats_random_at_small_k() {
     };
     let threat = ThreatModel::stuxnet_like();
     let measure = |strategy: PlacementStrategy, seed: u64| {
-        let mut net = ScopeSystem::build(&ScopeConfig::default()).network().clone();
+        let mut net = ScopeSystem::build(&ScopeConfig::default())
+            .network()
+            .clone();
         apply_placement(&mut net, strategy, ComponentProfile::hardened());
         measure_configuration(&net, &threat, campaign, 2, 25, seed)
             .summary
             .p_success
     };
     let k = 3;
-    let strategic: f64 = (0..3).map(|s| measure(PlacementStrategy::Strategic { k }, s)).sum::<f64>() / 3.0;
+    let strategic: f64 = (0..3)
+        .map(|s| measure(PlacementStrategy::Strategic { k }, s))
+        .sum::<f64>()
+        / 3.0;
     let random: f64 = (0..3)
         .map(|s| measure(PlacementStrategy::Random { k, seed: 100 + s }, s))
         .sum::<f64>()
         / 3.0;
-    let none: f64 = (0..3).map(|s| measure(PlacementStrategy::None, s)).sum::<f64>() / 3.0;
+    let none: f64 = (0..3)
+        .map(|s| measure(PlacementStrategy::None, s))
+        .sum::<f64>()
+        / 3.0;
     assert!(
         strategic <= none,
         "strategic hardening should not hurt: {strategic} vs baseline {none}"
@@ -115,7 +125,9 @@ fn strategic_placement_beats_random_at_small_k() {
 fn espionage_and_sabotage_threats_differ_in_depth() {
     use diversify::attack::campaign::CampaignSimulator;
     use diversify::attack::stage::AttackStage;
-    let net = ScopeSystem::build(&ScopeConfig::default()).network().clone();
+    let net = ScopeSystem::build(&ScopeConfig::default())
+        .network()
+        .clone();
     let cfg = CampaignConfig::default();
     let stux = CampaignSimulator::new(&net, ThreatModel::stuxnet_like(), cfg).run_many(20, 1);
     let duqu = CampaignSimulator::new(&net, ThreatModel::duqu_like(), cfg).run_many(20, 1);

@@ -11,23 +11,17 @@ use proptest::prelude::*;
 
 fn arb_request() -> impl Strategy<Value = Request> {
     prop_oneof![
-        (0u16..1000, 1u16..100).prop_map(|(address, count)| Request::ReadCoils {
-            address,
-            count
-        }),
-        (0u16..1000, 1u16..100).prop_map(|(address, count)| {
-            Request::ReadHoldingRegisters { address, count }
-        }),
-        (0u16..1000, 1u16..100).prop_map(|(address, count)| {
-            Request::ReadInputRegisters { address, count }
-        }),
+        (0u16..1000, 1u16..100).prop_map(|(address, count)| Request::ReadCoils { address, count }),
+        (0u16..1000, 1u16..100)
+            .prop_map(|(address, count)| { Request::ReadHoldingRegisters { address, count } }),
+        (0u16..1000, 1u16..100)
+            .prop_map(|(address, count)| { Request::ReadInputRegisters { address, count } }),
         (0u16..1000, any::<bool>())
             .prop_map(|(address, value)| Request::WriteSingleCoil { address, value }),
         (0u16..1000, any::<u16>())
             .prop_map(|(address, value)| Request::WriteSingleRegister { address, value }),
-        (0u16..1000, prop::collection::vec(any::<u16>(), 1..20)).prop_map(
-            |(address, values)| Request::WriteMultipleRegisters { address, values }
-        ),
+        (0u16..1000, prop::collection::vec(any::<u16>(), 1..20))
+            .prop_map(|(address, values)| Request::WriteMultipleRegisters { address, values }),
         prop::collection::vec(any::<u8>(), 0..200)
             .prop_map(|image| Request::DownloadLogic { image }),
     ]

@@ -1,0 +1,204 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides the subset the workspace's protocol codec uses: a growable
+//! [`BytesMut`] write buffer implementing [`BufMut`], and a [`Buf`] read
+//! cursor implemented for `&[u8]`. Multi-byte integers are big-endian,
+//! matching the upstream crate (and the Modbus wire convention the codec
+//! mirrors).
+
+use std::ops::{Deref, DerefMut};
+
+/// Read cursor over a byte source.
+///
+/// # Panics
+///
+/// Like upstream `bytes`, the `get_*` and `advance` methods panic when the
+/// buffer has fewer bytes than requested; callers bounds-check with
+/// [`Buf::remaining`] first.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Advances the cursor by `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8;
+
+    /// Reads a big-endian `u16`.
+    fn get_u16(&mut self) -> u16;
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32;
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of buffer");
+        *self = &self[n..];
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        assert!(!self.is_empty(), "get_u8 on empty buffer");
+        let b = self[0];
+        *self = &self[1..];
+        b
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        assert!(self.len() >= 2, "get_u16 past end of buffer");
+        let v = u16::from_be_bytes([self[0], self[1]]);
+        *self = &self[2..];
+        v
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        assert!(self.len() >= 4, "get_u32 past end of buffer");
+        let v = u32::from_be_bytes([self[0], self[1], self[2], self[3]]);
+        *self = &self[4..];
+        v
+    }
+}
+
+/// Write sink for byte data.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16);
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32);
+
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+/// A growable byte buffer (thin wrapper over `Vec<u8>`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        BytesMut { inner: Vec::new() }
+    }
+
+    /// Creates an empty buffer with reserved capacity.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// The number of bytes written.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Copies the contents into a plain `Vec<u8>`.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.clone()
+    }
+
+    /// Consumes the buffer, returning the underlying `Vec<u8>`.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<u8> {
+        self.inner
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.inner.push(v);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.inner.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.inner.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(b: BytesMut) -> Vec<u8> {
+        b.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let mut w = BytesMut::with_capacity(8);
+        w.put_u8(0xAB);
+        w.put_u16(0xBEEF);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_slice(&[1, 2, 3]);
+        let bytes = w.to_vec();
+        let mut r: &[u8] = &bytes;
+        assert_eq!(r.remaining(), 10);
+        assert_eq!(r.get_u8(), 0xAB);
+        assert_eq!(r.get_u16(), 0xBEEF);
+        assert_eq!(r.get_u32(), 0xDEAD_BEEF);
+        r.advance(1);
+        assert_eq!(r, &[2, 3]);
+    }
+
+    #[test]
+    fn big_endian_layout() {
+        let mut w = BytesMut::new();
+        w.put_u16(0x0102);
+        assert_eq!(w.to_vec(), vec![0x01, 0x02]);
+    }
+
+    #[test]
+    #[should_panic(expected = "past end")]
+    fn get_u16_on_short_buffer_panics() {
+        let mut r: &[u8] = &[1];
+        let _ = r.get_u16();
+    }
+}

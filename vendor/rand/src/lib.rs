@@ -1,0 +1,321 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the *minimal* subset of the `rand 0.8` API that its members actually
+//! use: [`RngCore`], [`SeedableRng::seed_from_u64`], [`Rng::gen`] /
+//! [`Rng::gen_range`], [`rngs::SmallRng`] and [`seq::SliceRandom`].
+//!
+//! The generator behind [`rngs::SmallRng`] is xoshiro256++ seeded via
+//! SplitMix64 — the same family upstream `SmallRng` uses on 64-bit
+//! targets. Sequences are deterministic for a given seed but are not
+//! guaranteed to match upstream `rand` bit-for-bit; nothing in this
+//! workspace depends on the exact upstream streams.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Error type for fallible RNG operations (never produced by the
+/// deterministic generators in this shim, but part of the `RngCore`
+/// contract that downstream code implements).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RNG error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator, mirroring `rand::RngCore`.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible variant of [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+}
+
+/// Seedable generators, mirroring the subset of `rand::SeedableRng` the
+/// workspace uses.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a `u64` seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Sampling of a "standard" value for `Rng::gen`.
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53-bit mantissa construction for an unbiased double in [0,1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u8 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u8
+    }
+}
+
+impl Standard for u16 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u16
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+/// Ranges that `Rng::gen_range` can sample from.
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+    /// Draws a uniform value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+/// Unbiased integer draw in `0..n` by rejection sampling.
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    let zone = u64::MAX - (u64::MAX % n);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % n;
+        }
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + uniform_below(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+/// Convenience sampling methods, mirroring the subset of `rand::Rng` the
+/// workspace uses.
+pub trait Rng: RngCore {
+    /// Draws a standard value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a uniform value from `range`.
+    fn gen_range<S: SampleRange>(&mut self, range: S) -> S::Output {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Error, RngCore, SeedableRng};
+
+    /// A small, fast, deterministic generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut state);
+            }
+            // All-zero state is the one degenerate case for xoshiro.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ step.
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+        }
+
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+            self.fill_bytes(dest);
+            Ok(())
+        }
+    }
+}
+
+/// Sequence-related helpers, mirroring `rand::seq`.
+pub mod seq {
+    use super::{uniform_below, RngCore};
+
+    /// Slice shuffling, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Returns a uniformly chosen element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = uniform_below(rng, (i + 1) as u64) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[uniform_below(rng, self.len() as u64) as usize])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut r = SmallRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = r.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = r.gen_range(-2.0f64..5.0);
+            assert!((-2.0..5.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..40).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut r = SmallRng::seed_from_u64(4);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

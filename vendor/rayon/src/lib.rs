@@ -1,0 +1,274 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the subset of the rayon API its members use: `into_par_iter()` on
+//! ranges and vectors, `map`, `for_each`, `sum` and `collect` into a
+//! `Vec`. Execution is genuinely parallel: items are claimed from an
+//! atomic work counter by `available_parallelism()` scoped threads
+//! (dynamic scheduling, so uneven per-item cost still load-balances), and
+//! results are written back by index so output order — and therefore
+//! every deterministic aggregation downstream — is identical to the
+//! serial order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The number of worker threads a parallel operation will use: the
+/// `RAYON_NUM_THREADS` environment variable if set (like upstream
+/// rayon), otherwise `available_parallelism()`.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    if let Some(n) = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        if n > 0 {
+            return n;
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// How many chunks each worker gets on average. More chunks → better
+/// load balance for uneven work; fewer → less synchronization. Eight is
+/// rayon's own adaptive-splitting ballpark.
+const CHUNKS_PER_WORKER: usize = 8;
+
+/// Maps `f` over `items` on multiple threads, preserving input order in
+/// the output.
+///
+/// Work is claimed at *chunk* granularity from an atomic counter
+/// (dynamic scheduling, so uneven per-item cost still load-balances)
+/// and synchronization is two lock round-trips per chunk — not per
+/// item — so fine-grained tasks (e.g. a handful of RNG draws per
+/// replication) keep their parallel speedup.
+fn parallel_map<T, U, F>(items: Vec<T>, f: &F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = current_num_threads().min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_size = n.div_ceil(workers * CHUNKS_PER_WORKER).max(1);
+    let mut items = items;
+    let mut input: Vec<Mutex<Option<Vec<T>>>> = Vec::with_capacity(n.div_ceil(chunk_size));
+    while !items.is_empty() {
+        let tail = items.split_off(items.len().saturating_sub(chunk_size));
+        input.push(Mutex::new(Some(tail)));
+    }
+    // split_off takes from the back, so chunks were pushed in reverse.
+    input.reverse();
+    let chunks = input.len();
+    let output: Vec<Mutex<Option<Vec<U>>>> = (0..chunks).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= chunks {
+                    break;
+                }
+                let chunk = input[c]
+                    .lock()
+                    .expect("input chunk poisoned")
+                    .take()
+                    .expect("chunk claimed twice");
+                let mapped: Vec<U> = chunk.into_iter().map(f).collect();
+                *output[c].lock().expect("output chunk poisoned") = Some(mapped);
+            });
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for slot in output {
+        out.extend(
+            slot.into_inner()
+                .expect("output chunk poisoned")
+                .expect("missing chunk result"),
+        );
+    }
+    out
+}
+
+/// A parallel iterator pipeline. All sources materialize their items, so
+/// this is suitable for the coarse-grained Monte-Carlo workloads in this
+/// workspace, not for huge lazy streams.
+pub trait ParallelIterator: Sized + Send {
+    /// The element type.
+    type Item: Send;
+
+    /// Executes the pipeline, returning items in input order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Maps each item through `f` in parallel.
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Collects the results.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+
+    /// Runs `f` on every item in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        let _ = self.map(f).run();
+    }
+
+    /// Sums the items.
+    fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+        self.run().into_iter().sum()
+    }
+}
+
+/// Conversion into a [`ParallelIterator`], mirroring rayon's trait.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Collection from a parallel iterator, mirroring rayon's trait.
+pub trait FromParallelIterator<T: Send> {
+    /// Builds the collection from the pipeline.
+    fn from_par_iter<P: ParallelIterator<Item = T>>(iter: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(iter: P) -> Self {
+        iter.run()
+    }
+}
+
+/// A materialized parallel source.
+#[derive(Debug)]
+pub struct IterBridge<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for IterBridge<T> {
+    type Item = T;
+
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// The result of [`ParallelIterator::map`].
+#[derive(Debug)]
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, U, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    U: Send,
+    F: Fn(P::Item) -> U + Sync + Send,
+{
+    type Item = U;
+
+    fn run(self) -> Vec<U> {
+        parallel_map(self.base.run(), &self.f)
+    }
+}
+
+macro_rules! range_into_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = IterBridge<$t>;
+            fn into_par_iter(self) -> IterBridge<$t> {
+                IterBridge { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+range_into_par_iter!(u8, u16, u32, u64, usize, i32, i64);
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = IterBridge<T>;
+    fn into_par_iter(self) -> IterBridge<T> {
+        IterBridge { items: self }
+    }
+}
+
+/// The rayon prelude: everything needed for `into_par_iter` pipelines.
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<u64> = (0u64..1000).into_par_iter().map(|i| i * i).collect();
+        let expected: Vec<u64> = (0u64..1000).map(|i| i * i).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn vec_source() {
+        let v = vec!["a".to_string(), "bb".to_string(), "ccc".to_string()];
+        let lens: Vec<usize> = v.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn sum_matches_serial() {
+        let total: u64 = (0u64..10_000).into_par_iter().sum();
+        assert_eq!(total, 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = (0u32..0).into_par_iter().map(|i| i).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn multithreaded_path_preserves_order() {
+        // Force real worker threads even on single-core machines so the
+        // scheduling path is exercised, not just the serial fallback.
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+        let out: Vec<u64> = (0u64..500).into_par_iter().map(|i| i * 3).collect();
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert_eq!(out, (0u64..500).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uneven_work_load_balances() {
+        // Items with wildly different cost still come back in order.
+        let out: Vec<u64> = (0u64..64)
+            .into_par_iter()
+            .map(|i| {
+                let spins = if i % 7 == 0 { 100_000 } else { 10 };
+                let mut acc = i;
+                for _ in 0..spins {
+                    acc = acc.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                }
+                std::hint::black_box(acc);
+                i
+            })
+            .collect();
+        assert_eq!(out, (0u64..64).collect::<Vec<_>>());
+    }
+}

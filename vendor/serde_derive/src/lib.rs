@@ -1,0 +1,469 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the shim `serde` crate's `Value` data model, using only the compiler's
+//! built-in `proc_macro` token API (the real `syn`/`quote` stack is not
+//! available offline).
+//!
+//! Supported item shapes — exactly what this workspace defines:
+//!
+//! * non-generic structs with named fields (`#[serde(skip)]` honored:
+//!   skipped on serialize, filled from `Default` on deserialize);
+//! * non-generic tuple structs (serialized as arrays);
+//! * non-generic enums with unit, tuple and struct variants, using
+//!   upstream serde's externally-tagged representation: `"Variant"`,
+//!   `{"Variant": payload}`, `{"Variant": {..fields..}}`.
+//!
+//! Generics and lifetimes are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, generate: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => generate(&item)
+            .parse()
+            .expect("serde_derive shim generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error is valid Rust"),
+    }
+}
+
+// ---------------------------------------------------------------- parsing
+
+/// Consumes leading `#[...]` attributes, reporting whether any of them is
+/// `#[serde(skip)]`.
+fn take_attrs(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> bool {
+    let mut skip = false;
+    while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        tokens.next();
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                let mut inner = g.stream().into_iter();
+                if let Some(TokenTree::Ident(tag)) = inner.next() {
+                    if tag.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.next() {
+                            let text = args.stream().to_string();
+                            if text.split(',').any(|part| part.trim() == "skip") {
+                                skip = true;
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    skip
+}
+
+/// Consumes an optional visibility qualifier (`pub`, `pub(crate)`, ...).
+fn take_vis(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(
+            tokens.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            tokens.next();
+        }
+    }
+}
+
+/// Skips type tokens until a top-level comma (tracking `<`/`>` depth so
+/// commas inside generics don't split fields). Consumes the comma.
+fn skip_type(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    let mut angle_depth: i32 = 0;
+    for tree in tokens.by_ref() {
+        if let TokenTree::Punct(p) = &tree {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Parses the fields of a named-field body (`{ ... }`).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let skip = take_attrs(&mut tokens);
+        take_vis(&mut tokens);
+        let Some(tree) = tokens.next() else { break };
+        let TokenTree::Ident(name) = tree else {
+            return Err(format!("expected field name, found `{tree}`"));
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field name, found {other:?}")),
+        }
+        skip_type(&mut tokens);
+        fields.push(Field {
+            name: name.to_string(),
+            skip,
+        });
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple body (`( ... )`).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle_depth: i32 = 0;
+    let mut commas = 0usize;
+    let mut saw_any = false;
+    let mut tail_tokens = false;
+    for tree in stream {
+        saw_any = true;
+        if let TokenTree::Punct(p) = &tree {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    commas += 1;
+                    tail_tokens = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        tail_tokens = true;
+    }
+    if !saw_any {
+        0
+    } else if tail_tokens {
+        commas + 1
+    } else {
+        commas // trailing comma
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        take_attrs(&mut tokens);
+        let Some(tree) = tokens.next() else { break };
+        let TokenTree::Ident(name) = tree else {
+            return Err(format!("expected variant name, found `{tree}`"));
+        };
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let count = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantKind::Tuple(count)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                tokens.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        let mut angle_depth: i32 = 0;
+        while let Some(tree) = tokens.peek() {
+            if let TokenTree::Punct(p) = tree {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        tokens.next();
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            tokens.next();
+        }
+        variants.push(Variant {
+            name: name.to_string(),
+            kind,
+        });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+    take_attrs(&mut tokens);
+    take_vis(&mut tokens);
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive does not support generic type `{name}`"
+        ));
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                shape: Shape::NamedStruct(parse_named_fields(g.stream())?),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(Item {
+                name,
+                shape: Shape::TupleStruct(count_tuple_fields(g.stream())),
+            }),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item {
+                name,
+                shape: Shape::UnitStruct,
+            }),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                shape: Shape::Enum(parse_variants(g.stream())?),
+            }),
+            other => Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut code =
+                String::from("let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                code.push_str(&format!(
+                    "fields.push((String::from({:?}), ::serde::Serialize::to_json_value(&self.{})));\n",
+                    f.name, f.name
+                ));
+            }
+            code.push_str("::serde::Value::Object(fields)");
+            code
+        }
+        Shape::TupleStruct(count) => {
+            let items: Vec<String> = (0..*count)
+                .map(|i| format!("::serde::Serialize::to_json_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::String(String::from({vname:?})),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(f0) => ::serde::Value::Object(vec![(String::from({vname:?}), ::serde::Serialize::to_json_value(f0))]),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object(vec![(String::from({vname:?}), ::serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                if f.skip {
+                                    format!("{}: _", f.name)
+                                } else {
+                                    f.name.clone()
+                                }
+                            })
+                            .collect();
+                        let pairs: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "(String::from({:?}), ::serde::Serialize::to_json_value({}))",
+                                    f.name, f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Object(vec![(String::from({vname:?}), ::serde::Value::Object(vec![{}]))]),\n",
+                            binds.join(", "),
+                            pairs.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+         fn to_json_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_field_read(container: &str, source: &str, f: &Field) -> String {
+    if f.skip {
+        format!("{}: ::std::default::Default::default(),\n", f.name)
+    } else {
+        format!(
+            "{0}: match {source}.get({1:?}) {{\n\
+             Some(x) => ::serde::Deserialize::from_json_value(x)?,\n\
+             None => return Err(::serde::Error::custom(concat!(\"missing field `\", {1:?}, \"` of `\", {container:?}, \"`\"))),\n\
+             }},\n",
+            f.name, f.name
+        )
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut code = format!(
+                "if v.as_object().is_none() {{\n\
+                 return Err(::serde::Error::custom(concat!(\"expected object for `\", {name:?}, \"`\")));\n\
+                 }}\nOk({name} {{\n"
+            );
+            for f in fields {
+                code.push_str(&gen_field_read(name, "v", f));
+            }
+            code.push_str("})");
+            code
+        }
+        Shape::TupleStruct(count) => {
+            let reads: Vec<String> = (0..*count)
+                .map(|i| format!("::serde::Deserialize::from_json_value(&arr[{i}])?"))
+                .collect();
+            format!(
+                "let arr = v.as_array().ok_or_else(|| ::serde::Error::custom(concat!(\"expected array for `\", {name:?}, \"`\")))?;\n\
+                 if arr.len() != {count} {{\n\
+                 return Err(::serde::Error::custom(concat!(\"wrong arity for `\", {name:?}, \"`\")));\n\
+                 }}\nOk({name}({}))",
+                reads.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "{vname:?} => Ok({name}::{vname}),\n"
+                    )),
+                    VariantKind::Tuple(1) => tagged_arms.push_str(&format!(
+                        "{vname:?} => Ok({name}::{vname}(::serde::Deserialize::from_json_value(inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let reads: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::Deserialize::from_json_value(&arr[{i}])?")
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "{vname:?} => {{\n\
+                             let arr = inner.as_array().ok_or_else(|| ::serde::Error::custom(concat!(\"expected array for variant `\", {vname:?}, \"`\")))?;\n\
+                             if arr.len() != {n} {{\n\
+                             return Err(::serde::Error::custom(concat!(\"wrong arity for variant `\", {vname:?}, \"`\")));\n\
+                             }}\nOk({name}::{vname}({}))\n}},\n",
+                            reads.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut reads = String::new();
+                        for f in fields {
+                            reads.push_str(&gen_field_read(name, "inner", f));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "{vname:?} => {{\n\
+                             if inner.as_object().is_none() {{\n\
+                             return Err(::serde::Error::custom(concat!(\"expected object for variant `\", {vname:?}, \"`\")));\n\
+                             }}\nOk({name}::{vname} {{\n{reads}}})\n}},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => Err(::serde::Error::custom(format!(\"unknown variant `{{other}}` of `{name}`\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                 let (tag, inner) = &pairs[0];\n\
+                 let _ = inner;\n\
+                 match tag.as_str() {{\n\
+                 {tagged_arms}\
+                 other => Err(::serde::Error::custom(format!(\"unknown variant `{{other}}` of `{name}`\"))),\n\
+                 }}\n}},\n\
+                 other => Err(::serde::Error::custom(format!(\"invalid value of kind {{}} for enum `{name}`\", other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+         fn from_json_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
