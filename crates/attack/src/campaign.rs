@@ -139,21 +139,65 @@ impl CampaignOutcome {
 }
 
 /// Tick-based Monte-Carlo campaign simulator over a plant network.
+///
+/// Network-derived constants (entry points, PLC ids, detection profiles)
+/// are resolved once at construction so each replication starts without
+/// re-scanning the topology; within a replication the tick loop reuses
+/// one scratch buffer and maintains compromise counters incrementally,
+/// skipping whole stages once they can no longer change any state.
 #[derive(Debug)]
 pub struct CampaignSimulator<'n> {
     network: &'n ScadaNetwork,
     threat: ThreatModel,
     config: CampaignConfig,
+    /// Entry-point node ids (initial-infection candidates).
+    entries: Vec<NodeId>,
+    /// PLC node ids (payload targets).
+    plc_ids: Vec<NodeId>,
+    /// Historian/engineering node ids (exfiltration targets).
+    data_ids: Vec<NodeId>,
+    /// Representative profiles for detection: the historian node and a
+    /// field sensor owner (first PLC).
+    historian_profile: diversify_scada::components::ComponentProfile,
+    sensor_profile: diversify_scada::components::ComponentProfile,
 }
 
 impl<'n> CampaignSimulator<'n> {
     /// Creates a simulator for `threat` against `network`.
     #[must_use]
     pub fn new(network: &'n ScadaNetwork, threat: ThreatModel, config: CampaignConfig) -> Self {
+        let entries: Vec<NodeId> = network
+            .node_ids()
+            .filter(|&id| network.node(id).role.is_entry_point())
+            .collect();
+        let plc_ids = network.nodes_with_role(NodeRole::Plc);
+        let data_ids: Vec<NodeId> = network
+            .node_ids()
+            .filter(|&id| {
+                matches!(
+                    network.node(id).role,
+                    NodeRole::Historian | NodeRole::EngineeringWorkstation
+                )
+            })
+            .collect();
+        let historian_profile = network
+            .nodes_with_role(NodeRole::Historian)
+            .first()
+            .map(|&id| network.node(id).profile)
+            .unwrap_or_default();
+        let sensor_profile = plc_ids
+            .first()
+            .map(|&id| network.node(id).profile)
+            .unwrap_or_default();
         CampaignSimulator {
             network,
             threat,
             config,
+            entries,
+            plc_ids,
+            data_ids,
+            historian_profile,
+            sensor_profile,
         }
     }
 
@@ -179,124 +223,131 @@ impl<'n> CampaignSimulator<'n> {
         let mut payload_failures = 0u32;
         let mut exfil_ticks = 0u32;
 
-        // Representative profiles for detection: the historian node and a
-        // field sensor owner (first PLC).
-        let historian_profile = net
-            .nodes_with_role(NodeRole::Historian)
-            .first()
-            .map(|&id| net.node(id).profile)
-            .unwrap_or_default();
-        let sensor_profile = net
-            .nodes_with_role(NodeRole::Plc)
-            .first()
-            .map(|&id| net.node(id).profile)
-            .unwrap_or_default();
-
-        // Initial infection: the attacker seeds an entry-point node (USB
-        // stick in the office, per the Stuxnet dossier). Entry succeeds
-        // against the entry node's OS.
-        let entries: Vec<NodeId> = net
-            .node_ids()
-            .filter(|&id| net.node(id).role.is_entry_point())
-            .collect();
-        let plc_ids: Vec<NodeId> = net.nodes_with_role(NodeRole::Plc);
-        let total_plcs = plc_ids.len().max(1);
+        let total_plcs = self.plc_ids.len().max(1);
+        // Incrementally maintained summaries of `states`, so per-tick
+        // bookkeeping is O(1) instead of O(nodes) and whole stages can be
+        // skipped once they provably cannot change anything further.
+        let mut clean = n; // nodes still Clean
+        let mut infected = 0usize; // nodes exactly Infected
+        let mut reprogrammed = 0usize; // PLCs Reprogrammed
+        let mut rooted_buf: Vec<NodeId> = Vec::with_capacity(n);
 
         ratio_curve.push(0.0);
         'ticks: for tick in 1..=self.config.max_ticks {
-            // Stage: Initial → Activated (seed an entry node).
-            if !states.iter().any(|s| s.is_compromised()) {
-                if let Some(&entry) = entries.first() {
+            // Stage: Initial → Activated (seed an entry node). The attacker
+            // seeds an entry-point node (USB stick in the office, per the
+            // Stuxnet dossier); entry succeeds against the entry node's OS.
+            if clean == n {
+                if let Some(&entry) = self.entries.first() {
                     let p = cat.infection_probability(&net.node(entry).profile);
                     if rng.bernoulli(p) {
                         states[entry.index()] = NodeCompromise::Infected;
+                        clean -= 1;
+                        infected += 1;
                         deepest = deepest.max(AttackStage::Activated);
                     }
                 }
             }
 
             // Stage: privilege escalation on infected nodes.
-            for id in net.node_ids() {
-                if states[id.index()] == NodeCompromise::Infected {
-                    let p = cat.escalation_probability(&net.node(id).profile);
-                    if rng.bernoulli(p) {
-                        states[id.index()] = NodeCompromise::Rooted;
-                        deepest = deepest.max(AttackStage::RootAccess);
+            if infected > 0 {
+                for id in net.node_ids() {
+                    if states[id.index()] == NodeCompromise::Infected {
+                        let p = cat.escalation_probability(&net.node(id).profile);
+                        if rng.bernoulli(p) {
+                            states[id.index()] = NodeCompromise::Rooted;
+                            infected -= 1;
+                            deepest = deepest.max(AttackStage::RootAccess);
+                        }
                     }
                 }
             }
 
-            // Stage: lateral propagation from rooted nodes.
-            let rooted: Vec<NodeId> = net
-                .node_ids()
-                .filter(|&id| states[id.index()] >= NodeCompromise::Rooted)
-                .collect();
-            for &src in &rooted {
-                for _ in 0..self.threat.attempts_per_tick {
-                    let neighbors = net.neighbors(src);
-                    if neighbors.is_empty() {
-                        continue;
-                    }
-                    let dst = neighbors[rng.index(neighbors.len())];
-                    if states[dst.index()] != NodeCompromise::Clean {
-                        continue;
-                    }
-                    let dst_profile = &net.node(dst).profile;
-                    // Zone crossings face the destination firewall.
-                    if net.crosses_zone(src, dst) {
-                        let pass = cat.firewall_pass_probability(dst_profile);
-                        if !rng.bernoulli(pass) {
-                            firewall_blocks += 1;
+            // Stage: lateral propagation from rooted nodes. With no clean
+            // node left the stage can only burn RNG draws on already-
+            // compromised destinations, so it is skipped outright.
+            if clean > 0 {
+                rooted_buf.clear();
+                rooted_buf.extend(
+                    net.node_ids()
+                        .filter(|&id| states[id.index()] >= NodeCompromise::Rooted),
+                );
+                for &src in &rooted_buf {
+                    for _ in 0..self.threat.attempts_per_tick {
+                        let neighbors = net.neighbors(src);
+                        if neighbors.is_empty() {
                             continue;
                         }
-                    }
-                    // Propagation additionally requires speaking the
-                    // destination's wire dialect inside the field zone.
-                    let src_dialect = net.node(src).profile.dialect;
-                    let dialect_ok = src_dialect == dst_profile.dialect
-                        || !matches!(net.node(dst).role, NodeRole::Plc | NodeRole::FieldGateway);
-                    if !dialect_ok && !rng.bernoulli(0.05) {
-                        payload_failures += 1;
-                        continue;
-                    }
-                    if rng.bernoulli(cat.infection_probability(dst_profile)) {
-                        states[dst.index()] = NodeCompromise::Infected;
-                        deepest = deepest.max(AttackStage::NetworkPropagation);
+                        let dst = neighbors[rng.index(neighbors.len())];
+                        if states[dst.index()] != NodeCompromise::Clean {
+                            continue;
+                        }
+                        let dst_profile = &net.node(dst).profile;
+                        // Zone crossings face the destination firewall.
+                        if net.crosses_zone(src, dst) {
+                            let pass = cat.firewall_pass_probability(dst_profile);
+                            if !rng.bernoulli(pass) {
+                                firewall_blocks += 1;
+                                continue;
+                            }
+                        }
+                        // Propagation additionally requires speaking the
+                        // destination's wire dialect inside the field zone.
+                        let src_dialect = net.node(src).profile.dialect;
+                        let dialect_ok = src_dialect == dst_profile.dialect
+                            || !matches!(
+                                net.node(dst).role,
+                                NodeRole::Plc | NodeRole::FieldGateway
+                            );
+                        if !dialect_ok && !rng.bernoulli(0.05) {
+                            payload_failures += 1;
+                            continue;
+                        }
+                        if rng.bernoulli(cat.infection_probability(dst_profile)) {
+                            states[dst.index()] = NodeCompromise::Infected;
+                            clean -= 1;
+                            infected += 1;
+                            deepest = deepest.max(AttackStage::NetworkPropagation);
+                        }
                     }
                 }
             }
 
             // Stage: PLC payload delivery (sabotage threats only).
-            for &plc in &plc_ids {
-                if states[plc.index()] == NodeCompromise::Reprogrammed {
-                    continue;
-                }
-                // Needs a rooted neighbor (gateway or engineering path).
-                let has_rooted_neighbor = net
-                    .neighbors(plc)
-                    .iter()
-                    .any(|&nb| states[nb.index()] >= NodeCompromise::Rooted)
-                    || states[plc.index()] >= NodeCompromise::Rooted;
-                if !has_rooted_neighbor {
-                    continue;
-                }
-                let p = cat.plc_payload_probability(&net.node(plc).profile);
-                if p == 0.0 {
-                    continue;
-                }
-                if rng.bernoulli(p) {
-                    states[plc.index()] = NodeCompromise::Reprogrammed;
-                    deepest = deepest.max(AttackStage::DeviceImpairment);
-                } else {
-                    payload_failures += 1;
+            if reprogrammed < self.plc_ids.len() {
+                for &plc in &self.plc_ids {
+                    if states[plc.index()] == NodeCompromise::Reprogrammed {
+                        continue;
+                    }
+                    // Needs a rooted neighbor (gateway or engineering path).
+                    let has_rooted_neighbor = net
+                        .neighbors(plc)
+                        .iter()
+                        .any(|&nb| states[nb.index()] >= NodeCompromise::Rooted)
+                        || states[plc.index()] >= NodeCompromise::Rooted;
+                    if !has_rooted_neighbor {
+                        continue;
+                    }
+                    let p = cat.plc_payload_probability(&net.node(plc).profile);
+                    if p == 0.0 {
+                        continue;
+                    }
+                    if rng.bernoulli(p) {
+                        if states[plc.index()] == NodeCompromise::Clean {
+                            clean -= 1;
+                        } else if states[plc.index()] == NodeCompromise::Infected {
+                            infected -= 1;
+                        }
+                        states[plc.index()] = NodeCompromise::Reprogrammed;
+                        reprogrammed += 1;
+                        deepest = deepest.max(AttackStage::DeviceImpairment);
+                    } else {
+                        payload_failures += 1;
+                    }
                 }
             }
 
             // Goal evaluation.
-            let reprogrammed = plc_ids
-                .iter()
-                .filter(|&&id| states[id.index()] == NodeCompromise::Reprogrammed)
-                .count();
             match self.threat.goal {
                 AttackGoal::ImpairDevices { fraction } => {
                     if time_to_attack.is_none()
@@ -306,15 +357,10 @@ impl<'n> CampaignSimulator<'n> {
                     }
                 }
                 AttackGoal::Exfiltrate { ticks } => {
-                    let data_access = net
-                        .node_ids()
-                        .filter(|&id| {
-                            matches!(
-                                net.node(id).role,
-                                NodeRole::Historian | NodeRole::EngineeringWorkstation
-                            )
-                        })
-                        .any(|id| states[id.index()] >= NodeCompromise::Rooted);
+                    let data_access = self
+                        .data_ids
+                        .iter()
+                        .any(|&id| states[id.index()] >= NodeCompromise::Rooted);
                     if data_access {
                         exfil_ticks += 1;
                         if time_to_attack.is_none() && exfil_ticks >= ticks {
@@ -326,27 +372,24 @@ impl<'n> CampaignSimulator<'n> {
 
             // Detection (Time-To-Security-Failure). Only active intrusions
             // can be noticed.
-            if time_to_detection.is_none() && states.iter().any(|s| s.is_compromised()) {
+            if time_to_detection.is_none() && clean < n {
                 let impairment_active = reprogrammed > 0;
                 let p = cat.detection_probability(
-                    &historian_profile,
-                    &sensor_profile,
+                    &self.historian_profile,
+                    &self.sensor_profile,
                     impairment_active,
                     self.threat.stealth,
                 );
                 if rng.bernoulli(p) {
                     time_to_detection = Some(tick);
                     if self.config.detection_stops_attack {
-                        let ratio =
-                            states.iter().filter(|s| s.is_compromised()).count() as f64 / n as f64;
-                        ratio_curve.push(ratio);
+                        ratio_curve.push((n - clean) as f64 / n as f64);
                         break 'ticks;
                     }
                 }
             }
 
-            let ratio = states.iter().filter(|s| s.is_compromised()).count() as f64 / n as f64;
-            ratio_curve.push(ratio);
+            ratio_curve.push((n - clean) as f64 / n as f64);
 
             // Early exit when nothing further can change.
             if time_to_attack.is_some() && time_to_detection.is_some() {

@@ -1,0 +1,51 @@
+//! Engine-level microbenchmarks, independent of the experiment suite, so
+//! regressions inside the SAN simulation core are visible even when the
+//! end-to-end experiments mask them.
+//!
+//! `san_sim_throughput` drives the mid-size SCoPE-derived network-campaign
+//! SAN (≈32 places, ≈53 activities with declared-gate enablement) on both
+//! engines. The model is compiled once, outside the timed loop, so the
+//! samples measure simulation only; the printed mean time divided by the
+//! events-per-iteration line gives the per-event cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use diversify_bench::{san_throughput_events, scope_campaign_san};
+use diversify_san::Engine;
+use std::hint::black_box;
+
+const REPS: u32 = 40;
+const HORIZON_HOURS: f64 = 5_000.0;
+
+fn bench_engine(c: &mut Criterion) {
+    let san = scope_campaign_san();
+    // Report the workload size once so timings translate to events/sec.
+    let events = san_throughput_events(&san.model, Engine::Incremental, REPS, HORIZON_HOURS);
+    println!("san_sim_throughput workload: {events} events per iteration");
+
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    g.bench_function("san_sim_throughput", |b| {
+        b.iter(|| {
+            black_box(san_throughput_events(
+                &san.model,
+                Engine::Incremental,
+                REPS,
+                HORIZON_HOURS,
+            ))
+        })
+    });
+    g.bench_function("san_sim_throughput_full_rescan", |b| {
+        b.iter(|| {
+            black_box(san_throughput_events(
+                &san.model,
+                Engine::FullRescan,
+                REPS,
+                HORIZON_HOURS,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -3,19 +3,73 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p diversify-bench --bin experiments [quick|full]
+//! cargo run --release -p diversify-bench --bin experiments [quick|full] \
+//!     [--guard <baseline.json> [--guard-factor <f>]]
 //! ```
+//!
+//! With `--guard`, the binary times the whole suite and exits non-zero if
+//! the wall time exceeds `guard-factor ×` the `suite_wall_ms` recorded in
+//! the baseline JSON (default factor 3 — a coarse regression tripwire
+//! that tolerates CI-runner noise but catches order-of-magnitude
+//! slowdowns).
 
 use diversify_bench::{run_all, Scale};
+use std::time::Instant;
+
+/// Extracts `"suite_wall_ms": <number>` from a BENCH_*.json file without
+/// a full JSON parse (the field is flat and unique).
+fn suite_wall_ms(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let key = "\"suite_wall_ms\"";
+    let at = text.find(key)? + key.len();
+    let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
 
 fn main() {
-    let scale = match std::env::args().nth(1).as_deref() {
-        Some("full") => Scale::Full,
-        _ => Scale::Quick,
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "full") {
+        Scale::Full
+    } else {
+        Scale::Quick
     };
+    let guard = args
+        .iter()
+        .position(|a| a == "--guard")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let factor: f64 = args
+        .iter()
+        .position(|a| a == "--guard-factor")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3.0);
+
     println!("diversify reproduction — experiment suite ({scale:?} scale)\n");
+    let start = Instant::now();
     for (id, output) in run_all(scale) {
         println!("==== {id} ====");
         println!("{output}");
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    println!("suite wall: {wall_ms:.1} ms");
+
+    if let Some(baseline_path) = guard {
+        let Some(baseline_ms) = suite_wall_ms(&baseline_path) else {
+            eprintln!("guard: no suite_wall_ms in {baseline_path}");
+            std::process::exit(2);
+        };
+        let limit = baseline_ms * factor;
+        if wall_ms > limit {
+            eprintln!(
+                "guard: suite wall {wall_ms:.1} ms exceeds {factor}x baseline \
+                 ({baseline_ms:.1} ms from {baseline_path}) — performance regression"
+            );
+            std::process::exit(1);
+        }
+        println!("guard: within {factor}x baseline ({baseline_ms:.1} ms from {baseline_path})");
     }
 }

@@ -334,6 +334,41 @@ pub fn r8_formalisms(scale: Scale) -> String {
     out
 }
 
+/// Compiles the default SCoPE plant against the Stuxnet-like threat into
+/// a SAN — the mid-size model behind `san_sim_throughput`. Build it once
+/// outside any timed loop so benches measure simulation, not compilation.
+///
+/// # Panics
+///
+/// Panics if the SCoPE network fails to compile into a SAN (a build bug).
+#[must_use]
+pub fn scope_campaign_san() -> diversify_attack::to_san::NetworkCampaignSan {
+    let net = ScopeSystem::build(&ScopeConfig::default())
+        .network()
+        .clone();
+    diversify_attack::to_san::compile_network_campaign(&net, &ThreatModel::stuxnet_like())
+        .expect("SCoPE network compiles")
+}
+
+/// Runs `reps` replications of `model` on the given engine and returns
+/// the total number of activity firings — the workload behind the
+/// `san_sim_throughput` bench (divide by wall time for events/sec).
+#[must_use]
+pub fn san_throughput_events(
+    model: &diversify_san::SanModel,
+    engine: diversify_san::Engine,
+    reps: u32,
+    horizon_hours: f64,
+) -> u64 {
+    let mut events = 0u64;
+    for rep in 0..reps {
+        let mut sim = diversify_san::Simulator::with_engine(model, u64::from(rep) + 1, engine);
+        sim.run_until(SimTime::from_secs(horizon_hours));
+        events += sim.firings();
+    }
+    events
+}
+
 /// Runs every experiment at the given scale, returning `(id, output)`
 /// pairs.
 #[must_use]

@@ -1,4 +1,12 @@
 //! The event calendar: a future-event list with stable tie-breaking.
+//!
+//! Cancellation is O(1) via generation-stamped slots: each pending event
+//! owns a slot in a slab; cancelling bumps the slot's generation so the
+//! matching heap entry is recognized as dead when it surfaces. Dead heap
+//! entries are reclaimed lazily, and the heap is compacted whenever dead
+//! entries outnumber live ones, so memory stays O(live events) even under
+//! heavy cancel/reschedule churn (the SAN resampling policy cancels and
+//! reschedules activities constantly).
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
@@ -12,14 +20,22 @@ type Seq = u64;
 
 /// An opaque handle returned by [`Calendar::push`]; can be used to cancel
 /// the event before it fires.
+///
+/// The handle is a `(slot, generation)` pair: the slot indexes a slab
+/// entry, the generation detects reuse, so a stale token can never cancel
+/// a later event that happens to occupy the same slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct EventToken(u64);
+pub struct EventToken {
+    slot: u32,
+    generation: u32,
+}
 
 struct HeapEntry<E> {
     time: SimTime,
     seq: Seq,
     payload: E,
-    token: EventToken,
+    slot: u32,
+    generation: u32,
 }
 
 impl<E> PartialEq for HeapEntry<E> {
@@ -55,6 +71,10 @@ impl<E> fmt::Debug for HeapEntry<E> {
     }
 }
 
+/// Compaction is skipped below this heap size: tiny heaps are cheap to
+/// scan lazily and rebuilding them would dominate.
+const COMPACT_MIN_LEN: usize = 32;
+
 /// A future-event list ordered by `(time, insertion order)`.
 ///
 /// # Examples
@@ -72,7 +92,11 @@ impl<E> fmt::Debug for HeapEntry<E> {
 pub struct Calendar<E> {
     heap: BinaryHeap<HeapEntry<E>>,
     next_seq: Seq,
-    cancelled: std::collections::HashSet<EventToken>,
+    /// Generation per slot; a heap entry is live iff its stored generation
+    /// matches its slot's current generation.
+    generations: Vec<u32>,
+    /// Slots whose previous event was cancelled or popped, ready for reuse.
+    free_slots: Vec<u32>,
     live: usize,
 }
 
@@ -89,7 +113,8 @@ impl<E> Calendar<E> {
         Calendar {
             heap: BinaryHeap::new(),
             next_seq: 0,
-            cancelled: std::collections::HashSet::new(),
+            generations: Vec::new(),
+            free_slots: Vec::new(),
             live: 0,
         }
     }
@@ -97,42 +122,68 @@ impl<E> Calendar<E> {
     /// Schedules `payload` to fire at absolute time `time` and returns a
     /// token that can later be passed to [`Calendar::cancel`].
     pub fn push(&mut self, time: SimTime, payload: E) -> EventToken {
-        let token = EventToken(self.next_seq);
+        let slot = match self.free_slots.pop() {
+            Some(s) => s,
+            None => {
+                self.generations.push(0);
+                u32::try_from(self.generations.len() - 1).expect("slot count fits in u32")
+            }
+        };
+        let generation = self.generations[slot as usize];
         self.heap.push(HeapEntry {
             time,
             seq: self.next_seq,
             payload,
-            token,
+            slot,
+            generation,
         });
         self.next_seq += 1;
         self.live += 1;
-        token
+        EventToken { slot, generation }
+    }
+
+    /// Releases a slot: invalidates every outstanding token/heap entry for
+    /// it and queues it for reuse.
+    fn retire_slot(&mut self, slot: u32) {
+        self.generations[slot as usize] = self.generations[slot as usize].wrapping_add(1);
+        self.free_slots.push(slot);
     }
 
     /// Cancels a previously scheduled event. Returns `true` if the event was
     /// still pending (and is now guaranteed not to fire), `false` if it had
     /// already fired or been cancelled.
     pub fn cancel(&mut self, token: EventToken) -> bool {
-        if token.0 >= self.next_seq {
+        let Some(&generation) = self.generations.get(token.slot as usize) else {
+            return false;
+        };
+        if generation != token.generation {
             return false;
         }
-        if self.cancelled.insert(token) {
-            if self.live > 0 {
-                self.live -= 1;
-            }
-            true
-        } else {
-            false
+        self.retire_slot(token.slot);
+        self.live -= 1;
+        self.maybe_compact();
+        true
+    }
+
+    /// Rebuilds the heap without its dead entries once they outnumber the
+    /// live ones, keeping heap memory proportional to live events.
+    fn maybe_compact(&mut self) {
+        if self.heap.len() < COMPACT_MIN_LEN || self.heap.len() <= 2 * self.live {
+            return;
         }
+        let mut entries = std::mem::take(&mut self.heap).into_vec();
+        entries.retain(|e| self.generations[e.slot as usize] == e.generation);
+        self.heap = BinaryHeap::from(entries);
     }
 
     /// Removes and returns the earliest pending event, skipping cancelled
     /// entries. Returns `None` when no live events remain.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.token) {
-                continue;
+            if self.generations[entry.slot as usize] != entry.generation {
+                continue; // stale: cancelled earlier, reclaimed now
             }
+            self.retire_slot(entry.slot);
             self.live -= 1;
             return Some((entry.time, entry.payload));
         }
@@ -145,12 +196,10 @@ impl<E> Calendar<E> {
         // Lazily drop cancelled events from the top of the heap so peek is
         // accurate.
         while let Some(top) = self.heap.peek() {
-            if self.cancelled.contains(&top.token) {
-                let entry = self.heap.pop().expect("peeked entry exists");
-                self.cancelled.remove(&entry.token);
-            } else {
+            if self.generations[top.slot as usize] == top.generation {
                 return Some(top.time);
             }
+            self.heap.pop();
         }
         None
     }
@@ -159,6 +208,13 @@ impl<E> Calendar<E> {
     #[must_use]
     pub fn len(&self) -> usize {
         self.live
+    }
+
+    /// Number of heap entries, live or dead (test/diagnostic hook for the
+    /// compaction guarantee).
+    #[must_use]
+    pub fn heap_len(&self) -> usize {
+        self.heap.len()
     }
 
     /// Whether any live events remain.
@@ -170,7 +226,11 @@ impl<E> Calendar<E> {
     /// Removes every pending event.
     pub fn clear(&mut self) {
         self.heap.clear();
-        self.cancelled.clear();
+        self.free_slots.clear();
+        for (slot, generation) in self.generations.iter_mut().enumerate() {
+            *generation = generation.wrapping_add(1);
+            self.free_slots.push(slot as u32);
+        }
         self.live = 0;
     }
 }
@@ -179,6 +239,7 @@ impl<E> fmt::Debug for Calendar<E> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Calendar")
             .field("live", &self.live)
+            .field("heap_len", &self.heap.len())
             .field("next_seq", &self.next_seq)
             .finish()
     }
@@ -223,7 +284,33 @@ mod tests {
     #[test]
     fn cancel_unknown_token_is_false() {
         let mut cal: Calendar<u8> = Calendar::new();
-        assert!(!cal.cancel(EventToken(99)));
+        assert!(!cal.cancel(EventToken {
+            slot: 99,
+            generation: 0
+        }));
+    }
+
+    #[test]
+    fn stale_token_cannot_cancel_slot_reuse() {
+        let mut cal = Calendar::new();
+        let a = cal.push(SimTime::from_secs(1.0), "a");
+        assert!(cal.cancel(a));
+        // The new event reuses slot 0 under a bumped generation.
+        let b = cal.push(SimTime::from_secs(2.0), "b");
+        assert!(!cal.cancel(a), "stale token must not cancel the new event");
+        assert_eq!(cal.len(), 1);
+        assert!(cal.cancel(b));
+        assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn popped_token_cannot_cancel_successor() {
+        let mut cal = Calendar::new();
+        let a = cal.push(SimTime::from_secs(1.0), "a");
+        assert_eq!(cal.pop().map(|(_, e)| e), Some("a"));
+        let _b = cal.push(SimTime::from_secs(2.0), "b");
+        assert!(!cal.cancel(a));
+        assert_eq!(cal.len(), 1);
     }
 
     #[test]
@@ -251,9 +338,53 @@ mod tests {
     #[test]
     fn clear_empties_calendar() {
         let mut cal = Calendar::new();
-        cal.push(SimTime::ZERO, 1);
+        let a = cal.push(SimTime::ZERO, 1);
         cal.clear();
         assert!(cal.is_empty());
         assert!(cal.pop().is_none());
+        assert!(!cal.cancel(a), "pre-clear tokens are invalidated");
+    }
+
+    #[test]
+    fn churn_keeps_heap_bounded() {
+        // The SAN resampling pattern: schedule, cancel, reschedule, forever.
+        // Without compaction the heap would grow to ~iterations entries.
+        let mut cal = Calendar::new();
+        let mut tokens: Vec<EventToken> = (0..50)
+            .map(|i| cal.push(SimTime::from_secs(f64::from(i)), i))
+            .collect();
+        for round in 0..2_000 {
+            for t in tokens.drain(..) {
+                assert!(cal.cancel(t));
+            }
+            for i in 0..50 {
+                tokens.push(cal.push(SimTime::from_secs(f64::from(round * 100 + i)), i));
+            }
+            assert_eq!(cal.len(), 50);
+            assert!(
+                cal.heap_len() <= 2 * cal.len() + COMPACT_MIN_LEN,
+                "heap {} entries for {} live after round {round}",
+                cal.heap_len(),
+                cal.len()
+            );
+        }
+        // Slots are recycled rather than grown without bound.
+        assert!(cal.generations.len() <= 128);
+    }
+
+    #[test]
+    fn compaction_preserves_order_and_payloads() {
+        let mut cal = Calendar::new();
+        let mut keep = Vec::new();
+        for i in 0..200 {
+            let tok = cal.push(SimTime::from_secs(f64::from(i)), i);
+            if i % 5 == 0 {
+                keep.push(i);
+            } else {
+                cal.cancel(tok);
+            }
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| cal.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, keep);
     }
 }

@@ -144,11 +144,24 @@ impl ActivityTiming {
 
 /// An input gate: an arbitrary enabling predicate plus a marking update
 /// applied when the owning activity fires.
+///
+/// Gates may optionally *declare* the places their predicate reads and
+/// their effect writes. Declared sets feed the model's marking-dependency
+/// index, letting the simulator re-check only the activities whose
+/// enablement can actually have changed after a firing. Undeclared
+/// (`None`) sets are handled conservatively: an undeclared read-set makes
+/// the owning activity a dependent of every place, an undeclared
+/// write-set forces a full enablement rescan after the owning activity
+/// fires. Correctness never depends on the declarations — only speed.
 pub struct InputGate {
     /// Enabling predicate evaluated against the current marking.
     pub predicate: Box<dyn Fn(&Marking) -> bool + Send + Sync>,
     /// Marking transformation applied on firing (before output effects).
     pub effect: Box<dyn Fn(&mut Marking) + Send + Sync>,
+    /// Places the predicate reads, if declared.
+    pub reads: Option<Vec<PlaceId>>,
+    /// Places the effect writes, if declared.
+    pub writes: Option<Vec<PlaceId>>,
 }
 
 impl fmt::Debug for InputGate {
@@ -161,6 +174,9 @@ impl fmt::Debug for InputGate {
 pub struct OutputGate {
     /// Marking transformation applied on firing (after output arcs).
     pub effect: Box<dyn Fn(&mut Marking) + Send + Sync>,
+    /// Places the effect writes, if declared (see [`InputGate`] for the
+    /// conservative handling of `None`).
+    pub writes: Option<Vec<PlaceId>>,
 }
 
 impl fmt::Debug for OutputGate {
@@ -193,6 +209,9 @@ pub struct Activity {
     pub input_gates: Vec<InputGate>,
     /// The case distribution (at least one case).
     pub cases: Vec<Case>,
+    /// Case selection weights, gathered once at model-build time so firing
+    /// never re-collects them (kept in case order).
+    pub(crate) case_weights: Vec<f64>,
 }
 
 impl Activity {
@@ -200,6 +219,22 @@ impl Activity {
     #[must_use]
     pub fn is_instantaneous(&self) -> bool {
         matches!(self.timing, ActivityTiming::Instantaneous { .. })
+    }
+
+    /// The selection weight when instantaneous, or `None` for timed
+    /// activities.
+    #[must_use]
+    pub fn instantaneous_weight(&self) -> Option<f64> {
+        match self.timing {
+            ActivityTiming::Instantaneous { weight } => Some(weight),
+            ActivityTiming::Timed(_) => None,
+        }
+    }
+
+    /// Case selection weights in case order (precomputed at build time).
+    #[must_use]
+    pub fn case_weights(&self) -> &[f64] {
+        &self.case_weights
     }
 }
 

@@ -64,5 +64,5 @@ pub use builder::{ActivityBuilder, SanBuilder};
 pub use error::SanError;
 pub use model::{ActivityId, Marking, PlaceId, SanModel};
 pub use reward::{FirstPassage, ImpulseReward, Observer, RateReward};
-pub use sim::Simulator;
+pub use sim::{Engine, Simulator};
 pub use solver::{RewardSpec, TransientResult, TransientSolver};

@@ -47,7 +47,7 @@ pub mod rank;
 pub mod special;
 
 pub use anova::{factorial_two_level, one_way, AnovaRow, AnovaTable, FactorialAnova};
-pub use bootstrap::bootstrap_ci;
+pub use bootstrap::{bootstrap_ci, bootstrap_ci_sorted};
 pub use ci::{mean_ci, proportion_ci, ConfidenceInterval};
 pub use describe::Summary;
 pub use dist::{ChiSquared, Distribution, FisherF, Normal, StudentT};

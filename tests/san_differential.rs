@@ -1,0 +1,200 @@
+//! Differential tests of the SAN execution engines: the dependency-indexed
+//! incremental engine must reproduce the full-rescan reference engine's
+//! trajectory *event for event* — same `(time, activity, case)` firing
+//! sequence, same final marking, same error state — on randomized models,
+//! on gate-heavy conservative models, and on the SCoPE-derived campaign
+//! SAN. Both engines share RNG streams by construction; these tests pin
+//! that guarantee against regressions.
+
+use diversify::attack::campaign::ThreatModel;
+use diversify::attack::to_san::compile_network_campaign;
+use diversify::san::{
+    ActivityId, Engine, FiringDistribution, Marking, Observer, PlaceId, SanBuilder, SanModel,
+    Simulator,
+};
+use diversify::scada::scope::{ScopeConfig, ScopeSystem};
+use diversify_des::{RngStream, SimTime, StreamId};
+use proptest::prelude::*;
+
+/// Records every firing as `(time, activity index, case index)`.
+#[derive(Default)]
+struct Trace {
+    events: Vec<(SimTime, usize, usize)>,
+}
+
+impl Observer for Trace {
+    fn on_fire(&mut self, now: SimTime, activity: ActivityId, case: usize, _m: &Marking) {
+        self.events.push((now, activity.index(), case));
+    }
+}
+
+type Trajectory = (Vec<(SimTime, usize, usize)>, Vec<u32>, u64, bool);
+
+fn trajectory(model: &SanModel, seed: u64, engine: Engine, horizon: f64) -> Trajectory {
+    let mut sim = Simulator::with_engine(model, seed, engine);
+    let mut trace = Trace::default();
+    sim.run_until_observed(SimTime::from_secs(horizon), &mut trace);
+    (
+        trace.events,
+        sim.marking().as_slice().to_vec(),
+        sim.firings(),
+        sim.error().is_some(),
+    )
+}
+
+fn assert_engines_agree(model: &SanModel, seed: u64, horizon: f64) {
+    let inc = trajectory(model, seed, Engine::Incremental, horizon);
+    let full = trajectory(model, seed, Engine::FullRescan, horizon);
+    assert_eq!(
+        inc.0.len(),
+        full.0.len(),
+        "event counts diverged at seed {seed}"
+    );
+    assert_eq!(inc, full, "trajectories diverged at seed {seed}");
+}
+
+/// Builds a random SAN: 3–7 places, 3–10 activities mixing timed and
+/// instantaneous timing, multi-token arcs, weighted cases, declared and
+/// undeclared gates. Instantaneous activities route tokens strictly
+/// "upward" (to higher place indices) so cascades always terminate.
+fn random_model(model_seed: u64) -> SanModel {
+    let mut rng = RngStream::new(model_seed, StreamId(0xD1FF));
+    let np = 3 + rng.index(5);
+    let mut b = SanBuilder::new();
+    let places: Vec<PlaceId> = (0..np)
+        .map(|i| b.place(format!("p{i}"), rng.index(4) as u32))
+        .collect();
+    let na = 3 + rng.index(8);
+    for ai in 0..na {
+        if rng.bernoulli(0.3) {
+            // Instantaneous: src -> dst with dst strictly above src.
+            let src = rng.index(np - 1);
+            let dst = src + 1 + rng.index(np - src - 1);
+            b.instantaneous_activity(format!("i{ai}"))
+                .input_arc(places[src], 1)
+                .output_arc(places[dst], 1)
+                .build();
+            continue;
+        }
+        let dist = match rng.index(3) {
+            0 => FiringDistribution::Exponential {
+                rate: 0.5 + rng.uniform() * 3.0,
+            },
+            1 => FiringDistribution::Deterministic {
+                delay: 0.1 + rng.uniform(),
+            },
+            _ => FiringDistribution::Uniform {
+                lo: 0.1,
+                hi: 0.2 + rng.uniform() * 2.0,
+            },
+        };
+        let src = places[rng.index(np)];
+        let mut ab = b
+            .timed_activity(format!("t{ai}"), dist)
+            .input_arc(src, 1 + rng.index(2) as u32);
+        if rng.bernoulli(0.35) {
+            // Declared guard: exercises the dependency index.
+            let gp = places[rng.index(np)];
+            let lim = 1 + rng.index(6) as u32;
+            ab = ab.guard_reading(vec![gp], move |m| m.tokens(gp) <= lim);
+        } else if rng.bernoulli(0.25) {
+            // Undeclared guard: exercises the conservative global path.
+            let gp = places[rng.index(np)];
+            let lim = 1 + rng.index(6) as u32;
+            ab = ab.guard(move |m| m.tokens(gp) <= lim);
+        }
+        if rng.bernoulli(0.4) {
+            // Two weighted cases.
+            let case = |rng: &mut RngStream, b: &[PlaceId]| -> Vec<(PlaceId, u32)> {
+                (0..1 + rng.index(2))
+                    .map(|_| (b[rng.index(b.len())], 1))
+                    .collect()
+            };
+            let (w1, w2) = (0.2 + rng.uniform(), 0.2 + rng.uniform());
+            let c1 = case(&mut rng, &places);
+            let c2 = case(&mut rng, &places);
+            ab.case(w1, c1).case(w2, c2).build();
+        } else {
+            let dst = places[rng.index(np)];
+            ab.output_arc(dst, 1).build();
+        }
+    }
+    b.build().expect("randomized model is structurally valid")
+}
+
+#[test]
+fn randomized_models_event_for_event() {
+    for model_seed in 0..40u64 {
+        let model = random_model(model_seed);
+        for run_seed in 0..3u64 {
+            assert_engines_agree(&model, run_seed.wrapping_mul(7) + model_seed, 200.0);
+        }
+    }
+}
+
+#[test]
+fn scope_campaign_san_event_for_event() {
+    let net = ScopeSystem::build(&ScopeConfig::default())
+        .network()
+        .clone();
+    for threat in [
+        ThreatModel::stuxnet_like(),
+        ThreatModel::duqu_like(),
+        ThreatModel::flame_like(),
+    ] {
+        let san = compile_network_campaign(&net, &threat).expect("compiles");
+        for seed in 0..8u64 {
+            assert_engines_agree(&san.model, seed, 24.0 * 90.0);
+        }
+    }
+}
+
+#[test]
+fn conservative_gate_model_event_for_event() {
+    // A model where every enablement runs through undeclared gates, so
+    // the incremental engine lives entirely on its conservative fallback
+    // paths (global dependents + touched-all rescans).
+    let mut b = SanBuilder::new();
+    let pool = b.place("pool", 6);
+    let busy = b.place("busy", 0);
+    let done = b.place("done", 0);
+    b.timed_activity("grab", FiringDistribution::Exponential { rate: 2.0 })
+        .input_gate(
+            move |m| m.tokens(pool) > 0 && m.tokens(busy) < 2,
+            move |m| {
+                m.remove_tokens(pool, 1);
+                m.add_tokens(busy, 1);
+            },
+        )
+        .build();
+    b.timed_activity("finish", FiringDistribution::Exponential { rate: 3.0 })
+        .input_arc(busy, 1)
+        .output_gate(move |m| m.add_tokens(done, 1))
+        .build();
+    b.instantaneous_activity("recycle")
+        .input_arc(done, 3)
+        .output_arc(pool, 2)
+        .build();
+    let model = b.build().unwrap();
+    for seed in 0..20u64 {
+        assert_engines_agree(&model, seed, 300.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Property: for random models and replication seeds, the incremental
+    /// and full-rescan engines produce identical `(time, activity, case)`
+    /// firing sequences and final markings.
+    #[test]
+    fn prop_incremental_matches_full_rescan(
+        model_seed in any::<u64>(),
+        run_seed in any::<u64>(),
+    ) {
+        let model = random_model(model_seed);
+        let inc = trajectory(&model, run_seed, Engine::Incremental, 150.0);
+        let full = trajectory(&model, run_seed, Engine::FullRescan, 150.0);
+        prop_assert_eq!(inc, full);
+    }
+}
