@@ -342,6 +342,46 @@ mod tests {
     }
 
     #[test]
+    fn barren_variable_is_pruned_by_evidence_semantics() {
+        // A "barren" variable — a leaf that is neither queried nor
+        // observed — must not change any query, even when evidence
+        // elsewhere in the network would prune it in a
+        // variable-elimination ordering. Build the same chain with and
+        // without a noisy barren child hanging off the root and compare
+        // posteriors under evidence on the other branch.
+        let mut with_barren = BayesNet::new();
+        let a1 = with_barren.add_root("a", 0.3).unwrap();
+        let b1 = with_barren
+            .add_variable("b", vec![a1], vec![0.1, 0.8])
+            .unwrap();
+        let barren = with_barren
+            .add_variable("barren", vec![a1], vec![0.4, 0.9])
+            .unwrap();
+
+        let mut without = BayesNet::new();
+        let a2 = without.add_root("a", 0.3).unwrap();
+        let b2 = without.add_variable("b", vec![a2], vec![0.1, 0.8]).unwrap();
+
+        for evidence_value in [true, false] {
+            let mut ev1 = HashMap::new();
+            ev1.insert(b1, evidence_value);
+            let mut ev2 = HashMap::new();
+            ev2.insert(b2, evidence_value);
+            let p_with = with_barren.query(a1, &ev1).unwrap();
+            let p_without = without.query(a2, &ev2).unwrap();
+            assert!(
+                (p_with - p_without).abs() < 1e-12,
+                "b={evidence_value}: {p_with} vs {p_without}"
+            );
+        }
+        // Sanity: the barren variable itself still answers queries once
+        // it stops being barren.
+        let mut ev = HashMap::new();
+        ev.insert(a1, true);
+        assert!((with_barren.query(barren, &ev).unwrap() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
     fn name_lookup() {
         let (net, ids) = stage_chain_network(&[0.5, 0.5]);
         assert_eq!(net.var_by_name("stage-0"), Some(ids[0]));

@@ -5,7 +5,7 @@
 //! and (for sabotage threats) PLC reprogramming → device impairment. Each
 //! tick is one hour of attacker wall-clock time; every stochastic step
 //! draws from the [`ExploitCatalog`] probabilities, which in turn depend
-//! on the per-node [`ComponentProfile`]s — that is precisely where
+//! on the per-node [`ComponentProfile`](diversify_scada::components::ComponentProfile)s — that is precisely where
 //! diversity enters.
 
 use crate::exploit::ExploitCatalog;

@@ -9,6 +9,7 @@
 //! duration), not just eventual success.
 
 use crate::campaign::{AttackGoal, ThreatModel};
+use crate::chain::MachineChain;
 use crate::stage::AttackStage;
 use diversify_san::{FiringDistribution, PlaceId, SanBuilder, SanError, SanModel};
 use diversify_scada::network::{NodeRole, ScadaNetwork};
@@ -75,6 +76,85 @@ pub fn success_place(model: &SanModel) -> diversify_san::PlaceId {
     model
         .place_by_name("stage-4-device-impairment")
         .expect("model built by compile_stage_chain")
+}
+
+/// A SAN compiled from a [`MachineChain`] by [`compile_machine_chain`],
+/// plus the absorbing places reward queries need.
+#[derive(Debug)]
+pub struct MachineChainSan {
+    /// The compiled model (all-exponential, so the analytic CTMC backend
+    /// applies).
+    pub model: SanModel,
+    /// Absorbing place holding a token once every machine fell.
+    pub success: PlaceId,
+    /// Absorbing place holding a token once any fresh exploit failed.
+    pub aborted: PlaceId,
+}
+
+/// Compiles the Sec. I machine chain into an all-exponential SAN, the
+/// analytic-backend counterpart of
+/// [`simulate_chain`](crate::chain::simulate_chain).
+///
+/// One position place per machine plus two absorbing places. A machine
+/// whose variant is *fresh* at its position gets a timed exploit attempt
+/// (`Exp(attempt_rate_per_hour)`) with cases `{p: advance, 1-p: abort}`
+/// — any failure aborts the whole attack, exactly like the chain walk. A
+/// machine whose variant already fell earlier in the chain is crossed by
+/// an instantaneous activity (exploit reuse is free *and* immediate), so
+/// the compiled model also exercises vanishing-state elimination.
+///
+/// The eventual probability of reaching `success` equals
+/// [`chain_success_probability`](crate::chain::chain_success_probability)
+/// exactly — the closed form the differential tests assert against.
+///
+/// # Errors
+///
+/// Returns [`SanError`] if `attempt_rate_per_hour` is out of domain.
+pub fn compile_machine_chain(
+    chain: &MachineChain,
+    attempt_rate_per_hour: f64,
+) -> Result<MachineChainSan, SanError> {
+    let k = chain.len();
+    let mut b = SanBuilder::new();
+    let pos: Vec<PlaceId> = (0..=k)
+        .map(|i| b.place(format!("pos-{i}"), u32::from(i == 0)))
+        .collect();
+    let aborted = b.place("aborted", 0);
+    let mut broken: Vec<u32> = Vec::new();
+    for (i, &(variant, p)) in chain.machines().iter().enumerate() {
+        if broken.contains(&variant) {
+            b.instantaneous_activity(format!("reuse-{i}"))
+                .input_arc(pos[i], 1)
+                .output_arc(pos[i + 1], 1)
+                .build();
+            continue;
+        }
+        broken.push(variant);
+        let ab = b
+            .timed_activity(
+                format!("exploit-{i}"),
+                FiringDistribution::Exponential {
+                    rate: attempt_rate_per_hour,
+                },
+            )
+            .input_arc(pos[i], 1);
+        if p >= 1.0 {
+            ab.output_arc(pos[i + 1], 1).build();
+        } else if p <= 0.0 {
+            ab.output_arc(aborted, 1).build();
+        } else {
+            ab.case(p, vec![(pos[i + 1], 1)])
+                .case(1.0 - p, vec![(aborted, 1)])
+                .build();
+        }
+    }
+    let model = b.build()?;
+    let success = pos[k];
+    Ok(MachineChainSan {
+        model,
+        success,
+        aborted,
+    })
 }
 
 /// A SAN compiled from a plant network and a threat model by
@@ -394,6 +474,77 @@ mod tests {
     #[should_panic(expected = "four transitions")]
     fn wrong_transition_count_panics() {
         let _ = compile_stage_chain(&params(0.5, 1.0)[..2]);
+    }
+
+    mod machine_chain {
+        use super::super::*;
+        use crate::chain::chain_success_probability;
+        use diversify_des::SimTime;
+        use diversify_san::{solve, Method, RewardSpec};
+
+        /// Analytic eventual success probability of the compiled chain.
+        /// Every firing either advances or absorbs, so absorption happens
+        /// within k firings and a horizon of a few hundred mean attempt
+        /// times is exact to double precision.
+        fn analytic_p_success(san: &MachineChainSan, chain_len: usize) -> f64 {
+            let success = san.success;
+            let horizon = 200.0 * chain_len as f64;
+            let r = solve(
+                &san.model,
+                &[RewardSpec::first_passage("win", move |m| {
+                    m.tokens(success) == 1
+                })],
+                Method::Analytic {
+                    horizon: SimTime::from_secs(horizon),
+                    tol: 1e-13,
+                    max_states: 1_000,
+                },
+            )
+            .expect("chain SAN is analytic-solvable");
+            r.estimate("win").unwrap().probability(0)
+        }
+
+        #[test]
+        fn identical_chain_matches_closed_form() {
+            let chain = MachineChain::identical(4, 0.3);
+            let san = compile_machine_chain(&chain, 1.0).unwrap();
+            let p = analytic_p_success(&san, chain.len());
+            assert!(
+                (p - chain_success_probability(&chain)).abs() < 1e-9,
+                "analytic {p} vs closed form {}",
+                chain_success_probability(&chain)
+            );
+        }
+
+        #[test]
+        fn diverse_chain_matches_closed_form() {
+            let chain = MachineChain::diverse(3, 0.5);
+            let san = compile_machine_chain(&chain, 2.0).unwrap();
+            let p = analytic_p_success(&san, chain.len());
+            assert!((p - 0.125).abs() < 1e-9, "analytic {p}");
+        }
+
+        #[test]
+        fn mixed_chain_reuses_exploits_instantaneously() {
+            // Variants [A, B, A]: position 2 is crossed by an
+            // instantaneous reuse activity.
+            let chain = MachineChain::new(vec![(0, 0.6), (1, 0.5), (0, 0.9)]);
+            let san = compile_machine_chain(&chain, 1.0).unwrap();
+            assert!(san.model.activity_by_name("reuse-2").is_some());
+            let p = analytic_p_success(&san, chain.len());
+            assert!((p - 0.3).abs() < 1e-9, "analytic {p}");
+        }
+
+        #[test]
+        fn degenerate_probabilities_compile() {
+            let chain = MachineChain::new(vec![(0, 1.0), (1, 0.5)]);
+            let san = compile_machine_chain(&chain, 1.0).unwrap();
+            let p = analytic_p_success(&san, chain.len());
+            assert!((p - 0.5).abs() < 1e-9);
+            let doomed = MachineChain::new(vec![(0, 0.0)]);
+            let san = compile_machine_chain(&doomed, 1.0).unwrap();
+            assert!(analytic_p_success(&san, 1) < 1e-12);
+        }
     }
 
     mod network_campaign {

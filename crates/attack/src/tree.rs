@@ -274,6 +274,39 @@ mod tests {
     }
 
     #[test]
+    fn shared_subtree_cut_sets_minimize_across_branches() {
+        // AND(OR(a, b), OR(a, c)): the shared leaf `a` makes the raw
+        // product {a}, {a,c}, {a,b}, {b,c} — everything containing `a`
+        // collapses into the singleton {a}, leaving exactly {a} and
+        // {b,c}.
+        let shared_a = || TreeNode::leaf("a", 0.5);
+        let t = AttackTree::new(TreeNode::and(vec![
+            TreeNode::or(vec![shared_a(), TreeNode::leaf("b", 0.5)]),
+            TreeNode::or(vec![shared_a(), TreeNode::leaf("c", 0.5)]),
+        ]))
+        .unwrap();
+        let cuts = t.minimal_cut_sets();
+        assert_eq!(cuts.len(), 2, "cuts: {cuts:?}");
+        assert!(cuts.contains(&BTreeSet::from(["a".to_string()])));
+        assert!(cuts.contains(&BTreeSet::from(["b".to_string(), "c".to_string()])));
+
+        // Deeper sharing: the whole AND(x, y) subtree appears under two
+        // OR branches; its cut set must be reported once, and the
+        // superset {x, y, z} from the sibling branch must be dropped.
+        let shared = || TreeNode::and(vec![TreeNode::leaf("x", 0.4), TreeNode::leaf("y", 0.6)]);
+        let t2 = AttackTree::new(TreeNode::or(vec![
+            shared(),
+            TreeNode::and(vec![shared(), TreeNode::leaf("z", 0.9)]),
+        ]))
+        .unwrap();
+        let cuts2 = t2.minimal_cut_sets();
+        assert_eq!(
+            cuts2,
+            vec![BTreeSet::from(["x".to_string(), "y".to_string()])]
+        );
+    }
+
+    #[test]
     fn cut_sets_drop_supersets() {
         // OR(a, AND(a, b)) — {a} subsumes {a, b}.
         let t = AttackTree::new(TreeNode::or(vec![

@@ -9,12 +9,17 @@
 //! events-per-iteration line gives the per-event cost.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use diversify_bench::{san_throughput_events, scope_campaign_san};
+use diversify_bench::{
+    analytic_bench_model, analytic_throughput, san_throughput_events, scope_campaign_san,
+};
 use diversify_san::Engine;
 use std::hint::black_box;
 
 const REPS: u32 = 40;
 const HORIZON_HOURS: f64 = 5_000.0;
+/// Tokens in the cyclic-queue analytic workload: 1326 tangible states.
+const ANALYTIC_TOKENS: u32 = 50;
+const ANALYTIC_HORIZON: f64 = 200.0;
 
 fn bench_engine(c: &mut Criterion) {
     let san = scope_campaign_san();
@@ -43,6 +48,15 @@ fn bench_engine(c: &mut Criterion) {
                 HORIZON_HOURS,
             ))
         })
+    });
+
+    // Exact backend: state-space exploration plus one uniformization
+    // transient over the cyclic-queue workload.
+    let model = analytic_bench_model(ANALYTIC_TOKENS);
+    let (states, steps) = analytic_throughput(&model, ANALYTIC_HORIZON);
+    println!("san_analytic_throughput workload: {states} states, {steps} uniformization steps");
+    g.bench_function("san_analytic_throughput", |b| {
+        b.iter(|| black_box(analytic_throughput(black_box(&model), ANALYTIC_HORIZON)))
     });
     g.finish();
 }

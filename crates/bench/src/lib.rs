@@ -12,7 +12,9 @@
 
 use diversify_attack::campaign::{CampaignConfig, CampaignSimulator, ThreatModel};
 use diversify_attack::chain::{chain_success_probability, simulate_chain, MachineChain};
-use diversify_attack::to_san::{compile_stage_chain, success_place, StageParams};
+use diversify_attack::to_san::{
+    compile_machine_chain, compile_stage_chain, success_place, StageParams,
+};
 use diversify_attack::tree::stuxnet_tree;
 use diversify_core::exec::{campaign_plan, Executor};
 use diversify_core::pipeline::{Pipeline, PipelineConfig};
@@ -21,7 +23,7 @@ use diversify_core::runner::measure_configuration_with;
 use diversify_des::SimTime;
 use diversify_diversity::config::DiversityConfig;
 use diversify_diversity::placement::{apply_placement, PlacementStrategy};
-use diversify_san::{RewardSpec, TransientSolver};
+use diversify_san::{solve, Method, RewardSpec, TransientSolver};
 use diversify_scada::components::{ComponentClass, ComponentProfile};
 use diversify_scada::scope::{ScopeConfig, ScopeSystem};
 use std::fmt::Write as _;
@@ -273,8 +275,10 @@ pub fn r7_protocol(scale: Scale) -> String {
 }
 
 /// R8 — formalism cross-check: the same four-transition stage chain as a
-/// SAN (Monte-Carlo), an attack tree (closed form), and a Bayesian
-/// network (exact inference).
+/// SAN (Monte-Carlo **and** exact CTMC), an attack tree (closed form),
+/// and a Bayesian network (exact inference); plus the Sec. I machine
+/// chain, where the analytic SAN backend must reproduce the paper's
+/// closed form (`P_M` identical vs `P_M1 × P_M2` diverse).
 #[must_use]
 pub fn r8_formalisms(scale: Scale) -> String {
     let reps = scale.reps(500, 5_000);
@@ -307,6 +311,49 @@ pub fn r8_formalisms(scale: Scale) -> String {
     let san_eventual = est.probability(reps);
     let san_mean_tta = est.stats.mean();
 
+    // The same stage chain on the exact CTMC backend: a horizon of 2000
+    // mean stage times makes the truncation error invisible at the
+    // printed precision.
+    let analytic = solve(
+        &model,
+        &[RewardSpec::first_passage("tta", move |m| {
+            m.tokens(success) == 1
+        })],
+        Method::Analytic {
+            horizon: SimTime::from_secs(2_000.0),
+            tol: 1e-12,
+            max_states: 1_000,
+        },
+    )
+    .expect("stage chain is analytic-solvable");
+    let a_est = analytic.estimate("tta").expect("reward present");
+    let ctmc_eventual = a_est.probability(0);
+    let ctmc_mean_tta = a_est.stats.mean();
+
+    // Sec. I machine chains, analytic vs closed form.
+    let k = 4usize;
+    let identical = MachineChain::identical(k, p);
+    let diverse = MachineChain::diverse(k, p);
+    let chain_p = |chain: &MachineChain| -> f64 {
+        let san = compile_machine_chain(chain, 1.0).expect("chain compiles");
+        let win = san.success;
+        solve(
+            &san.model,
+            &[RewardSpec::first_passage("win", move |m| {
+                m.tokens(win) == 1
+            })],
+            Method::Analytic {
+                horizon: SimTime::from_secs(200.0 * k as f64),
+                tol: 1e-13,
+                max_states: 1_000,
+            },
+        )
+        .expect("chain SAN is analytic-solvable")
+        .estimate("win")
+        .expect("reward present")
+        .probability(0)
+    };
+
     let mut out = String::new();
     let _ = writeln!(out, "stage chain, per-attempt success p = {p}");
     let _ = writeln!(
@@ -331,7 +378,70 @@ pub fn r8_formalisms(scale: Scale) -> String {
         "SAN solver   mean TTA (hours, retries allowed) = {san_mean_tta:.3} (expected {})",
         4.0 / p
     );
+    let _ = writeln!(
+        out,
+        "SAN analytic P(success within horizon)      = {ctmc_eventual:.6}"
+    );
+    let _ = writeln!(
+        out,
+        "SAN analytic mean TTA (hours)               = {ctmc_mean_tta:.3} (expected {})",
+        4.0 / p
+    );
+    let _ = writeln!(
+        out,
+        "machine chain k={k}: identical closed form {:.6} / analytic {:.6}",
+        chain_success_probability(&identical),
+        chain_p(&identical)
+    );
+    let _ = writeln!(
+        out,
+        "machine chain k={k}: diverse   closed form {:.6} / analytic {:.6}",
+        chain_success_probability(&diverse),
+        chain_p(&diverse)
+    );
     out
+}
+
+/// A cyclic three-queue SAN with `tokens` circulating customers — the
+/// configurable-size workload behind the `san_analytic_throughput`
+/// bench: `(tokens+1)(tokens+2)/2` tangible states, all exponential.
+#[must_use]
+pub fn analytic_bench_model(tokens: u32) -> diversify_san::SanModel {
+    let mut b = diversify_san::SanBuilder::new();
+    let q0 = b.place("q0", tokens);
+    let q1 = b.place("q1", 0);
+    let q2 = b.place("q2", 0);
+    for (name, from, to, rate) in [
+        ("move01", q0, q1, 1.0),
+        ("move12", q1, q2, 1.5),
+        ("move20", q2, q0, 2.0),
+    ] {
+        b.timed_activity(
+            name,
+            diversify_san::FiringDistribution::Exponential { rate },
+        )
+        .input_arc(from, 1)
+        .output_arc(to, 1)
+        .build();
+    }
+    b.build().expect("queue model is valid")
+}
+
+/// Explores `model` and runs one uniformization transient to `horizon` —
+/// the workload timed by `san_analytic_throughput`. Returns the state
+/// count and the number of uniformization steps so the bench can report
+/// workload size.
+///
+/// # Panics
+///
+/// Panics if the model is not analytic-solvable (a bench-setup bug).
+#[must_use]
+pub fn analytic_throughput(model: &diversify_san::SanModel, horizon: f64) -> (usize, usize) {
+    let space = diversify_san::explore(model, &[], diversify_san::ExploreOptions::default())
+        .expect("bench model explores");
+    let chain = diversify_san::Ctmc::from_state_space(&space);
+    let sol = chain.transient(space.initial(), horizon, 1e-9);
+    (space.state_count(), sol.steps)
 }
 
 /// Compiles the default SCoPE plant against the Stuxnet-like threat into
@@ -398,8 +508,19 @@ mod tests {
     #[test]
     fn r8_formalisms_agree() {
         let out = r8_formalisms(Scale::Quick);
-        // 0.5^4 = 0.0625 appears from tree, BN and closed form.
-        assert!(out.matches("0.062500").count() >= 3, "{out}");
+        // 0.5^4 = 0.0625 appears from tree, BN, closed form, and the
+        // analytic diverse machine chain (closed form + analytic).
+        assert!(out.matches("0.062500").count() >= 5, "{out}");
+        // Identical chain: one fresh exploit, P = 0.5 from both paths.
+        assert!(out.contains("identical closed form 0.500000 / analytic 0.500000"));
+    }
+
+    #[test]
+    fn analytic_bench_workload_shape() {
+        let model = analytic_bench_model(20);
+        let (states, steps) = analytic_throughput(&model, 50.0);
+        assert_eq!(states, 21 * 22 / 2);
+        assert!(steps > 0);
     }
 
     #[test]

@@ -5,9 +5,11 @@ use crate::factors::{factor_profile, FactorLevel};
 use crate::report::render_measurement_table;
 use crate::runner::{measure_configuration_with, Measurements};
 use diversify_attack::campaign::{CampaignConfig, ThreatModel};
+use diversify_attack::to_san::{compile_stage_chain, success_place, StageParams};
 use diversify_attack::tree::{stuxnet_tree, AttackTree};
-use diversify_des::StreamId;
+use diversify_des::{SimTime, StreamId};
 use diversify_doe::design::{fractional_factorial, DesignMatrix};
+use diversify_san::{solve as san_solve, Method, RewardSpec, TransientSolver};
 use diversify_scada::components::ComponentClass;
 use diversify_scada::scope::{ScopeConfig, ScopeSystem};
 use diversify_stats::anova::{factorial_two_level, EffectSpec, FactorialAnova};
@@ -31,6 +33,10 @@ pub struct PipelineConfig {
     /// How measurement replications are scheduled. Serial and parallel
     /// executors produce bit-identical reports.
     pub executor: Executor,
+    /// Opt-in: cross-check the staged attack model against the exact
+    /// CTMC backend (the stage chain solved analytically vs by
+    /// Monte-Carlo) and include the comparison in the report.
+    pub analytic_check: bool,
 }
 
 impl Default for PipelineConfig {
@@ -46,8 +52,32 @@ impl Default for PipelineConfig {
             batch_size: 25,
             seed: 0xD1CE,
             executor: Executor::default(),
+            analytic_check: false,
         }
     }
+}
+
+/// Opt-in artifact of step 1: the staged threat compiled to an
+/// all-exponential stage-chain SAN and solved twice — exactly (CTMC
+/// uniformization) and by Monte-Carlo — over the campaign window. The
+/// two backends share nothing but the model, so agreement here certifies
+/// the simulation machinery against an independent oracle.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalyticCrossCheck {
+    /// Campaign window used for both backends, hours.
+    pub window_hours: f64,
+    /// P(attack succeeds within the window), exact.
+    pub p_window_analytic: f64,
+    /// P(attack succeeds within the window), Monte-Carlo estimate.
+    pub p_window_simulated: f64,
+    /// Mean TTA conditional on success within the window, exact (hours).
+    pub mean_tta_analytic: Option<f64>,
+    /// Mean TTA conditional on success within the window, Monte-Carlo
+    /// (hours).
+    pub mean_tta_simulated: Option<f64>,
+    /// Unconditional closed-form mean TTA (`Σ 1/(pᵢ·rate)`, hours) for
+    /// reference.
+    pub mean_tta_closed_form: f64,
 }
 
 /// Output of step 1 (Attack Modeling).
@@ -91,6 +121,9 @@ pub struct PipelineReport {
     pub doe: DoeMeasurements,
     /// Step 3 artifact.
     pub assessment: Assessment,
+    /// Analytic-vs-simulation cross-check, when
+    /// [`PipelineConfig::analytic_check`] is set.
+    pub analytic: Option<AnalyticCrossCheck>,
 }
 
 impl fmt::Display for PipelineReport {
@@ -102,6 +135,22 @@ impl fmt::Display for PipelineReport {
             "attack-tree P_SA (monoculture, per-attempt): {:.4}",
             self.model.tree.success_probability()
         )?;
+        if let Some(x) = &self.analytic {
+            writeln!(
+                f,
+                "analytic cross-check ({}h window): P_SA analytic {:.4} vs simulated {:.4}",
+                x.window_hours, x.p_window_analytic, x.p_window_simulated
+            )?;
+            let fmt_opt = |v: Option<f64>| v.map_or("-".to_string(), |m: f64| format!("{m:.1}"));
+            writeln!(
+                f,
+                "analytic cross-check: mean TTA analytic {}h vs simulated {}h \
+                 (closed form, unbounded: {:.1}h)",
+                fmt_opt(x.mean_tta_analytic),
+                fmt_opt(x.mean_tta_simulated),
+                x.mean_tta_closed_form
+            )?;
+        }
         writeln!(f)?;
         writeln!(f, "== Step 2: DoE & Measurements ==")?;
         write!(
@@ -247,16 +296,87 @@ impl Pipeline {
         }
     }
 
-    /// Runs all three steps.
+    /// Cross-checks the staged attack model against the exact CTMC
+    /// backend: the monoculture stage chain is compiled to an
+    /// all-exponential SAN and the attack-success probability and mean
+    /// TTA over the campaign window are computed both analytically
+    /// (uniformization, exact) and by Monte-Carlo replication.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for catalog-derived parameters: the stage chain has
+    /// five tangible states, far under every cap.
+    #[must_use]
+    pub fn analytic_cross_check(&self) -> AnalyticCrossCheck {
+        let cat = &self.config.threat.catalog;
+        let base = diversify_scada::components::ComponentProfile::default();
+        let rate = 1.0; // one attempt per hour, the campaign tick rate
+        let probs = [
+            cat.infection_probability(&base),
+            cat.escalation_probability(&base),
+            cat.firewall_pass_probability(&base),
+            cat.plc_payload_probability(&base).max(1e-9),
+        ];
+        let params: Vec<StageParams> = probs
+            .iter()
+            .map(|&p| StageParams {
+                success_probability: p,
+                attempt_rate_per_hour: rate,
+            })
+            .collect();
+        let model = compile_stage_chain(&params).expect("catalog stage chain is valid");
+        let success = success_place(&model);
+        let window_hours = f64::from(self.config.campaign.max_ticks);
+        let reward = || {
+            [RewardSpec::first_passage("tta", move |m| {
+                m.tokens(success) == 1
+            })]
+        };
+        let analytic = san_solve(
+            &model,
+            &reward(),
+            Method::Analytic {
+                horizon: SimTime::from_secs(window_hours),
+                tol: 1e-10,
+                max_states: 64,
+            },
+        )
+        .expect("stage chain is analytic-solvable");
+        let a = analytic.estimate("tta").expect("reward present");
+        let replications = 400;
+        let simulated = TransientSolver::new(
+            SimTime::from_secs(window_hours),
+            replications,
+            self.config.seed ^ 0xA11C,
+        )
+        .solve(&model, &reward());
+        let s = simulated.estimate("tta").expect("reward present");
+        AnalyticCrossCheck {
+            window_hours,
+            p_window_analytic: a.probability(0),
+            p_window_simulated: s.probability(replications),
+            mean_tta_analytic: (a.stats.count() > 0).then(|| a.stats.mean()),
+            mean_tta_simulated: (s.occurrences > 0).then(|| s.stats.mean()),
+            mean_tta_closed_form: probs.iter().map(|p| 1.0 / (p * rate)).sum(),
+        }
+    }
+
+    /// Runs all three steps (plus the analytic cross-check when
+    /// configured).
     #[must_use]
     pub fn run(&self) -> PipelineReport {
         let model = self.attack_modeling();
         let doe = self.doe_measurements();
         let assessment = self.assess(&doe);
+        let analytic = self
+            .config
+            .analytic_check
+            .then(|| self.analytic_cross_check());
         PipelineReport {
             model,
             doe,
             assessment,
+            analytic,
         }
     }
 }
@@ -317,6 +437,32 @@ mod tests {
             assert_eq!(a.batch_compromised, b.batch_compromised);
             assert_eq!(a.summary.p_success, b.summary.p_success);
         }
+    }
+
+    #[test]
+    fn analytic_cross_check_is_opt_in_and_agrees() {
+        let off = Pipeline::new(tiny_config()).run();
+        assert!(off.analytic.is_none());
+        let pipeline = Pipeline::new(PipelineConfig {
+            analytic_check: true,
+            ..tiny_config()
+        });
+        let report = pipeline.run();
+        let x = report.analytic.expect("cross-check requested");
+        assert!((0.0..=1.0).contains(&x.p_window_analytic));
+        // 400 Monte-Carlo replications: a generous 99%+ band around the
+        // exact value.
+        let half_width =
+            3.0 * (x.p_window_analytic * (1.0 - x.p_window_analytic) / 400.0).sqrt() + 0.01;
+        assert!(
+            (x.p_window_simulated - x.p_window_analytic).abs() < half_width,
+            "simulated {} vs analytic {}",
+            x.p_window_simulated,
+            x.p_window_analytic
+        );
+        assert!(x.mean_tta_closed_form > 0.0);
+        let text = report.to_string();
+        assert!(text.contains("analytic cross-check"));
     }
 
     #[test]

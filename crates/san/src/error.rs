@@ -36,6 +36,30 @@ pub enum SanError {
         /// detector.
         limit: u32,
     },
+    /// The analytic backend requires every timed activity to be
+    /// exponential (the model must be a CTMC), but this one is not.
+    NotExponential {
+        /// Name of the offending activity.
+        activity: String,
+    },
+    /// State-space exploration exceeded the configured cap. Either raise
+    /// the cap or route the model to the Monte-Carlo backend.
+    StateSpaceCap {
+        /// The configured maximum number of tangible states.
+        cap: usize,
+    },
+    /// Vanishing-state elimination exceeded its cascade-depth limit — the
+    /// instantaneous activities form a zero-time loop.
+    VanishingLoop {
+        /// The depth at which the elimination gave up.
+        depth: u32,
+    },
+    /// The requested analytic computation is not defined for this model
+    /// or reward (e.g. a steady-state first-passage query).
+    AnalyticUnsupported {
+        /// Description of the unsupported combination.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for SanError {
@@ -60,6 +84,29 @@ impl fmt::Display for SanError {
                     "instantaneous activities fired {limit} times at one instant; livelock suspected"
                 )
             }
+            SanError::NotExponential { activity } => {
+                write!(
+                    f,
+                    "activity '{activity}' is not exponential; the analytic CTMC backend \
+                     requires exponential timed activities"
+                )
+            }
+            SanError::StateSpaceCap { cap } => {
+                write!(
+                    f,
+                    "reachable state space exceeds the configured cap of {cap} tangible states"
+                )
+            }
+            SanError::VanishingLoop { depth } => {
+                write!(
+                    f,
+                    "vanishing-state elimination exceeded depth {depth}; \
+                     instantaneous activities form a zero-time loop"
+                )
+            }
+            SanError::AnalyticUnsupported { what } => {
+                write!(f, "analytic backend does not support {what}")
+            }
         }
     }
 }
@@ -83,6 +130,14 @@ mod tests {
             },
             SanError::BadDistribution { what: "rate > 0" },
             SanError::InstantaneousLivelock { limit: 10_000 },
+            SanError::NotExponential {
+                activity: "a".into(),
+            },
+            SanError::StateSpaceCap { cap: 100 },
+            SanError::VanishingLoop { depth: 64 },
+            SanError::AnalyticUnsupported {
+                what: "steady-state first passage",
+            },
         ];
         for c in cases {
             assert!(!c.to_string().is_empty());

@@ -23,6 +23,14 @@
 //! [`TransientSolver`] estimates reward variables over independent
 //! replications.
 //!
+//! When every timed activity is exponential, the same model is an exact
+//! continuous-time Markov chain: [`explore`] enumerates its tangible
+//! state space (with vanishing-state elimination), the [`ctmc`] module
+//! solves it by uniformization or steady-state iteration, and
+//! [`AnalyticSolver`] evaluates the same [`RewardSpec`]s exactly — a
+//! second, independent oracle for every security indicator. Choose per
+//! call with [`solver::Method`] / [`solve`].
+//!
 //! ## Example
 //!
 //! ```
@@ -52,17 +60,23 @@
 #![warn(missing_docs)]
 
 pub mod activity;
+pub mod analytic;
 pub mod builder;
+pub mod ctmc;
 pub mod error;
 pub mod model;
 pub mod reward;
 pub mod sim;
 pub mod solver;
+pub mod statespace;
 
 pub use activity::{Activity, ActivityTiming, Case, FiringDistribution};
+pub use analytic::AnalyticSolver;
 pub use builder::{ActivityBuilder, SanBuilder};
+pub use ctmc::{poisson_weights, Ctmc, PoissonWeights, TransientDistribution};
 pub use error::SanError;
 pub use model::{ActivityId, Marking, PlaceId, SanModel};
 pub use reward::{FirstPassage, ImpulseReward, Observer, RateReward};
 pub use sim::{Engine, Simulator};
-pub use solver::{RewardSpec, TransientResult, TransientSolver};
+pub use solver::{solve, Method, RewardSpec, TransientResult, TransientSolver};
+pub use statespace::{explore, ExploreOptions, StateSpace};

@@ -317,6 +317,16 @@ impl SanModel {
         Marking::new(self.initial.clone())
     }
 
+    /// All activity ids, in index order.
+    pub fn activity_ids(&self) -> impl Iterator<Item = ActivityId> {
+        (0..self.activities.len()).map(ActivityId)
+    }
+
+    /// All place ids, in index order.
+    pub fn place_ids(&self) -> impl Iterator<Item = PlaceId> {
+        (0..self.place_names.len()).map(PlaceId)
+    }
+
     /// Whether `activity` is enabled in `marking`: all input arcs are
     /// covered and every input-gate predicate holds.
     #[must_use]

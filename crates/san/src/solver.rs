@@ -1,5 +1,9 @@
-//! Monte-Carlo transient solution of SAN reward variables.
+//! Transient solution of SAN reward variables: Monte-Carlo replication
+//! ([`TransientSolver`]) and the exact CTMC backend
+//! ([`Method::Analytic`], via [`AnalyticSolver`](crate::AnalyticSolver)),
+//! behind one [`solve`] entry point with one result shape.
 
+use crate::error::SanError;
 use crate::model::{ActivityId, Marking, SanModel};
 use crate::reward::{FirstPassage, ImpulseReward, MultiObserver, RateReward};
 use crate::sim::Simulator;
@@ -93,17 +97,27 @@ pub struct RewardEstimate {
     pub name: String,
     /// Statistics over replications that produced a value (for
     /// first-passage rewards: only replications where the event occurred).
+    /// The analytic backend stores its exact value as a single
+    /// observation.
     pub stats: Welford,
     /// For first-passage rewards: how many replications reached the
     /// target. Equal to the replication count for other reward kinds.
     pub occurrences: u32,
+    /// Set by the analytic backend: the exact occurrence probability
+    /// (the hit probability for first-passage rewards, 1 otherwise).
+    /// `None` on Monte-Carlo estimates.
+    pub exact_probability: Option<f64>,
 }
 
 impl RewardEstimate {
-    /// Occurrence probability = occurrences / replications.
+    /// Occurrence probability: the exact value when the analytic backend
+    /// produced this estimate, otherwise occurrences / replications.
     #[must_use]
     pub fn probability(&self, replications: u32) -> f64 {
-        f64::from(self.occurrences) / f64::from(replications)
+        match self.exact_probability {
+            Some(p) => p,
+            None => f64::from(self.occurrences) / f64::from(replications),
+        }
     }
 }
 
@@ -123,6 +137,63 @@ impl TransientResult {
     #[must_use]
     pub fn estimate(&self, name: &str) -> Option<&RewardEstimate> {
         self.estimates.iter().find(|e| e.name == name)
+    }
+}
+
+/// How to solve a transient reward problem: by Monte-Carlo replication
+/// or by the exact CTMC backend.
+#[derive(Debug, Clone, Copy)]
+pub enum Method {
+    /// Replicated simulation ([`TransientSolver`]): works for every
+    /// firing distribution; estimates carry sampling error.
+    MonteCarlo {
+        /// Horizon of each replication.
+        horizon: SimTime,
+        /// Number of replications (must be positive).
+        replications: u32,
+        /// Master seed.
+        seed: u64,
+    },
+    /// Exact solution ([`AnalyticSolver`](crate::AnalyticSolver)):
+    /// requires every timed activity to be exponential and a reachable
+    /// state space within `max_states`; values are exact to `tol`.
+    Analytic {
+        /// Transient horizon.
+        horizon: SimTime,
+        /// Uniformization truncation tolerance (e.g. `1e-10`).
+        tol: f64,
+        /// Tangible-state cap — larger models fail with
+        /// [`SanError::StateSpaceCap`] and should route to Monte-Carlo.
+        max_states: usize,
+    },
+}
+
+/// Solves the rewards with the chosen [`Method`], returning the same
+/// [`TransientResult`] shape either way.
+///
+/// # Errors
+///
+/// The Monte-Carlo path is infallible; the analytic path reports
+/// non-exponential timing, state-space blow-up, or vanishing loops as a
+/// [`SanError`].
+pub fn solve(
+    model: &SanModel,
+    rewards: &[RewardSpec],
+    method: Method,
+) -> Result<TransientResult, SanError> {
+    match method {
+        Method::MonteCarlo {
+            horizon,
+            replications,
+            seed,
+        } => Ok(TransientSolver::new(horizon, replications, seed).solve(model, rewards)),
+        Method::Analytic {
+            horizon,
+            tol,
+            max_states,
+        } => crate::analytic::AnalyticSolver::new(horizon, tol)
+            .with_max_states(max_states)
+            .solve(model, rewards),
     }
 }
 
@@ -204,6 +275,7 @@ impl TransientSolver {
                     name: spec.name().to_string(),
                     stats,
                     occurrences,
+                    exact_probability: None,
                 })
                 .collect(),
             replications: self.replications,

@@ -42,9 +42,9 @@ pub enum Instr {
     ClampMin(i32),
     /// Accumulator := min(accumulator, immediate).
     ClampMax(i32),
-    /// Compare: accumulator := 1 if accumulator > holding[addr] else 0.
+    /// Compare: accumulator := 1 if accumulator > holding\[addr\] else 0.
     GtHolding(u16),
-    /// Compare: accumulator := 1 if accumulator < holding[addr] else 0.
+    /// Compare: accumulator := 1 if accumulator < holding\[addr\] else 0.
     LtHolding(u16),
     /// Store the accumulator into a holding register (clamped to u16).
     StoreHolding(u16),

@@ -279,7 +279,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Sizes accepted by [`vec`]: a fixed length or a length range.
+    /// Sizes accepted by [`vec()`]: a fixed length or a length range.
     pub trait IntoSize {
         /// Draws a concrete length.
         fn pick(&self, rng: &mut TestRng) -> usize;
