@@ -426,16 +426,24 @@ impl<'n> CampaignSimulator<'n> {
 
     /// Runs every replication of an explicit plan — the entry point for
     /// callers that manage seed schedules and scheduling themselves.
+    /// Routes through the executor's collector fold (with the
+    /// materializing `VecCollector`), so the execution path is the one
+    /// every streaming aggregation uses; callers that only need
+    /// summaries should fold with a streaming collector via
+    /// [`Executor::collect`] instead of materializing outcomes here.
     #[must_use]
     pub fn run_plan(&self, plan: &ReplicationPlan, executor: Executor) -> Vec<CampaignOutcome> {
         executor.run(plan, |rep| self.run(rep.seed))
     }
 }
 
-/// Stream namespace `run_many` has always derived its seeds under. The
-/// pre-Executor loop used additive ids (`0xCA_0000 + i`); XOR derivation
-/// matches it exactly for every index below 2^17.
-const CAMPAIGN_RUN_NAMESPACE: u64 = 0xCA_0000;
+/// Stream namespace [`CampaignSimulator::run_many`] has always derived
+/// its seeds under. The pre-Executor loop used additive ids
+/// (`0xCA_0000 + i`); XOR derivation matches it exactly for every index
+/// below 2^17. Public so callers that fold outcomes with their own
+/// collectors can reproduce the historical `run_many` seed schedule on
+/// an explicit plan.
+pub const CAMPAIGN_RUN_NAMESPACE: u64 = 0xCA_0000;
 
 #[cfg(test)]
 mod tests {

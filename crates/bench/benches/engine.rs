@@ -9,10 +9,14 @@
 //! events-per-iteration line gives the per-event cost.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use diversify_attack::campaign::{CampaignConfig, ThreatModel};
 use diversify_bench::{
     analytic_bench_model, analytic_throughput, san_throughput_events, scope_campaign_san,
 };
+use diversify_core::exec::{campaign_plan, Executor};
+use diversify_core::runner::{measure_configuration_adaptive, PrecisionTarget};
 use diversify_san::Engine;
+use diversify_scada::scope::{ScopeConfig, ScopeSystem};
 use std::hint::black_box;
 
 const REPS: u32 = 40;
@@ -57,6 +61,45 @@ fn bench_engine(c: &mut Criterion) {
     println!("san_analytic_throughput workload: {states} states, {steps} uniformization steps");
     g.bench_function("san_analytic_throughput", |b| {
         b.iter(|| black_box(analytic_throughput(black_box(&model), ANALYTIC_HORIZON)))
+    });
+
+    // The adaptive-precision measurement path on the default SCoPE
+    // monoculture: batch-sized rounds, streaming fold, Wilson-interval
+    // stop rule on P_SA. Regressions in the round/merge machinery (or a
+    // stop rule that suddenly runs to the cap) show up here.
+    let net = ScopeSystem::build(&ScopeConfig::default())
+        .network()
+        .clone();
+    let threat = ThreatModel::stuxnet_like();
+    let campaign = CampaignConfig {
+        max_ticks: 24 * 30,
+        detection_stops_attack: false,
+    };
+    let target = PrecisionTarget::p_success(0.05, 20, 120);
+    let plan = campaign_plan(1, 10, 31);
+    let probe = measure_configuration_adaptive(
+        &net,
+        &threat,
+        campaign,
+        &plan,
+        Executor::default(),
+        &target,
+    );
+    println!(
+        "measure_adaptive workload: {} replications to rel. half-width 0.05 (met: {})",
+        probe.replications, probe.target_met
+    );
+    g.bench_function("measure_adaptive", |b| {
+        b.iter(|| {
+            black_box(measure_configuration_adaptive(
+                black_box(&net),
+                &threat,
+                campaign,
+                &plan,
+                Executor::default(),
+                &target,
+            ))
+        })
     });
     g.finish();
 }

@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use diversify_bench::{
     r1_motivating, r2_indicators, r3_r4_pipeline, r5_sensitivity, r6_threats, r7_protocol,
-    r8_formalisms, Scale,
+    r8_formalisms, r9_adaptive, Scale,
 };
 use std::hint::black_box;
 
@@ -33,6 +33,9 @@ fn bench_experiments(c: &mut Criterion) {
     });
     g.bench_function("r8_formalisms", |b| {
         b.iter(|| black_box(r8_formalisms(Scale::Quick)))
+    });
+    g.bench_function("r9_adaptive", |b| {
+        b.iter(|| black_box(r9_adaptive(Scale::Quick)))
     });
     g.finish();
 }

@@ -10,16 +10,20 @@
 
 #![warn(missing_docs)]
 
-use diversify_attack::campaign::{CampaignConfig, CampaignSimulator, ThreatModel};
+use diversify_attack::campaign::{
+    CampaignConfig, CampaignSimulator, ThreatModel, CAMPAIGN_RUN_NAMESPACE,
+};
 use diversify_attack::chain::{chain_success_probability, simulate_chain, MachineChain};
 use diversify_attack::to_san::{
     compile_machine_chain, compile_stage_chain, success_place, StageParams,
 };
 use diversify_attack::tree::stuxnet_tree;
-use diversify_core::exec::{campaign_plan, Executor};
+use diversify_core::exec::{campaign_plan, Executor, IndicatorsCollector, ReplicationPlan};
 use diversify_core::pipeline::{Pipeline, PipelineConfig};
 use diversify_core::report::render_series;
-use diversify_core::runner::measure_configuration_with;
+use diversify_core::runner::{
+    measure_configuration_adaptive, measure_configuration_with, PrecisionTarget,
+};
 use diversify_des::SimTime;
 use diversify_diversity::config::DiversityConfig;
 use diversify_diversity::placement::{apply_placement, PlacementStrategy};
@@ -215,10 +219,11 @@ pub fn r6_threats(scale: Scale) -> String {
                 detection_stops_attack: false,
             },
         );
-        // run_many routes through the Executor and keeps the historical
-        // 0xCA_0000 campaign seed schedule.
-        let outcomes = sim.run_many(reps, 17);
-        let s = diversify_core::indicators::IndicatorSummary::from_outcomes(&outcomes);
+        // The streaming fold over the historical 0xCA_0000 `run_many`
+        // seed schedule: outcomes aggregate as they complete, no
+        // materialized outcome vector.
+        let plan = ReplicationPlan::flat(reps, 17).with_namespace(CAMPAIGN_RUN_NAMESPACE);
+        let s = Executor::default().collect(&plan, |rep| sim.run(rep.seed), &IndicatorsCollector);
         let _ = writeln!(
             out,
             "{:<14} {:>8.3} {:>9} {:>10} {:>12.3}",
@@ -402,6 +407,94 @@ pub fn r8_formalisms(scale: Scale) -> String {
     out
 }
 
+/// R9 — adaptive-precision replication: fixed replication budget vs
+/// [`measure_configuration_adaptive`] with a relative CI half-width
+/// target of 0.05 on P_SA (95% Wilson), on two SCoPE design points. The
+/// low-variance monoculture point reaches the target in a fraction of
+/// the fixed budget; the diversified point spends its replications where
+/// the variance actually is. Wall-clock per mode is printed so the
+/// record lands in BENCH_3.json.
+#[must_use]
+pub fn r9_adaptive(scale: Scale) -> String {
+    let batch = scale.reps(10, 25);
+    let fixed_batches = 4; // the fixed default: 4 × batch replications
+    let min_reps = 2 * batch;
+    let max_reps = scale.reps(120, 400);
+    let threat = ThreatModel::stuxnet_like();
+    let campaign = CampaignConfig {
+        max_ticks: 24 * 30,
+        detection_stops_attack: false,
+    };
+    let target = PrecisionTarget::p_success(0.05, min_reps, max_reps);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "precision target: rel. half-width <= 0.05 on P_SA @95% (min {min_reps}, max {max_reps})"
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:<9} {:>5} {:>8} {:>10} {:>9} {:>5}",
+        "config", "mode", "reps", "P_SA", "halfwidth", "wall(ms)", "met"
+    );
+    for (name, cfg) in [
+        ("monoculture", DiversityConfig::monoculture()),
+        ("full-rotation", DiversityConfig::full_rotation()),
+    ] {
+        let mut net = ScopeSystem::build(&ScopeConfig::default())
+            .network()
+            .clone();
+        cfg.apply(&mut net);
+
+        let start = std::time::Instant::now();
+        let fixed = measure_configuration_with(
+            &net,
+            &threat,
+            campaign,
+            &campaign_plan(fixed_batches, batch, 31),
+            Executor::default(),
+        );
+        let fixed_ms = start.elapsed().as_secs_f64() * 1e3;
+        let fixed_hw = fixed
+            .summary
+            .p_success_ci(0.95)
+            .map_or(f64::NAN, |ci| ci.half_width());
+        let fixed_met = fixed_hw <= 0.05 * fixed.summary.p_success;
+        let _ = writeln!(
+            out,
+            "{name:<16} {:<9} {:>5} {:>8.3} {:>10.4} {:>9.2} {:>5}",
+            "fixed",
+            fixed.summary.replications,
+            fixed.summary.p_success,
+            fixed_hw,
+            fixed_ms,
+            if fixed_met { "yes" } else { "no" }
+        );
+
+        let start = std::time::Instant::now();
+        let adaptive = measure_configuration_adaptive(
+            &net,
+            &threat,
+            campaign,
+            &campaign_plan(1, batch, 31),
+            Executor::default(),
+            &target,
+        );
+        let adaptive_ms = start.elapsed().as_secs_f64() * 1e3;
+        let hw = adaptive.precision.map_or(f64::NAN, |p| p.half_width);
+        let _ = writeln!(
+            out,
+            "{name:<16} {:<9} {:>5} {:>8.3} {:>10.4} {:>9.2} {:>5}",
+            "adaptive",
+            adaptive.replications,
+            adaptive.output.summary.p_success,
+            hw,
+            adaptive_ms,
+            if adaptive.target_met { "yes" } else { "cap" }
+        );
+    }
+    out
+}
+
 /// A cyclic three-queue SAN with `tokens` circulating customers — the
 /// configurable-size workload behind the `san_analytic_throughput`
 /// bench: `(tokens+1)(tokens+2)/2` tangible states, all exponential.
@@ -491,6 +584,7 @@ pub fn run_all(scale: Scale) -> Vec<(&'static str, String)> {
         ("R6 threat models", r6_threats(scale)),
         ("R7 protocol-dialect ablation", r7_protocol(scale)),
         ("R8 formalism cross-check", r8_formalisms(scale)),
+        ("R9 adaptive-precision replication", r9_adaptive(scale)),
     ]
 }
 
@@ -528,5 +622,15 @@ mod tests {
         let out = r7_protocol(Scale::Quick);
         assert!(out.contains("single-dialect"));
         assert!(out.contains("rotated-dialects"));
+    }
+
+    #[test]
+    fn r9_compares_fixed_and_adaptive() {
+        let out = r9_adaptive(Scale::Quick);
+        assert!(out.contains("fixed"));
+        assert!(out.contains("adaptive"));
+        assert!(out.contains("monoculture"));
+        // Two modes per design point.
+        assert_eq!(out.lines().count(), 2 + 4, "{out}");
     }
 }

@@ -2,26 +2,28 @@
 //!
 //! Re-exports the generic engine from [`diversify_des::exec`] — a
 //! [`ReplicationPlan`] (seeds + batch structure) run by a serial or
-//! parallel [`Executor`] and folded by a [`Collector`] — and adds the
-//! campaign-level pieces: [`MeasurementsCollector`], which turns ordered
-//! [`CampaignOutcome`]s into the batched [`Measurements`] the ANOVA
-//! stage consumes, and the stream namespace campaign measurement has
-//! always used for its seed schedule.
+//! parallel [`Executor`] and folded by a mergeable [`Collector`] — and
+//! adds the campaign-level pieces: [`MeasurementsCollector`], which
+//! streams ordered [`CampaignOutcome`]s into the batched
+//! [`Measurements`] the ANOVA stage consumes, [`IndicatorsCollector`]
+//! for plain (unbatched) indicator summaries, and the stream namespace
+//! campaign measurement has always used for its seed schedule.
 //!
 //! This is the single seam every replication loop in the workspace goes
-//! through: `core::runner::measure_configuration`, the
-//! [`Pipeline`](crate::pipeline::Pipeline) design-point sweep,
-//! `des::replication::ReplicationRunner`, the attack-crate Monte-Carlo
-//! helpers, and the bench experiments all build a plan and hand it to an
-//! executor. Future scaling work (sharding, multi-backend execution,
-//! result caching) lands here once.
+//! through: `core::runner::measure_configuration` (and its adaptive
+//! variant), the [`Pipeline`](crate::pipeline::Pipeline) design-point
+//! sweep, `des::replication::ReplicationRunner`, the attack-crate
+//! Monte-Carlo helpers, and the bench experiments all build a plan and
+//! hand it to an executor. Collectors are mergeable folds, so the same
+//! code path serves fixed plans, parallel partial aggregation, and
+//! [`Executor::run_adaptive`] precision-targeted runs.
 
 pub use diversify_des::exec::{
-    Collector, ExecMode, Executor, MeanCollector, Replication, ReplicationPlan,
-    DEFAULT_STREAM_NAMESPACE,
+    AdaptiveRun, Collector, ExecMode, Executor, MeanCollector, Precision, Replication,
+    ReplicationPlan, StopRule, VecCollector, DEFAULT_STREAM_NAMESPACE,
 };
 
-use crate::indicators::IndicatorSummary;
+use crate::indicators::{IndicatorAccum, IndicatorSummary};
 use crate::runner::Measurements;
 use diversify_attack::campaign::CampaignOutcome;
 
@@ -45,37 +47,120 @@ pub fn campaign_plan(batches: u32, batch_size: u32, master_seed: u64) -> Replica
     ReplicationPlan::new(batches, batch_size, master_seed).with_namespace(CAMPAIGN_STREAM_NAMESPACE)
 }
 
-/// A [`Collector`] aggregating campaign outcomes into [`Measurements`]:
+/// Streaming accumulator behind [`MeasurementsCollector`]: the indicator
+/// moments plus per-batch counters. O(batches) state — no campaign
+/// outcome survives its own `accumulate` call.
+#[derive(Debug, Clone, Default)]
+pub struct MeasurementsAccum {
+    /// Indicator moments over every folded replication.
+    pub indicators: IndicatorAccum,
+    /// Per-batch partial sums, in batch order.
+    batches: Vec<BatchAccum>,
+}
+
+/// Running per-batch state: the counters batch means derive from.
+#[derive(Debug, Clone, Copy)]
+struct BatchAccum {
+    batch: u32,
+    successes: u32,
+    compromised_sum: f64,
+}
+
+/// A [`Collector`] streaming campaign outcomes into [`Measurements`]:
 /// the overall [`IndicatorSummary`] plus per-batch success fractions and
 /// compromised ratios (the ANOVA replicate units).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MeasurementsCollector;
 
 impl Collector<CampaignOutcome> for MeasurementsCollector {
+    type Accum = MeasurementsAccum;
     type Output = Measurements;
 
-    fn finish(&self, plan: &ReplicationPlan, samples: Vec<CampaignOutcome>) -> Measurements {
-        let summary = IndicatorSummary::from_outcomes(&samples);
-        let batch_size = f64::from(plan.batch_size());
-        let mut batch_p_success = Vec::with_capacity(plan.batches() as usize);
-        let mut batch_compromised = Vec::with_capacity(plan.batches() as usize);
-        for range in plan.batch_ranges() {
-            let slice = &samples[range];
-            let successes = slice.iter().filter(|o| o.succeeded()).count() as f64;
-            batch_p_success.push(successes / batch_size);
-            batch_compromised.push(
-                slice
-                    .iter()
-                    .map(CampaignOutcome::final_compromised_ratio)
-                    .sum::<f64>()
-                    / batch_size,
-            );
+    fn empty(&self) -> MeasurementsAccum {
+        MeasurementsAccum::default()
+    }
+
+    fn accumulate(
+        &self,
+        plan: &ReplicationPlan,
+        acc: &mut MeasurementsAccum,
+        rep: Replication,
+        outcome: CampaignOutcome,
+    ) {
+        let batch = plan.batch_of(rep.index);
+        match acc.batches.last_mut() {
+            Some(last) if last.batch == batch => {
+                last.successes += u32::from(outcome.succeeded());
+                last.compromised_sum += outcome.final_compromised_ratio();
+            }
+            _ => acc.batches.push(BatchAccum {
+                batch,
+                successes: u32::from(outcome.succeeded()),
+                compromised_sum: outcome.final_compromised_ratio(),
+            }),
         }
+        acc.indicators.push(&outcome);
+    }
+
+    fn merge(&self, into: &mut MeasurementsAccum, other: MeasurementsAccum) {
+        into.indicators.merge(&other.indicators);
+        into.batches.extend(other.batches);
+    }
+
+    fn finish(&self, plan: &ReplicationPlan, acc: MeasurementsAccum) -> Measurements {
+        debug_assert_eq!(acc.batches.len(), plan.batches() as usize);
+        let batch_size = f64::from(plan.batch_size());
+        let batch_p_success = acc
+            .batches
+            .iter()
+            .map(|b| f64::from(b.successes) / batch_size)
+            .collect();
+        let batch_compromised = acc
+            .batches
+            .iter()
+            .map(|b| b.compromised_sum / batch_size)
+            .collect();
         Measurements {
-            summary,
+            summary: acc
+                .indicators
+                .finish()
+                .expect("replication plans are non-empty"),
             batch_p_success,
             batch_compromised,
         }
+    }
+}
+
+/// A [`Collector`] streaming campaign outcomes into a plain
+/// [`IndicatorSummary`], ignoring batch structure — the fold behind
+/// unbatched campaign sweeps such as the R6 threat-model comparison.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IndicatorsCollector;
+
+impl Collector<CampaignOutcome> for IndicatorsCollector {
+    type Accum = IndicatorAccum;
+    type Output = IndicatorSummary;
+
+    fn empty(&self) -> IndicatorAccum {
+        IndicatorAccum::new()
+    }
+
+    fn accumulate(
+        &self,
+        _plan: &ReplicationPlan,
+        acc: &mut IndicatorAccum,
+        _rep: Replication,
+        outcome: CampaignOutcome,
+    ) {
+        acc.push(&outcome);
+    }
+
+    fn merge(&self, into: &mut IndicatorAccum, other: IndicatorAccum) {
+        into.merge(&other);
+    }
+
+    fn finish(&self, _plan: &ReplicationPlan, acc: IndicatorAccum) -> IndicatorSummary {
+        acc.finish().expect("replication plans are non-empty")
     }
 }
 

@@ -1,9 +1,130 @@
 //! The paper's security indicators, aggregated over campaign replications.
+//!
+//! Aggregation is *streaming*: outcomes fold one at a time into an
+//! [`IndicatorAccum`] — Bernoulli counters for the binary responses,
+//! Welford moments for the real-valued ones — so memory stays O(1) per
+//! metric no matter how many replications run, partial accumulators from
+//! parallel workers merge exactly, and confidence intervals come from
+//! the moments alone. No per-replication sample vector survives the hot
+//! path; batch means for ANOVA live in
+//! [`Measurements`](crate::runner::Measurements).
 
 use diversify_attack::campaign::CampaignOutcome;
-use diversify_stats::{mean_ci, proportion_ci, ConfidenceInterval, StatsError};
+use diversify_des::Precision;
+use diversify_stats::{
+    proportion_ci, BernoulliCounter, ConfidenceInterval, StatsError, StreamingSummary,
+};
 use serde::Serialize;
 use std::fmt;
+
+/// The indicator an adaptive run monitors for its precision target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum PrecisionResponse {
+    /// The attack-success probability (the paper's P_SA), judged by its
+    /// Wilson interval.
+    PSuccess,
+    /// The mean final compromised ratio, judged by its Student-t
+    /// interval.
+    CompromisedRatio,
+}
+
+/// Streaming accumulator for the security indicators: every campaign
+/// outcome folds in as it completes, and two partial accumulators merge
+/// into the accumulator of their concatenated outcome streams.
+#[derive(Debug, Clone, Default)]
+pub struct IndicatorAccum {
+    /// Success per replication (trials = replications).
+    success: BernoulliCounter,
+    /// Detection per replication (trials = replications).
+    detection: BernoulliCounter,
+    /// Time-To-Attack moments, successful campaigns only.
+    tta: StreamingSummary,
+    /// Time-To-Security-Failure moments, detected campaigns only.
+    ttsf: StreamingSummary,
+    /// Final compromised-ratio moments, every campaign.
+    compromised: StreamingSummary,
+}
+
+impl IndicatorAccum {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        IndicatorAccum::default()
+    }
+
+    /// Folds one campaign outcome in.
+    pub fn push(&mut self, outcome: &CampaignOutcome) {
+        self.success.push(outcome.succeeded());
+        self.detection.push(outcome.time_to_detection.is_some());
+        if let Some(t) = outcome.time_to_attack {
+            self.tta.push(f64::from(t));
+        }
+        if let Some(t) = outcome.time_to_detection {
+            self.ttsf.push(f64::from(t));
+        }
+        self.compromised.push(outcome.final_compromised_ratio());
+    }
+
+    /// Merges another accumulator (covering later replications) in.
+    pub fn merge(&mut self, other: &IndicatorAccum) {
+        self.success.merge(&other.success);
+        self.detection.merge(&other.detection);
+        self.tta.merge(&other.tta);
+        self.ttsf.merge(&other.ttsf);
+        self.compromised.merge(&other.compromised);
+    }
+
+    /// Replications folded in so far.
+    #[must_use]
+    pub fn replications(&self) -> u64 {
+        self.success.trials()
+    }
+
+    /// The current precision of `response` at confidence `level`, or
+    /// `None` while the interval cannot be computed yet (e.g. fewer than
+    /// two observations for a t interval).
+    #[must_use]
+    pub fn precision(&self, response: PrecisionResponse, level: f64) -> Option<Precision> {
+        let ci = match response {
+            PrecisionResponse::PSuccess => self.success.ci(level).ok()?,
+            PrecisionResponse::CompromisedRatio => self.compromised.mean_ci(level).ok()?,
+        };
+        Some(Precision {
+            estimate: ci.estimate,
+            half_width: ci.half_width(),
+        })
+    }
+
+    /// Closes the accumulator into an [`IndicatorSummary`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InsufficientData`] when no outcome was
+    /// folded in.
+    pub fn finish(self) -> Result<IndicatorSummary, StatsError> {
+        let replications =
+            u32::try_from(self.success.trials()).map_err(|_| StatsError::InvalidParameter {
+                what: "replication count exceeds u32",
+            })?;
+        if replications == 0 {
+            return Err(StatsError::InsufficientData {
+                needed: "at least one campaign outcome",
+            });
+        }
+        Ok(IndicatorSummary {
+            replications,
+            successes: self.success.successes() as u32,
+            detections: self.detection.successes() as u32,
+            p_success: self.success.proportion(),
+            mean_tta: self.tta.mean_opt(),
+            mean_ttsf: self.ttsf.mean_opt(),
+            mean_compromised_ratio: self.compromised.mean(),
+            tta: self.tta,
+            ttsf: self.ttsf,
+            compromised: self.compromised,
+        })
+    }
+}
 
 /// Aggregated security indicators for one system configuration.
 ///
@@ -13,6 +134,12 @@ use std::fmt;
 ///   (the paper's Time-To-Security-Failure), over detected campaigns;
 /// * `mean_compromised_ratio` — average of each campaign's final
 ///   compromised ratio (compromised components / total components).
+///
+/// Distributional information is carried as streaming moments
+/// ([`StreamingSummary`]: count/mean/M2/min/max) rather than raw
+/// per-replication vectors, so a summary costs O(1) memory regardless of
+/// the replication count and confidence intervals derive from the
+/// moments alone.
 #[derive(Debug, Clone, Serialize)]
 pub struct IndicatorSummary {
     /// Number of campaign replications aggregated.
@@ -29,59 +156,30 @@ pub struct IndicatorSummary {
     pub mean_ttsf: Option<f64>,
     /// Mean final compromised ratio.
     pub mean_compromised_ratio: f64,
-    /// Per-replication final compromised ratios (kept for ANOVA).
+    /// Streaming TTA moments (successes only).
     #[serde(skip)]
-    pub compromised_ratios: Vec<f64>,
-    /// Per-replication TTA values (successes only, kept for ANOVA).
+    pub tta: StreamingSummary,
+    /// Streaming TTSF moments (detections only).
     #[serde(skip)]
-    pub tta_samples: Vec<f64>,
+    pub ttsf: StreamingSummary,
+    /// Streaming final-compromised-ratio moments (every replication).
+    #[serde(skip)]
+    pub compromised: StreamingSummary,
 }
 
 impl IndicatorSummary {
     /// Aggregates a batch of campaign outcomes.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `outcomes` is empty.
-    #[must_use]
-    pub fn from_outcomes(outcomes: &[CampaignOutcome]) -> Self {
-        assert!(!outcomes.is_empty(), "at least one outcome required");
-        let replications = outcomes.len() as u32;
-        let successes = outcomes.iter().filter(|o| o.succeeded()).count() as u32;
-        let detections = outcomes
-            .iter()
-            .filter(|o| o.time_to_detection.is_some())
-            .count() as u32;
-        let tta_samples: Vec<f64> = outcomes
-            .iter()
-            .filter_map(|o| o.time_to_attack.map(f64::from))
-            .collect();
-        let ttsf: Vec<f64> = outcomes
-            .iter()
-            .filter_map(|o| o.time_to_detection.map(f64::from))
-            .collect();
-        let compromised_ratios: Vec<f64> = outcomes
-            .iter()
-            .map(CampaignOutcome::final_compromised_ratio)
-            .collect();
-        let mean = |xs: &[f64]| {
-            if xs.is_empty() {
-                None
-            } else {
-                Some(xs.iter().sum::<f64>() / xs.len() as f64)
-            }
-        };
-        IndicatorSummary {
-            replications,
-            successes,
-            detections,
-            p_success: f64::from(successes) / f64::from(replications),
-            mean_tta: mean(&tta_samples),
-            mean_ttsf: mean(&ttsf),
-            mean_compromised_ratio: mean(&compromised_ratios).unwrap_or(0.0),
-            compromised_ratios,
-            tta_samples,
+    /// Returns [`StatsError::InsufficientData`] when `outcomes` is
+    /// empty.
+    pub fn from_outcomes(outcomes: &[CampaignOutcome]) -> Result<Self, StatsError> {
+        let mut acc = IndicatorAccum::new();
+        for outcome in outcomes {
+            acc.push(outcome);
         }
+        acc.finish()
     }
 
     /// Wilson confidence interval for the attack-success probability.
@@ -97,14 +195,15 @@ impl IndicatorSummary {
         )
     }
 
-    /// Student-t confidence interval for the mean Time-To-Attack.
+    /// Student-t confidence interval for the mean Time-To-Attack, from
+    /// the streaming moments.
     ///
     /// # Errors
     ///
     /// Returns [`StatsError::InsufficientData`] when fewer than two
     /// campaigns succeeded.
     pub fn tta_ci(&self, level: f64) -> Result<ConfidenceInterval, StatsError> {
-        mean_ci(&self.tta_samples, level)
+        self.tta.mean_ci(level)
     }
 }
 
@@ -142,21 +241,84 @@ mod tests {
     #[test]
     fn aggregation_counts_match() {
         let os = outcomes(30);
-        let s = IndicatorSummary::from_outcomes(&os);
+        let s = IndicatorSummary::from_outcomes(&os).unwrap();
         assert_eq!(s.replications, 30);
         assert_eq!(
             s.successes as usize,
             os.iter().filter(|o| o.succeeded()).count()
         );
-        assert_eq!(s.tta_samples.len(), s.successes as usize);
-        assert_eq!(s.compromised_ratios.len(), 30);
+        assert_eq!(s.tta.count(), u64::from(s.successes));
+        assert_eq!(s.ttsf.count(), u64::from(s.detections));
+        assert_eq!(s.compromised.count(), 30);
         assert!((0.0..=1.0).contains(&s.p_success));
         assert!((0.0..=1.0).contains(&s.mean_compromised_ratio));
     }
 
     #[test]
+    fn streaming_means_match_slice_means() {
+        let os = outcomes(25);
+        let s = IndicatorSummary::from_outcomes(&os).unwrap();
+        let ttas: Vec<f64> = os
+            .iter()
+            .filter_map(|o| o.time_to_attack.map(f64::from))
+            .collect();
+        if !ttas.is_empty() {
+            let mean = ttas.iter().sum::<f64>() / ttas.len() as f64;
+            assert!((s.mean_tta.unwrap() - mean).abs() < 1e-9);
+        }
+        let ratios: Vec<f64> = os
+            .iter()
+            .map(CampaignOutcome::final_compromised_ratio)
+            .collect();
+        let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        assert!((s.mean_compromised_ratio - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accum_merge_equals_single_pass() {
+        let os = outcomes(20);
+        let whole = IndicatorSummary::from_outcomes(&os).unwrap();
+        let mut a = IndicatorAccum::new();
+        for o in &os[..8] {
+            a.push(o);
+        }
+        let mut b = IndicatorAccum::new();
+        for o in &os[8..] {
+            b.push(o);
+        }
+        a.merge(&b);
+        let merged = a.finish().unwrap();
+        assert_eq!(merged.replications, whole.replications);
+        assert_eq!(merged.successes, whole.successes);
+        assert_eq!(merged.detections, whole.detections);
+        assert!((merged.mean_compromised_ratio - whole.mean_compromised_ratio).abs() < 1e-12);
+        assert_eq!(merged.tta.count(), whole.tta.count());
+    }
+
+    #[test]
+    fn precision_reports_match_cis() {
+        let mut acc = IndicatorAccum::new();
+        for o in outcomes(40) {
+            acc.push(&o);
+        }
+        let p = acc
+            .precision(PrecisionResponse::PSuccess, 0.95)
+            .expect("40 trials suffice");
+        assert!(p.half_width > 0.0);
+        assert!((0.0..=1.0).contains(&p.estimate));
+        let c = acc
+            .precision(PrecisionResponse::CompromisedRatio, 0.95)
+            .expect("40 observations suffice");
+        assert!(c.half_width >= 0.0);
+        // An empty accumulator has no precision to report.
+        assert!(IndicatorAccum::new()
+            .precision(PrecisionResponse::PSuccess, 0.95)
+            .is_none());
+    }
+
+    #[test]
     fn confidence_intervals_contain_estimates() {
-        let s = IndicatorSummary::from_outcomes(&outcomes(40));
+        let s = IndicatorSummary::from_outcomes(&outcomes(40)).unwrap();
         let ci = s.p_success_ci(0.95).unwrap();
         assert!(ci.contains(s.p_success));
         if s.successes >= 2 {
@@ -167,14 +329,16 @@ mod tests {
 
     #[test]
     fn display_renders() {
-        let s = IndicatorSummary::from_outcomes(&outcomes(5));
+        let s = IndicatorSummary::from_outcomes(&outcomes(5)).unwrap();
         let text = s.to_string();
         assert!(text.contains("P_SA="));
     }
 
     #[test]
-    #[should_panic(expected = "at least one")]
-    fn empty_outcomes_panics() {
-        let _ = IndicatorSummary::from_outcomes(&[]);
+    fn empty_outcomes_error() {
+        assert!(matches!(
+            IndicatorSummary::from_outcomes(&[]),
+            Err(StatsError::InsufficientData { .. })
+        ));
     }
 }

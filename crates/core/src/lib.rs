@@ -19,7 +19,11 @@
 //!
 //! Security indicators ([`indicators`]): probability of successful attack,
 //! **Time-To-Attack**, **Time-To-Security-Failure**, and the
-//! **compromised ratio**.
+//! **compromised ratio** — aggregated by streaming, mergeable
+//! accumulators, so measurement can run under a fixed replication budget
+//! or adaptively until a precision target is met
+//! ([`runner::measure_configuration_adaptive`],
+//! [`PipelineConfig::precision`](pipeline::PipelineConfig::precision)).
 //!
 //! ## Quick start
 //!
@@ -40,8 +44,11 @@ pub mod pipeline;
 pub mod report;
 pub mod runner;
 
-pub use exec::{Collector, ExecMode, Executor, ReplicationPlan};
+pub use exec::{AdaptiveRun, Collector, ExecMode, Executor, Precision, ReplicationPlan, StopRule};
 pub use factors::{factor_profile, FactorLevel};
-pub use indicators::IndicatorSummary;
+pub use indicators::{IndicatorAccum, IndicatorSummary, PrecisionResponse};
 pub use pipeline::{Pipeline, PipelineConfig, PipelineReport};
-pub use runner::{measure_configuration, measure_configuration_with, Measurements};
+pub use runner::{
+    measure_configuration, measure_configuration_adaptive, measure_configuration_with,
+    AdaptiveMeasurements, Measurements, PrecisionTarget,
+};

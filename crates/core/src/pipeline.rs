@@ -1,9 +1,11 @@
 //! The three-step pipeline — the paper's Figure 1 as an executable API.
 
-use crate::exec::{campaign_plan, Executor};
+use crate::exec::{campaign_plan, Executor, Precision};
 use crate::factors::{factor_profile, FactorLevel};
-use crate::report::render_measurement_table;
-use crate::runner::{measure_configuration_with, Measurements};
+use crate::report::{render_adaptive_table, render_measurement_table};
+use crate::runner::{
+    measure_configuration_adaptive, measure_configuration_with, Measurements, PrecisionTarget,
+};
 use diversify_attack::campaign::{CampaignConfig, ThreatModel};
 use diversify_attack::to_san::{compile_stage_chain, success_place, StageParams};
 use diversify_attack::tree::{stuxnet_tree, AttackTree};
@@ -37,6 +39,17 @@ pub struct PipelineConfig {
     /// CTMC backend (the stage chain solved analytically vs by
     /// Monte-Carlo) and include the comparison in the report.
     pub analytic_check: bool,
+    /// Opt-in: spend replications per design point according to its
+    /// variance. When set, every design run executes batch-sized rounds
+    /// until the target's confidence-interval half-width is reached
+    /// (within its replication bounds) instead of the fixed
+    /// `batches × batch_size` budget, and the report gains per-run
+    /// replication counts and achieved half-widths. `min_replications`
+    /// is raised to at least two batches so ANOVA keeps an error term;
+    /// `max_replications` is honored as a hard cap and must therefore
+    /// allow two batches ([`Pipeline::doe_measurements`] panics on a
+    /// tighter cap rather than silently exceeding it).
+    pub precision: Option<PrecisionTarget>,
 }
 
 impl Default for PipelineConfig {
@@ -53,6 +66,7 @@ impl Default for PipelineConfig {
             seed: 0xD1CE,
             executor: Executor::default(),
             analytic_check: false,
+            precision: None,
         }
     }
 }
@@ -90,6 +104,20 @@ pub struct AttackModel {
     pub tree: AttackTree,
 }
 
+/// How one design run of an adaptive sweep spent its replications.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveSweepPoint {
+    /// Replications executed for this design run.
+    pub replications: u32,
+    /// Replicate batches executed (the ANOVA replicate units).
+    pub batches: u32,
+    /// Whether the precision target was met (vs hitting the cap).
+    pub target_met: bool,
+    /// Monitored response's final estimate and CI half-width, if the
+    /// monitor could compute one.
+    pub precision: Option<Precision>,
+}
+
 /// Output of step 2 (DoE & Measurements).
 #[derive(Debug)]
 pub struct DoeMeasurements {
@@ -98,6 +126,9 @@ pub struct DoeMeasurements {
     pub design: DesignMatrix,
     /// Per-run measurements, in design order.
     pub measurements: Vec<Measurements>,
+    /// Per-run adaptive-replication report, in design order — present
+    /// exactly when [`PipelineConfig::precision`] was set.
+    pub adaptive: Option<Vec<AdaptiveSweepPoint>>,
 }
 
 /// Output of step 3 (Diversity Assessment).
@@ -158,6 +189,10 @@ impl fmt::Display for PipelineReport {
             "{}",
             render_measurement_table(&self.doe.design, &self.doe.measurements)
         )?;
+        if let Some(adaptive) = &self.doe.adaptive {
+            writeln!(f)?;
+            write!(f, "{}", render_adaptive_table(adaptive))?;
+        }
         writeln!(f)?;
         writeln!(f, "== Step 3: Diversity Assessment (ANOVA on P_SA) ==")?;
         write!(f, "{}", self.assessment.anova_p_success)?;
@@ -210,11 +245,17 @@ impl Pipeline {
     }
 
     /// Step 2 — DoE & Measurements: build the 2^(6−2) resolution-IV
-    /// design over the six component classes and measure every run.
+    /// design over the six component classes and measure every run —
+    /// with the fixed `batches × batch_size` budget, or adaptively per
+    /// design point when [`PipelineConfig::precision`] is set.
     ///
     /// # Panics
     ///
-    /// Never panics for the built-in design (it is statically valid).
+    /// Panics if a configured precision target caps replications below
+    /// two batches (`rule.max_replications < 2 × batch_size`) — the
+    /// sweep must never exceed the caller's hard cap, and ANOVA needs at
+    /// least two replicate batches per run for an error term. Never
+    /// panics otherwise (the built-in design is statically valid).
     #[must_use]
     pub fn doe_measurements(&self) -> DoeMeasurements {
         let labels: Vec<&str> = ComponentClass::ALL.iter().map(|c| c.label()).collect();
@@ -228,7 +269,24 @@ impl Pipeline {
             self.config.batch_size,
             self.config.seed,
         );
+        // An adaptive sweep needs at least two replicate batches per run
+        // so the ANOVA error term survives the worst case. The floor
+        // raises `min` only — a cap below it is rejected, never
+        // silently exceeded.
+        let target = self.config.precision.map(|mut t| {
+            let floor = 2 * self.config.batch_size;
+            assert!(
+                t.rule.max_replications >= floor,
+                "precision target caps replications at {} but the ANOVA error term needs \
+                 at least two batches of {} per design run",
+                t.rule.max_replications,
+                self.config.batch_size
+            );
+            t.rule.min_replications = t.rule.min_replications.max(floor);
+            t
+        });
         let mut measurements = Vec::with_capacity(design.runs());
+        let mut adaptive = target.map(|_| Vec::with_capacity(design.runs()));
         for (run_idx, row) in design.rows.iter().enumerate() {
             let levels: Vec<FactorLevel> =
                 row.iter().map(|&l| FactorLevel::from_coded(l)).collect();
@@ -236,18 +294,38 @@ impl Pipeline {
             let mut scope_cfg = self.config.scope.clone();
             scope_cfg.baseline_profile = profile;
             let system = ScopeSystem::build(&scope_cfg);
-            let m = measure_configuration_with(
-                system.network(),
-                &self.config.threat,
-                self.config.campaign,
-                &base_plan.derived(StreamId(run_idx as u64)),
-                self.config.executor,
-            );
-            measurements.push(m);
+            let run_plan = base_plan.derived(StreamId(run_idx as u64));
+            match (&target, &mut adaptive) {
+                (Some(target), Some(points)) => {
+                    let run = measure_configuration_adaptive(
+                        system.network(),
+                        &self.config.threat,
+                        self.config.campaign,
+                        &run_plan,
+                        self.config.executor,
+                        target,
+                    );
+                    points.push(AdaptiveSweepPoint {
+                        replications: run.replications,
+                        batches: run.rounds,
+                        target_met: run.target_met,
+                        precision: run.precision,
+                    });
+                    measurements.push(run.output);
+                }
+                _ => measurements.push(measure_configuration_with(
+                    system.network(),
+                    &self.config.threat,
+                    self.config.campaign,
+                    &run_plan,
+                    self.config.executor,
+                )),
+            }
         }
         DoeMeasurements {
             design,
             measurements,
+            adaptive,
         }
     }
 
@@ -265,15 +343,26 @@ impl Pipeline {
             .enumerate()
             .map(|(i, c)| EffectSpec::main(c.label(), i))
             .collect();
+        // Adaptive sweeps may give design points different batch counts;
+        // the factorial ANOVA needs balanced replicates, so truncate
+        // every run to the common minimum (each batch mean is an iid
+        // replicate unit, so dropping the tail keeps estimates unbiased).
+        let min_batches = doe
+            .measurements
+            .iter()
+            .map(|m| m.batch_p_success.len())
+            .min()
+            .unwrap_or(0);
+        let truncated = |batch_means: &Vec<f64>| batch_means[..min_batches].to_vec();
         let responses_p: Vec<Vec<f64>> = doe
             .measurements
             .iter()
-            .map(|m| m.batch_p_success.clone())
+            .map(|m| truncated(&m.batch_p_success))
             .collect();
         let responses_c: Vec<Vec<f64>> = doe
             .measurements
             .iter()
-            .map(|m| m.batch_compromised.clone())
+            .map(|m| truncated(&m.batch_compromised))
             .collect();
         let anova_p_success = factorial_two_level(&doe.design.rows, &responses_p, &effects)
             .expect("design produced by doe_measurements is regular");
@@ -463,6 +552,42 @@ mod tests {
         assert!(x.mean_tta_closed_form > 0.0);
         let text = report.to_string();
         assert!(text.contains("analytic cross-check"));
+    }
+
+    #[test]
+    fn precision_targeted_sweep_reports_adaptive_points() {
+        let fixed = Pipeline::new(tiny_config()).doe_measurements();
+        assert!(fixed.adaptive.is_none());
+        let pipeline = Pipeline::new(PipelineConfig {
+            precision: Some(PrecisionTarget::p_success(0.25, 8, 40)),
+            ..tiny_config()
+        });
+        let report = pipeline.run();
+        let points = report.doe.adaptive.as_ref().expect("adaptive sweep");
+        assert_eq!(points.len(), report.doe.measurements.len());
+        for (p, m) in points.iter().zip(&report.doe.measurements) {
+            assert_eq!(p.replications, m.summary.replications);
+            assert_eq!(p.batches as usize, m.batch_p_success.len());
+            // Bounds hold (min raised to 2 batches of 4): 8..=40.
+            assert!((8..=40).contains(&p.replications));
+        }
+        // The assessment still runs on the (truncated) balanced batches.
+        assert_eq!(report.assessment.ranking.len(), 6);
+        let text = report.to_string();
+        assert!(text.contains("adaptive replication"));
+        assert!(text.contains("halfwidth"));
+    }
+
+    #[test]
+    #[should_panic(expected = "caps replications")]
+    fn precision_cap_below_two_batches_is_rejected() {
+        // batch_size 4 needs a cap of >= 8; a cap of 5 must be refused
+        // rather than silently exceeded.
+        let _ = Pipeline::new(PipelineConfig {
+            precision: Some(PrecisionTarget::p_success(0.25, 1, 5)),
+            ..tiny_config()
+        })
+        .doe_measurements();
     }
 
     #[test]

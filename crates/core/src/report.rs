@@ -1,5 +1,6 @@
 //! Report rendering: aligned text tables and JSON artifacts.
 
+use crate::pipeline::AdaptiveSweepPoint;
 use crate::runner::Measurements;
 use diversify_doe::design::DesignMatrix;
 use serde::Serialize;
@@ -35,6 +36,38 @@ pub fn render_measurement_table(design: &DesignMatrix, measurements: &[Measureme
             s.mean_tta.map_or("-".to_string(), |v| format!("{v:.1}")),
             s.mean_ttsf.map_or("-".to_string(), |v| format!("{v:.1}")),
             s.mean_compromised_ratio,
+        );
+    }
+    out
+}
+
+/// Renders the adaptive-replication report of a precision-targeted
+/// sweep: replications spent and confidence-interval half-width achieved
+/// per design run.
+#[must_use]
+pub fn render_adaptive_table(points: &[AdaptiveSweepPoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "adaptive replication (per design run):");
+    let _ = writeln!(
+        out,
+        "{:>3} {:>6} {:>8} {:>10} {:>10} {:>7}",
+        "run", "reps", "batches", "estimate", "halfwidth", "met"
+    );
+    for (i, p) in points.iter().enumerate() {
+        let (est, hw) = p
+            .precision
+            .map_or(("-".to_string(), "-".to_string()), |pr| {
+                (
+                    format!("{:.4}", pr.estimate),
+                    format!("{:.4}", pr.half_width),
+                )
+            });
+        let _ = writeln!(
+            out,
+            "{i:>3} {:>6} {:>8} {est:>10} {hw:>10} {:>7}",
+            p.replications,
+            p.batches,
+            if p.target_met { "yes" } else { "cap" }
         );
     }
     out

@@ -1,8 +1,13 @@
 //! Monte-Carlo measurement of one system configuration, on the unified
-//! [`exec`](crate::exec) layer.
+//! [`exec`](crate::exec) layer — fixed replication plans or
+//! adaptive-precision runs that stop once a confidence-interval target
+//! is met.
 
-use crate::exec::{campaign_plan, Executor, MeasurementsCollector, ReplicationPlan};
-use crate::indicators::IndicatorSummary;
+use crate::exec::{
+    campaign_plan, AdaptiveRun, Executor, MeasurementsCollector, Precision, ReplicationPlan,
+    StopRule,
+};
+use crate::indicators::{IndicatorSummary, PrecisionResponse};
 use diversify_attack::campaign::{CampaignConfig, CampaignSimulator, ThreatModel};
 use diversify_scada::network::ScadaNetwork;
 
@@ -17,6 +22,59 @@ pub struct Measurements {
     pub batch_p_success: Vec<f64>,
     /// Per-batch mean final compromised ratios.
     pub batch_compromised: Vec<f64>,
+}
+
+/// An adaptive measurement: the [`Measurements`] over the replications
+/// actually executed, plus how many ran and the precision achieved.
+pub type AdaptiveMeasurements = AdaptiveRun<Measurements>;
+
+/// What "precise enough" means for an adaptive measurement: which
+/// indicator to watch, at what confidence level, under which
+/// [`StopRule`] bounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecisionTarget {
+    /// The monitored indicator.
+    pub response: PrecisionResponse,
+    /// Confidence level of the monitored interval, e.g. `0.95`.
+    pub level: f64,
+    /// Relative-half-width target and replication bounds.
+    pub rule: StopRule,
+}
+
+impl PrecisionTarget {
+    /// A 95%-level target on the attack-success probability — the
+    /// common case for campaign sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate bounds (see [`StopRule::relative`]).
+    #[must_use]
+    pub fn p_success(
+        relative_half_width: f64,
+        min_replications: u32,
+        max_replications: u32,
+    ) -> Self {
+        PrecisionTarget {
+            response: PrecisionResponse::PSuccess,
+            level: 0.95,
+            rule: StopRule::relative(relative_half_width, min_replications, max_replications),
+        }
+    }
+
+    /// The same target at a different confidence level.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `level` lies in `(0, 1)`.
+    #[must_use]
+    pub fn with_level(mut self, level: f64) -> Self {
+        assert!(
+            0.0 < level && level < 1.0,
+            "confidence level must be in (0,1)"
+        );
+        self.level = level;
+        self
+    }
 }
 
 /// Runs `batches × batch_size` campaign replications of `threat` against
@@ -59,16 +117,56 @@ pub fn measure_configuration_with(
     executor.collect(plan, |rep| sim.run(rep.seed), &MeasurementsCollector)
 }
 
+/// Measures one configuration adaptively: batch-sized rounds of `plan`
+/// execute until `target` is met (or its replication cap is hit), so a
+/// low-variance configuration spends a fraction of the replications a
+/// high-variance one needs.
+///
+/// Seeds stay the plan's `namespace ^ index` derivation and outcomes
+/// fold through the same per-round structure as fixed plans, so an
+/// adaptive run that stops after *N* replications returns
+/// [`Measurements`] **bit-identical** to
+/// [`measure_configuration_with`] on `plan.with_batches(N / batch_size)`.
+#[must_use]
+pub fn measure_configuration_adaptive(
+    network: &ScadaNetwork,
+    threat: &ThreatModel,
+    config: CampaignConfig,
+    plan: &ReplicationPlan,
+    executor: Executor,
+    target: &PrecisionTarget,
+) -> AdaptiveMeasurements {
+    let sim = CampaignSimulator::new(network, threat.clone(), config);
+    executor.run_adaptive(
+        plan,
+        &target.rule,
+        |rep| sim.run(rep.seed),
+        &MeasurementsCollector,
+        |acc, _replications| acc.indicators.precision(target.response, target.level),
+    )
+}
+
+/// The [`Precision`] achieved by a finished adaptive run, as a relative
+/// half-width (`None` when the monitor never produced an interval).
+#[must_use]
+pub fn achieved_relative_half_width(run: &AdaptiveMeasurements) -> Option<f64> {
+    run.precision.as_ref().map(Precision::relative_half_width)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use diversify_scada::scope::{ScopeConfig, ScopeSystem};
 
+    fn scope_network() -> ScadaNetwork {
+        ScopeSystem::build(&ScopeConfig::default())
+            .network()
+            .clone()
+    }
+
     #[test]
     fn batching_covers_all_replications() {
-        let net = ScopeSystem::build(&ScopeConfig::default())
-            .network()
-            .clone();
+        let net = scope_network();
         let m = measure_configuration(
             &net,
             &ThreatModel::stuxnet_like(),
@@ -87,9 +185,7 @@ mod tests {
 
     #[test]
     fn deterministic_under_seed() {
-        let net = ScopeSystem::build(&ScopeConfig::default())
-            .network()
-            .clone();
+        let net = scope_network();
         let run = |seed| {
             measure_configuration(
                 &net,
@@ -107,9 +203,7 @@ mod tests {
 
     #[test]
     fn serial_and_parallel_measurements_are_bit_identical() {
-        let net = ScopeSystem::build(&ScopeConfig::default())
-            .network()
-            .clone();
+        let net = scope_network();
         let plan = campaign_plan(3, 8, 0xFEED);
         let threat = ThreatModel::stuxnet_like();
         let config = CampaignConfig::default();
@@ -119,19 +213,76 @@ mod tests {
         assert_eq!(serial.summary.p_success, parallel.summary.p_success);
         assert_eq!(serial.batch_p_success, parallel.batch_p_success);
         assert_eq!(serial.batch_compromised, parallel.batch_compromised);
-        assert_eq!(
-            serial.summary.compromised_ratios,
-            parallel.summary.compromised_ratios
+        assert_eq!(serial.summary.compromised, parallel.summary.compromised);
+        assert_eq!(serial.summary.tta, parallel.summary.tta);
+        assert_eq!(serial.summary.ttsf, parallel.summary.ttsf);
+    }
+
+    #[test]
+    fn adaptive_truncation_matches_fixed_plan() {
+        let net = scope_network();
+        let threat = ThreatModel::stuxnet_like();
+        let config = CampaignConfig {
+            max_ticks: 24 * 10,
+            detection_stops_attack: false,
+        };
+        let base = campaign_plan(1, 6, 0xADA);
+        // A rule that can never be met: the run executes exactly the cap.
+        let target = PrecisionTarget::p_success(1e-12, 6, 24);
+        let adaptive = measure_configuration_adaptive(
+            &net,
+            &threat,
+            config,
+            &base,
+            Executor::default(),
+            &target,
         );
-        assert_eq!(serial.summary.tta_samples, parallel.summary.tta_samples);
+        assert!(!adaptive.target_met);
+        assert_eq!(adaptive.replications, 24);
+        assert_eq!(adaptive.plan, base.with_batches(4));
+        let fixed =
+            measure_configuration_with(&net, &threat, config, &adaptive.plan, Executor::default());
+        assert_eq!(
+            adaptive.output.summary.p_success.to_bits(),
+            fixed.summary.p_success.to_bits()
+        );
+        assert_eq!(adaptive.output.batch_p_success, fixed.batch_p_success);
+        assert_eq!(adaptive.output.batch_compromised, fixed.batch_compromised);
+        assert_eq!(adaptive.output.summary.tta, fixed.summary.tta);
+    }
+
+    #[test]
+    fn adaptive_stops_early_on_low_variance_point() {
+        // The default SCoPE monoculture falls almost always inside a
+        // month: P_SA near 1 tightens the Wilson interval quickly, so a
+        // 5% relative target stops well under the cap.
+        let net = scope_network();
+        let target = PrecisionTarget::p_success(0.05, 50, 1000);
+        let run = measure_configuration_adaptive(
+            &net,
+            &ThreatModel::stuxnet_like(),
+            CampaignConfig {
+                max_ticks: 24 * 30,
+                detection_stops_attack: false,
+            },
+            &campaign_plan(1, 25, 0xD1CE),
+            Executor::default(),
+            &target,
+        );
+        assert!(run.target_met, "precision target should be reachable");
+        assert!(
+            run.replications < 1000,
+            "adaptive run should stop before the cap ({} replications)",
+            run.replications
+        );
+        let achieved = achieved_relative_half_width(&run).expect("precision was computed");
+        assert!(achieved <= 0.05, "achieved {achieved} > target");
     }
 
     #[test]
     #[should_panic(expected = "non-empty batch plan")]
     fn zero_batches_panics() {
-        let net = ScopeSystem::build(&ScopeConfig::default())
-            .network()
-            .clone();
+        let net = scope_network();
         let _ = measure_configuration(
             &net,
             &ThreatModel::stuxnet_like(),

@@ -3,23 +3,28 @@
 //! Every Monte-Carlo workload in the workspace — campaign measurement,
 //! the DoE design-point sweep, the generic replication harness, the
 //! bench experiments — repeats a seeded task many times and aggregates
-//! the results. Before this module each of those call sites hand-rolled
-//! its own loop, its own seed schedule, and its own (sometimes absent)
-//! parallelism. Now they all describe *what* to run with a
+//! the results. Call sites describe *what* to run with a
 //! [`ReplicationPlan`], hand the per-replication task to an
-//! [`Executor`], and fold the ordered outputs with a [`Collector`].
+//! [`Executor`], and fold the outputs with a [`Collector`] — a
+//! mergeable fold (`empty` / `accumulate` / `merge` / `finish`), so
+//! aggregation streams: outcomes fold into accumulators round by round
+//! instead of being materialized into one `Vec` of every replication.
 //!
 //! Three properties hold by construction:
 //!
 //! * **Determinism** — replication *i* draws its seed from
-//!   `(master_seed, namespace ^ i)` regardless of scheduling, and results
-//!   come back in replication order, so a serial and a parallel run of
-//!   the same plan are bit-identical.
-//! * **One seam for scaling** — sharding, batching policy and backend
-//!   selection land here once instead of in four hand-rolled loops.
-//! * **Batch structure is part of the plan** — ANOVA replicate groups
-//!   (`batches × batch_size`) travel with the plan, so collectors can
-//!   aggregate per batch without re-deriving shapes.
+//!   `(master_seed, namespace ^ i)` regardless of scheduling, and the
+//!   fold always accumulates in replication order within a batch and
+//!   merges batch accumulators in batch order, so a serial and a
+//!   parallel run of the same plan are bit-identical.
+//! * **Bounded memory** — the executor materializes at most one batch of
+//!   raw outputs at a time; collectors keep O(1) (or O(batches)) state
+//!   per metric instead of O(replications).
+//! * **Adaptive precision** — [`Executor::run_adaptive`] executes
+//!   batch-sized rounds until a [`StopRule`] is met, and because fixed
+//!   plans fold through the identical round structure, an adaptive run
+//!   stopped after *N* replications is bit-identical to a fixed plan of
+//!   *N*.
 
 use crate::rng::{derive_seed, StreamId};
 use rayon::prelude::*;
@@ -40,8 +45,8 @@ pub struct Replication {
 }
 
 /// Describes a replicated experiment: how many replications, how they
-/// group into batches (the ANOVA replicate unit), and how each
-/// replication's seed derives from the master seed.
+/// group into batches (the ANOVA replicate unit and the adaptive round
+/// size), and how each replication's seed derives from the master seed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReplicationPlan {
     batches: u32,
@@ -94,6 +99,21 @@ impl ReplicationPlan {
         self
     }
 
+    /// Replaces the batch count, keeping batch size, master seed and
+    /// namespace. Seeds depend only on the replication index, so the
+    /// first `min(total, other.total)` replications of the two plans are
+    /// identical — this is how an adaptive run names the fixed plan it
+    /// actually executed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batches` is zero or the total overflows `u32`.
+    #[must_use]
+    pub fn with_batches(self, batches: u32) -> Self {
+        ReplicationPlan::new(batches, self.batch_size, self.master_seed)
+            .with_namespace(self.namespace)
+    }
+
     /// Derives a sub-plan whose master seed is drawn from this plan's
     /// seed and `stream` — the idiom for giving each design point of a
     /// sweep its own decorrelated seed schedule.
@@ -135,6 +155,12 @@ impl ReplicationPlan {
         self.namespace
     }
 
+    /// The batch a replication index belongs to.
+    #[must_use]
+    pub fn batch_of(&self, index: u32) -> u32 {
+        index / self.batch_size
+    }
+
     /// The stream identifier of replication `index`.
     #[must_use]
     pub fn stream_id(&self, index: u32) -> StreamId {
@@ -142,7 +168,8 @@ impl ReplicationPlan {
     }
 
     /// The seed of replication `index` — a pure function of
-    /// `(master_seed, namespace, index)`, independent of scheduling.
+    /// `(master_seed, namespace, index)`, independent of scheduling and
+    /// of the batch count.
     #[must_use]
     pub fn seed_for(&self, index: u32) -> u64 {
         derive_seed(self.master_seed, self.stream_id(index))
@@ -175,10 +202,231 @@ pub enum ExecMode {
     Parallel,
 }
 
+/// Folds per-replication outputs into an aggregate, mergeably.
+///
+/// A collector is a fold the executor drives: it creates [`empty`]
+/// accumulators, [`accumulate`]s one replication's output at a time (in
+/// replication order within a batch), [`merge`]s partial accumulators
+/// (in batch order), and [`finish`]es the final accumulator into the
+/// output. Because partial accumulators combine, parallel workers and
+/// adaptive rounds never have to materialize a `Vec` of every
+/// replication — state stays O(1) (or O(batches)) per metric.
+///
+/// The executor guarantees a *fixed fold shape*: one accumulator per
+/// batch, filled in replication order, merged into the running
+/// accumulator in batch order. Any collector whose `accumulate`/`merge`
+/// follow from that shape therefore produces bit-identical output on
+/// serial and parallel executors, and on adaptive runs truncated to the
+/// same replication count.
+///
+/// [`empty`]: Collector::empty
+/// [`accumulate`]: Collector::accumulate
+/// [`merge`]: Collector::merge
+/// [`finish`]: Collector::finish
+pub trait Collector<T> {
+    /// The intermediate, mergeable accumulator.
+    type Accum: Send;
+    /// The aggregated result type.
+    type Output;
+
+    /// A fresh accumulator with nothing folded in.
+    fn empty(&self) -> Self::Accum;
+
+    /// Folds one replication's output into `acc`. `plan` carries the
+    /// batch structure (`plan.batch_of(rep.index)` is the replicate
+    /// group); outputs of a batch arrive in replication order.
+    fn accumulate(&self, plan: &ReplicationPlan, acc: &mut Self::Accum, rep: Replication, value: T);
+
+    /// Merges `other` into `into`. `other` always covers a replication
+    /// range strictly after everything already folded into `into`.
+    fn merge(&self, into: &mut Self::Accum, other: Self::Accum);
+
+    /// Turns the final accumulator into the output. `plan` describes
+    /// exactly the replications that were folded (for an adaptive run,
+    /// the effective plan of the rounds actually executed).
+    fn finish(&self, plan: &ReplicationPlan, acc: Self::Accum) -> Self::Output;
+}
+
+/// A [`Collector`] materializing every output in replication order — the
+/// compatibility shape for callers that genuinely need raw outcomes
+/// (e.g. campaign post-mortems). Memory is O(replications); prefer a
+/// streaming collector on hot paths.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VecCollector;
+
+impl<T: Send> Collector<T> for VecCollector {
+    type Accum = Vec<T>;
+    type Output = Vec<T>;
+
+    fn empty(&self) -> Vec<T> {
+        Vec::new()
+    }
+
+    fn accumulate(&self, _plan: &ReplicationPlan, acc: &mut Vec<T>, _rep: Replication, value: T) {
+        acc.push(value);
+    }
+
+    fn merge(&self, into: &mut Vec<T>, mut other: Vec<T>) {
+        // The first round of a flat plan merges into an empty
+        // accumulator: adopt the buffer instead of re-copying it.
+        if into.is_empty() {
+            *into = other;
+        } else {
+            into.append(&mut other);
+        }
+    }
+
+    fn finish(&self, _plan: &ReplicationPlan, acc: Vec<T>) -> Vec<T> {
+        acc
+    }
+}
+
+/// A [`Collector`] computing the mean of scalar outputs in O(1) memory —
+/// the common case for quick probability estimates.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MeanCollector;
+
+/// Running state of [`MeanCollector`]: count and sum.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MeanAccum {
+    n: u64,
+    sum: f64,
+}
+
+impl Collector<f64> for MeanCollector {
+    type Accum = MeanAccum;
+    type Output = f64;
+
+    fn empty(&self) -> MeanAccum {
+        MeanAccum::default()
+    }
+
+    fn accumulate(&self, _plan: &ReplicationPlan, acc: &mut MeanAccum, _rep: Replication, x: f64) {
+        acc.n += 1;
+        acc.sum += x;
+    }
+
+    fn merge(&self, into: &mut MeanAccum, other: MeanAccum) {
+        into.n += other.n;
+        into.sum += other.sum;
+    }
+
+    fn finish(&self, _plan: &ReplicationPlan, acc: MeanAccum) -> f64 {
+        assert!(acc.n > 0, "mean of zero replications");
+        acc.sum / acc.n as f64
+    }
+}
+
+/// A point estimate with its confidence-interval half-width — what a
+/// [`StopRule`] judges. Produced by the *monitor* closure of
+/// [`Executor::run_adaptive`] (typically from a streaming accumulator's
+/// moment-based interval).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Precision {
+    /// Current point estimate of the monitored response.
+    pub estimate: f64,
+    /// Half-width of its confidence interval.
+    pub half_width: f64,
+}
+
+impl Precision {
+    /// The half-width relative to the estimate's magnitude
+    /// (`+inf` when the estimate is zero but the interval is not tight).
+    #[must_use]
+    pub fn relative_half_width(&self) -> f64 {
+        if self.estimate == 0.0 {
+            if self.half_width == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.half_width / self.estimate.abs()
+        }
+    }
+}
+
+/// When an adaptive run may stop: the monitored response's relative
+/// confidence-interval half-width must drop to `relative_half_width`,
+/// subject to replication bounds.
+///
+/// Bounds are rounded to whole batch-sized rounds: the run never checks
+/// the rule before `min_replications` and never exceeds
+/// `max_replications` (rounded *down* to whole rounds, so the cap is
+/// strict; at least one round always executes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StopRule {
+    /// Target relative CI half-width ε: stop once
+    /// `half_width ≤ ε × |estimate|`.
+    pub relative_half_width: f64,
+    /// Replications that must complete before the rule is consulted.
+    pub min_replications: u32,
+    /// Hard replication cap (the run stops here even if the target was
+    /// never met).
+    pub max_replications: u32,
+}
+
+impl StopRule {
+    /// A relative-precision rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `relative_half_width` is finite and positive and
+    /// `min_replications ≤ max_replications` with a non-zero cap.
+    #[must_use]
+    pub fn relative(
+        relative_half_width: f64,
+        min_replications: u32,
+        max_replications: u32,
+    ) -> Self {
+        assert!(
+            relative_half_width.is_finite() && relative_half_width > 0.0,
+            "relative half-width target must be finite and positive"
+        );
+        assert!(
+            min_replications <= max_replications && max_replications > 0,
+            "replication bounds must satisfy 0 < min <= max"
+        );
+        StopRule {
+            relative_half_width,
+            min_replications,
+            max_replications,
+        }
+    }
+
+    /// Whether `precision` meets the target.
+    #[must_use]
+    pub fn is_met(&self, precision: &Precision) -> bool {
+        precision.half_width <= self.relative_half_width * precision.estimate.abs()
+    }
+}
+
+/// Result of an [`Executor::run_adaptive`] call.
+#[derive(Debug, Clone)]
+pub struct AdaptiveRun<O> {
+    /// The collector's output over the replications actually executed.
+    pub output: O,
+    /// The effective fixed plan this run is bit-identical to
+    /// (`rounds × batch_size` replications under the base plan's seed
+    /// schedule).
+    pub plan: ReplicationPlan,
+    /// Batch-sized rounds executed.
+    pub rounds: u32,
+    /// Replications executed (`rounds × batch_size`).
+    pub replications: u32,
+    /// Whether the stop rule's precision target was met (as opposed to
+    /// hitting the replication cap).
+    pub target_met: bool,
+    /// The monitored response's precision at the final check, if the
+    /// monitor could compute one.
+    pub precision: Option<Precision>,
+}
+
 /// Runs the replications of a [`ReplicationPlan`].
 ///
-/// The executor owns scheduling *only*: seeds come from the plan and
-/// outputs always return in replication order, so every mode produces
+/// The executor owns scheduling *only*: seeds come from the plan, and
+/// the fold shape (accumulate in replication order within a batch, merge
+/// batch accumulators in batch order) is fixed, so every mode produces
 /// identical results.
 ///
 /// # Examples
@@ -225,60 +473,154 @@ impl Executor {
         self.mode
     }
 
+    /// Executes one batch-sized round (`round` is the batch index) and
+    /// folds its ordered outputs into a fresh accumulator. A serial
+    /// round folds each output as it is produced; a parallel round
+    /// materializes the round's outputs (the only buffered vector, so
+    /// peak memory is O(batch_size) regardless of how many rounds run)
+    /// and folds them in replication order — the accumulate order is
+    /// identical either way.
+    fn round_accum<T, F, C>(
+        &self,
+        plan: &ReplicationPlan,
+        round: u32,
+        task: &F,
+        collector: &C,
+    ) -> C::Accum
+    where
+        T: Send,
+        F: Fn(Replication) -> T + Sync + Send,
+        C: Collector<T>,
+    {
+        let start = round * plan.batch_size();
+        let indices = start..start + plan.batch_size();
+        let mut acc = collector.empty();
+        match self.mode {
+            ExecMode::Serial => {
+                for i in indices {
+                    let rep = plan.replication(i);
+                    let value = task(rep);
+                    collector.accumulate(plan, &mut acc, rep, value);
+                }
+            }
+            ExecMode::Parallel => {
+                let values: Vec<T> = indices
+                    .into_par_iter()
+                    .map(|i| task(plan.replication(i)))
+                    .collect();
+                for (offset, value) in values.into_iter().enumerate() {
+                    let rep = plan.replication(start + offset as u32);
+                    collector.accumulate(plan, &mut acc, rep, value);
+                }
+            }
+        }
+        acc
+    }
+
+    /// Folds rounds `0..rounds` of `plan` into one accumulator.
+    fn fold_rounds<T, F, C>(
+        &self,
+        plan: &ReplicationPlan,
+        rounds: u32,
+        task: &F,
+        collector: &C,
+    ) -> C::Accum
+    where
+        T: Send,
+        F: Fn(Replication) -> T + Sync + Send,
+        C: Collector<T>,
+    {
+        let mut acc = collector.empty();
+        for round in 0..rounds {
+            let partial = self.round_accum(plan, round, task, collector);
+            collector.merge(&mut acc, partial);
+        }
+        acc
+    }
+
     /// Runs every replication of `plan` through `task`, returning the
-    /// outputs in replication order.
+    /// outputs in replication order (the [`VecCollector`] fold).
     pub fn run<T, F>(&self, plan: &ReplicationPlan, task: F) -> Vec<T>
     where
         T: Send,
         F: Fn(Replication) -> T + Sync + Send,
     {
-        match self.mode {
-            ExecMode::Serial => (0..plan.total())
-                .map(|i| task(plan.replication(i)))
-                .collect(),
-            ExecMode::Parallel => (0..plan.total())
-                .into_par_iter()
-                .map(|i| task(plan.replication(i)))
-                .collect(),
-        }
+        self.collect(plan, task, &VecCollector)
     }
 
-    /// Runs every replication and folds the ordered outputs with
-    /// `collector`.
+    /// Runs every replication and folds the outputs with `collector`,
+    /// one batch-sized round at a time.
     pub fn collect<T, F, C>(&self, plan: &ReplicationPlan, task: F, collector: &C) -> C::Output
     where
         T: Send,
         F: Fn(Replication) -> T + Sync + Send,
         C: Collector<T>,
     {
-        collector.finish(plan, self.run(plan, task))
+        let acc = self.fold_rounds(plan, plan.batches(), &task, collector);
+        collector.finish(plan, acc)
     }
-}
 
-/// Folds the ordered per-replication outputs of a plan into an
-/// aggregate. Implementations receive the plan so they can use its batch
-/// structure (e.g. per-batch means for ANOVA replicate groups).
-pub trait Collector<T> {
-    /// The aggregated result type.
-    type Output;
-
-    /// Aggregates `samples`, which are in replication order and have
-    /// exactly `plan.total()` entries.
-    fn finish(&self, plan: &ReplicationPlan, samples: Vec<T>) -> Self::Output;
-}
-
-/// A [`Collector`] computing the mean of scalar outputs — the common
-/// case for quick probability estimates.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct MeanCollector;
-
-impl Collector<f64> for MeanCollector {
-    type Output = f64;
-
-    fn finish(&self, _plan: &ReplicationPlan, samples: Vec<f64>) -> f64 {
-        let n = samples.len();
-        assert!(n > 0, "mean of zero replications");
-        samples.iter().sum::<f64>() / n as f64
+    /// Executes batch-sized rounds of `plan` until `rule` is satisfied
+    /// on the response watched by `monitor`, or the replication cap is
+    /// hit.
+    ///
+    /// `plan` contributes the seed schedule and the round size
+    /// (`batch_size`); its batch *count* is ignored — the bounds come
+    /// from the rule. After each round past `rule.min_replications`, the
+    /// monitor receives the running accumulator and the replication
+    /// count and returns the current [`Precision`] of the chosen
+    /// response (or `None` while it cannot be computed, e.g. no
+    /// variance yet).
+    ///
+    /// Seeds stay the plan's `namespace ^ index` derivation and the fold
+    /// shape is the fixed per-round structure, so a run that stops after
+    /// *N* replications is **bit-identical** to
+    /// `collect(&plan.with_batches(N / batch_size), …)`.
+    pub fn run_adaptive<T, F, C, M>(
+        &self,
+        plan: &ReplicationPlan,
+        rule: &StopRule,
+        task: F,
+        collector: &C,
+        monitor: M,
+    ) -> AdaptiveRun<C::Output>
+    where
+        T: Send,
+        F: Fn(Replication) -> T + Sync + Send,
+        C: Collector<T>,
+        M: Fn(&C::Accum, u32) -> Option<Precision>,
+    {
+        let batch = plan.batch_size();
+        let max_rounds = (rule.max_replications / batch).max(1);
+        let min_rounds = rule.min_replications.div_ceil(batch).clamp(1, max_rounds);
+        let mut acc = collector.empty();
+        let mut rounds = 0u32;
+        let mut precision = None;
+        let mut target_met = false;
+        while rounds < max_rounds {
+            let partial = self.round_accum(plan, rounds, &task, collector);
+            collector.merge(&mut acc, partial);
+            rounds += 1;
+            if rounds < min_rounds {
+                continue;
+            }
+            precision = monitor(&acc, rounds * batch);
+            if let Some(p) = &precision {
+                if rule.is_met(p) {
+                    target_met = true;
+                    break;
+                }
+            }
+        }
+        let effective = plan.with_batches(rounds);
+        AdaptiveRun {
+            output: collector.finish(&effective, acc),
+            plan: effective,
+            rounds,
+            replications: rounds * batch,
+            target_met,
+            precision,
+        }
     }
 }
 
@@ -346,6 +688,10 @@ mod tests {
         assert_eq!(ranges.len(), 4);
         assert_eq!(ranges[0], 0..5);
         assert_eq!(ranges[3], 15..20);
+        assert_eq!(plan.batch_of(0), 0);
+        assert_eq!(plan.batch_of(4), 0);
+        assert_eq!(plan.batch_of(5), 1);
+        assert_eq!(plan.batch_of(19), 3);
     }
 
     #[test]
@@ -360,11 +706,126 @@ mod tests {
     }
 
     #[test]
+    fn with_batches_keeps_schedule() {
+        let base = ReplicationPlan::new(4, 25, 7).with_namespace(0xAB_0000);
+        let grown = base.with_batches(9);
+        assert_eq!(grown.batches(), 9);
+        assert_eq!(grown.batch_size(), 25);
+        assert_eq!(grown.namespace(), base.namespace());
+        for i in 0..base.total() {
+            assert_eq!(base.seed_for(i), grown.seed_for(i));
+        }
+    }
+
+    #[test]
     fn mean_collector_averages() {
         let plan = ReplicationPlan::flat(4, 0);
         let mean =
             Executor::serial().collect(&plan, |rep| f64::from(rep.index) + 1.0, &MeanCollector);
         assert!((mean - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vec_collector_round_trips_run() {
+        let plan = ReplicationPlan::new(3, 4, 5);
+        let direct = Executor::serial().run(&plan, |rep| rep.seed);
+        let folded = Executor::serial().collect(&plan, |rep| rep.seed, &VecCollector);
+        assert_eq!(direct, folded);
+        assert_eq!(direct.len(), 12);
+    }
+
+    #[test]
+    fn adaptive_truncation_is_bit_identical_to_fixed_plan() {
+        // A rule that is never met runs exactly to the cap; the result
+        // must equal the fixed plan of the same size, bit for bit.
+        let base = ReplicationPlan::new(1, 10, 99);
+        let rule = StopRule::relative(1e-9, 10, 40);
+        let task = |rep: Replication| {
+            let mut rng = RngStream::new(rep.seed, StreamId(2));
+            rng.uniform()
+        };
+        for exec in [Executor::serial(), Executor::parallel()] {
+            let adaptive = exec.run_adaptive(&base, &rule, task, &MeanCollector, |_, _| None);
+            assert_eq!(adaptive.rounds, 4);
+            assert_eq!(adaptive.replications, 40);
+            assert!(!adaptive.target_met);
+            let fixed = exec.collect(&base.with_batches(4), task, &MeanCollector);
+            assert_eq!(adaptive.output.to_bits(), fixed.to_bits());
+        }
+    }
+
+    #[test]
+    fn adaptive_stops_when_rule_met() {
+        // Constant outputs: the monitor reports a zero-width interval,
+        // so the run stops at the first check past min_replications.
+        let base = ReplicationPlan::new(1, 5, 3);
+        let rule = StopRule::relative(0.05, 12, 100);
+        let run = Executor::serial().run_adaptive(
+            &base,
+            &rule,
+            |_| 1.0f64,
+            &MeanCollector,
+            |acc, n| {
+                assert_eq!(u64::from(n), acc.n);
+                Some(Precision {
+                    estimate: acc.sum / acc.n as f64,
+                    half_width: 0.0,
+                })
+            },
+        );
+        // min 12 → 3 rounds of 5 before the first check.
+        assert_eq!(run.rounds, 3);
+        assert_eq!(run.replications, 15);
+        assert!(run.target_met);
+        assert_eq!(run.precision.unwrap().half_width, 0.0);
+        assert_eq!(run.plan.batches(), 3);
+        assert!((run.output - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adaptive_respects_replication_cap() {
+        let base = ReplicationPlan::new(1, 8, 3);
+        // Cap below one round still executes exactly one round.
+        let tiny = StopRule::relative(0.5, 1, 4);
+        let run =
+            Executor::serial().run_adaptive(&base, &tiny, |_| 1.0f64, &MeanCollector, |_, _| None);
+        assert_eq!(run.rounds, 1);
+        assert_eq!(run.replications, 8);
+        // Cap of 3 rounds is never exceeded.
+        let capped = StopRule::relative(1e-12, 1, 24);
+        let run = Executor::serial().run_adaptive(
+            &base,
+            &capped,
+            |_| 1.0f64,
+            &MeanCollector,
+            |_, _| {
+                Some(Precision {
+                    estimate: 0.0,
+                    half_width: 1.0,
+                })
+            },
+        );
+        assert_eq!(run.rounds, 3);
+        assert!(!run.target_met);
+    }
+
+    #[test]
+    fn precision_relative_half_width() {
+        let p = Precision {
+            estimate: 2.0,
+            half_width: 0.1,
+        };
+        assert!((p.relative_half_width() - 0.05).abs() < 1e-12);
+        let zero = Precision {
+            estimate: 0.0,
+            half_width: 0.1,
+        };
+        assert_eq!(zero.relative_half_width(), f64::INFINITY);
+        let tight = Precision {
+            estimate: 0.0,
+            half_width: 0.0,
+        };
+        assert_eq!(tight.relative_half_width(), 0.0);
     }
 
     #[test]
@@ -377,5 +838,17 @@ mod tests {
     #[should_panic(expected = "overflows")]
     fn overflowing_plan_rejected() {
         let _ = ReplicationPlan::new(u32::MAX, 2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < min <= max")]
+    fn stop_rule_rejects_inverted_bounds() {
+        let _ = StopRule::relative(0.05, 10, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn stop_rule_rejects_zero_target() {
+        let _ = StopRule::relative(0.0, 1, 10);
     }
 }

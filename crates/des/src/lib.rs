@@ -24,8 +24,11 @@
 //!   [`ReplicationRunner`] for independent-replication experiments.
 //! * **Execution** — the [`exec`] layer: a [`ReplicationPlan`] describing
 //!   seeds and batch structure, run by a serial or parallel [`Executor`]
-//!   and folded by pluggable [`Collector`]s. Every replication loop in
-//!   the workspace goes through this one seam.
+//!   and folded by pluggable mergeable [`Collector`]s (streaming
+//!   `empty`/`accumulate`/`merge`/`finish`, never a stored sample of
+//!   every replication). [`Executor::run_adaptive`] executes batch-sized
+//!   rounds until a [`StopRule`] precision target is met. Every
+//!   replication loop in the workspace goes through this one seam.
 //!
 //! ## Example
 //!
@@ -70,7 +73,9 @@ pub mod time;
 pub use calendar::{Calendar, EventToken};
 pub use engine::RunOutcome;
 pub use engine::{Context, Engine, Model};
-pub use exec::{Collector, ExecMode, Executor, Replication, ReplicationPlan};
+pub use exec::{
+    AdaptiveRun, Collector, ExecMode, Executor, Precision, Replication, ReplicationPlan, StopRule,
+};
 pub use observe::{TimeWeighted, Welford};
 pub use replication::{ReplicationRunner, ReplicationSummary};
 pub use rng::{derive_seed, RngStream, StreamId};

@@ -88,32 +88,50 @@ impl ReplicationRunner {
 }
 
 /// A [`Collector`] folding named scalar outputs into per-metric
-/// [`Welford`] accumulators (first-seen metric order).
+/// [`Welford`] accumulators (first-seen metric order). The accumulator
+/// is the summary itself — O(metrics) state, merged across rounds via
+/// the parallel Welford update, never a stored sample vector.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MetricsCollector;
 
 impl Collector<Vec<(String, f64)>> for MetricsCollector {
+    type Accum = ReplicationSummary;
     type Output = ReplicationSummary;
 
-    fn finish(
+    fn empty(&self) -> ReplicationSummary {
+        ReplicationSummary::default()
+    }
+
+    fn accumulate(
         &self,
         _plan: &ReplicationPlan,
-        samples: Vec<Vec<(String, f64)>>,
-    ) -> ReplicationSummary {
-        let mut metrics: Vec<(String, Welford)> = Vec::new();
-        for outputs in samples {
-            for (name, value) in outputs {
-                match metrics.iter_mut().find(|(n, _)| *n == name) {
-                    Some((_, w)) => w.push(value),
-                    None => {
-                        let mut w = Welford::new();
-                        w.push(value);
-                        metrics.push((name, w));
-                    }
+        acc: &mut ReplicationSummary,
+        _rep: crate::exec::Replication,
+        outputs: Vec<(String, f64)>,
+    ) {
+        for (name, value) in outputs {
+            match acc.metrics.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, w)) => w.push(value),
+                None => {
+                    let mut w = Welford::new();
+                    w.push(value);
+                    acc.metrics.push((name, w));
                 }
             }
         }
-        ReplicationSummary { metrics }
+    }
+
+    fn merge(&self, into: &mut ReplicationSummary, other: ReplicationSummary) {
+        for (name, w) in other.metrics {
+            match into.metrics.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, existing)) => existing.merge(&w),
+                None => into.metrics.push((name, w)),
+            }
+        }
+    }
+
+    fn finish(&self, _plan: &ReplicationPlan, acc: ReplicationSummary) -> ReplicationSummary {
+        acc
     }
 }
 

@@ -1,7 +1,8 @@
 //! Confidence intervals for means and proportions.
 
-use crate::dist::{Distribution, Normal, StudentT};
+use crate::dist::{Distribution, Normal};
 use crate::error::StatsError;
+use crate::stream::StreamingSummary;
 use std::fmt;
 
 /// A two-sided confidence interval.
@@ -60,28 +61,8 @@ impl fmt::Display for ConfidenceInterval {
 /// assert!(ci.contains(10.0));
 /// ```
 pub fn mean_ci(data: &[f64], level: f64) -> Result<ConfidenceInterval, StatsError> {
-    if data.len() < 2 {
-        return Err(StatsError::InsufficientData {
-            needed: "at least two observations for a t interval",
-        });
-    }
-    if !(0.0 < level && level < 1.0) {
-        return Err(StatsError::InvalidParameter {
-            what: "confidence level must be in (0,1)",
-        });
-    }
-    let n = data.len() as f64;
-    let mean = data.iter().sum::<f64>() / n;
-    let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
-    let se = (var / n).sqrt();
-    let t = StudentT::new(n - 1.0)?;
-    let q = t.quantile(0.5 + level / 2.0);
-    Ok(ConfidenceInterval {
-        estimate: mean,
-        lower: mean - q * se,
-        upper: mean + q * se,
-        level,
-    })
+    let moments: StreamingSummary = data.iter().copied().collect();
+    moments.mean_ci(level)
 }
 
 /// Wilson score interval for a binomial proportion — used for the

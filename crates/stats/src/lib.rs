@@ -16,7 +16,10 @@
 //!   designs, with variance-explained allocation per factor;
 //! * [`effect`] — effect sizes (Cohen's d, eta squared);
 //! * [`rank`] — the Mann–Whitney U test (a non-parametric cross-check);
-//! * [`bootstrap`] — percentile bootstrap confidence intervals.
+//! * [`bootstrap`] — percentile bootstrap confidence intervals;
+//! * [`stream`] — mergeable streaming accumulators ([`StreamingSummary`],
+//!   [`BernoulliCounter`]) with moment-based confidence intervals, the
+//!   substrate of the adaptive-precision replication path.
 //!
 //! ## Example: one-way ANOVA
 //!
@@ -45,6 +48,7 @@ pub mod effect;
 pub mod error;
 pub mod rank;
 pub mod special;
+pub mod stream;
 
 pub use anova::{factorial_two_level, one_way, AnovaRow, AnovaTable, FactorialAnova};
 pub use bootstrap::{bootstrap_ci, bootstrap_ci_sorted};
@@ -54,3 +58,4 @@ pub use dist::{ChiSquared, Distribution, FisherF, Normal, StudentT};
 pub use effect::{cohens_d, eta_squared};
 pub use error::StatsError;
 pub use rank::mann_whitney_u;
+pub use stream::{BernoulliCounter, StreamingSummary};

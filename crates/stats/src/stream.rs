@@ -1,0 +1,447 @@
+//! Streaming, mergeable moment accumulators.
+//!
+//! The estimation path of the pipeline is "stream, merge, and stop when
+//! precise enough": replication outcomes fold into accumulators as they
+//! complete instead of being materialized into sample vectors. This
+//! module provides the two accumulator shapes every indicator needs —
+//!
+//! * [`StreamingSummary`] — Welford/Chan moments (count, mean, M2, min,
+//!   max) for real-valued responses such as Time-To-Attack;
+//! * [`BernoulliCounter`] — a success/trial counter for binary responses
+//!   such as "did the attack succeed";
+//!
+//! — plus moment-based confidence-interval entry points, so an interval
+//! never requires a stored sample slice. Both accumulators are
+//! *mergeable*: `a.merge(&b)` equals accumulating `a`'s and `b`'s
+//! observations into one accumulator (exactly for the counter, to
+//! floating-point rounding for the moments — see
+//! `tests/streaming_equivalence.rs` for the property tests).
+
+use crate::ci::{proportion_ci, ConfidenceInterval};
+use crate::dist::{Distribution, StudentT};
+use crate::error::StatsError;
+use std::fmt;
+
+/// Single-pass Welford moments with min/max tracking.
+///
+/// Numerically stable online accumulation of count, mean and the centered
+/// second moment M2; [`StreamingSummary::merge`] combines two partial
+/// accumulators with the parallel (Chan et al.) update, so partial sums
+/// computed by independent workers aggregate without ever materializing
+/// the sample.
+///
+/// # Examples
+///
+/// ```
+/// use diversify_stats::StreamingSummary;
+///
+/// let mut s = StreamingSummary::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.mean(), 5.0);
+/// assert_eq!(s.min(), 2.0);
+/// assert!((s.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamingSummary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for StreamingSummary {
+    fn default() -> Self {
+        StreamingSummary::new()
+    }
+}
+
+impl StreamingSummary {
+    /// An empty accumulator.
+    #[must_use]
+    pub const fn new() -> Self {
+        StreamingSummary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (Chan's parallel update).
+    /// Equivalent to having pushed `other`'s observations here.
+    pub fn merge(&mut self, other: &StreamingSummary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let total = n1 + n2;
+        let delta = other.mean - self.mean;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Whether no observation has been pushed yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Sample mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample mean, or `None` when empty — the streaming replacement for
+    /// the "mean of a possibly-empty slice" idiom.
+    #[must_use]
+    pub fn mean_opt(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+
+    /// Centered second moment `Σ (xᵢ − x̄)²`.
+    #[must_use]
+    pub fn m2(&self) -> f64 {
+        self.m2
+    }
+
+    /// Unbiased sample variance (0 when fewer than two observations).
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn sample_sd(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Standard error of the mean (0 when empty).
+    #[must_use]
+    pub fn standard_error(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sample_sd() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`−inf` when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Student-t confidence interval for the mean, from the streaming
+    /// moments alone — no sample slice required.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InsufficientData`] for fewer than two
+    /// observations and [`StatsError::InvalidParameter`] for a level
+    /// outside `(0, 1)`.
+    pub fn mean_ci(&self, level: f64) -> Result<ConfidenceInterval, StatsError> {
+        if self.n < 2 {
+            return Err(StatsError::InsufficientData {
+                needed: "at least two observations for a t interval",
+            });
+        }
+        if !(0.0 < level && level < 1.0) {
+            return Err(StatsError::InvalidParameter {
+                what: "confidence level must be in (0,1)",
+            });
+        }
+        let n = self.n as f64;
+        let se = (self.sample_variance() / n).sqrt();
+        let t = StudentT::new(n - 1.0)?;
+        let q = t.quantile(0.5 + level / 2.0);
+        Ok(ConfidenceInterval {
+            estimate: self.mean,
+            lower: self.mean - q * se,
+            upper: self.mean + q * se,
+            level,
+        })
+    }
+}
+
+impl Extend<f64> for StreamingSummary {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for StreamingSummary {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = StreamingSummary::new();
+        s.extend(iter);
+        s
+    }
+}
+
+impl fmt::Display for StreamingSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.6} sd={:.6} min={:.6} max={:.6}",
+            self.n,
+            self.mean,
+            self.sample_sd(),
+            self.min,
+            self.max
+        )
+    }
+}
+
+/// A streaming Bernoulli counter: successes over trials, mergeable, with
+/// a Wilson-score interval straight from the counts.
+///
+/// # Examples
+///
+/// ```
+/// use diversify_stats::BernoulliCounter;
+///
+/// let mut c = BernoulliCounter::new();
+/// for i in 0..100 {
+///     c.push(i % 5 != 0);
+/// }
+/// assert_eq!(c.trials(), 100);
+/// assert_eq!(c.successes(), 80);
+/// let ci = c.ci(0.95).unwrap();
+/// assert!(ci.contains(0.8));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BernoulliCounter {
+    successes: u64,
+    trials: u64,
+}
+
+impl BernoulliCounter {
+    /// An empty counter.
+    #[must_use]
+    pub const fn new() -> Self {
+        BernoulliCounter {
+            successes: 0,
+            trials: 0,
+        }
+    }
+
+    /// Records one trial.
+    pub fn push(&mut self, success: bool) {
+        self.trials += 1;
+        self.successes += u64::from(success);
+    }
+
+    /// Merges another counter into this one (exact).
+    pub fn merge(&mut self, other: &BernoulliCounter) {
+        self.successes += other.successes;
+        self.trials += other.trials;
+    }
+
+    /// Number of successes.
+    #[must_use]
+    pub fn successes(&self) -> u64 {
+        self.successes
+    }
+
+    /// Number of trials.
+    #[must_use]
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Success proportion (0 when no trial has been recorded).
+    #[must_use]
+    pub fn proportion(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.trials as f64
+        }
+    }
+
+    /// Wilson score interval for the success probability, from the
+    /// streaming counts alone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InsufficientData`] when no trial has been
+    /// recorded and [`StatsError::InvalidParameter`] for a level outside
+    /// `(0, 1)`.
+    pub fn ci(&self, level: f64) -> Result<ConfidenceInterval, StatsError> {
+        proportion_ci(self.successes, self.trials, level)
+    }
+}
+
+impl Extend<bool> for BernoulliCounter {
+    fn extend<T: IntoIterator<Item = bool>>(&mut self, iter: T) {
+        for b in iter {
+            self.push(b);
+        }
+    }
+}
+
+impl FromIterator<bool> for BernoulliCounter {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        let mut c = BernoulliCounter::new();
+        c.extend(iter);
+        c
+    }
+}
+
+impl fmt::Display for BernoulliCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} ({:.4})",
+            self.successes,
+            self.trials,
+            self.proportion()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zeroish() {
+        let s = StreamingSummary::new();
+        assert_eq!(s.count(), 0);
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.mean_opt(), None);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.standard_error(), 0.0);
+        assert!(s.mean_ci(0.95).is_err());
+    }
+
+    #[test]
+    fn matches_two_pass_moments() {
+        let xs: Vec<f64> = (0..500)
+            .map(|i| (f64::from(i) * 0.73).sin() * 3.0)
+            .collect();
+        let s: StreamingSummary = xs.iter().copied().collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.sample_variance() - var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..300).map(|i| (f64::from(i)).sqrt()).collect();
+        let full: StreamingSummary = xs.iter().copied().collect();
+        let a: StreamingSummary = xs[..120].iter().copied().collect();
+        let b: StreamingSummary = xs[120..].iter().copied().collect();
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.count(), full.count());
+        assert!((merged.mean() - full.mean()).abs() < 1e-12);
+        assert!((merged.sample_variance() - full.sample_variance()).abs() < 1e-12);
+        assert_eq!(merged.min(), full.min());
+        assert_eq!(merged.max(), full.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let a: StreamingSummary = [1.0, 2.0, 5.0].into_iter().collect();
+        let mut b = a;
+        b.merge(&StreamingSummary::new());
+        assert_eq!(a, b);
+        let mut c = StreamingSummary::new();
+        c.merge(&a);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn moment_ci_matches_slice_ci() {
+        let xs = [9.0, 10.0, 10.0, 11.0, 10.5, 9.5];
+        let from_slice = crate::ci::mean_ci(&xs, 0.95).unwrap();
+        let s: StreamingSummary = xs.iter().copied().collect();
+        let from_moments = s.mean_ci(0.95).unwrap();
+        assert!((from_slice.estimate - from_moments.estimate).abs() < 1e-12);
+        assert!((from_slice.lower - from_moments.lower).abs() < 1e-12);
+        assert!((from_slice.upper - from_moments.upper).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moment_ci_validates_level() {
+        let s: StreamingSummary = [1.0, 2.0, 3.0].into_iter().collect();
+        assert!(s.mean_ci(0.0).is_err());
+        assert!(s.mean_ci(1.0).is_err());
+        assert!(s.mean_ci(0.95).is_ok());
+    }
+
+    #[test]
+    fn bernoulli_counts_and_ci() {
+        let mut c = BernoulliCounter::new();
+        assert_eq!(c.proportion(), 0.0);
+        assert!(c.ci(0.95).is_err());
+        c.extend([true, true, false, true]);
+        assert_eq!(c.successes(), 3);
+        assert_eq!(c.trials(), 4);
+        assert!((c.proportion() - 0.75).abs() < 1e-12);
+        let wilson = crate::ci::proportion_ci(3, 4, 0.95).unwrap();
+        assert_eq!(c.ci(0.95).unwrap(), wilson);
+    }
+
+    #[test]
+    fn bernoulli_merge_is_exact() {
+        let a: BernoulliCounter = [true, false, true].into_iter().collect();
+        let b: BernoulliCounter = [false, false].into_iter().collect();
+        let mut m = a;
+        m.merge(&b);
+        assert_eq!(m.successes(), 2);
+        assert_eq!(m.trials(), 5);
+    }
+
+    #[test]
+    fn displays_render() {
+        let s: StreamingSummary = [1.0, 2.0].into_iter().collect();
+        assert!(s.to_string().contains("n=2"));
+        let c: BernoulliCounter = [true].into_iter().collect();
+        assert!(c.to_string().contains("1/1"));
+    }
+}

@@ -45,11 +45,9 @@ fn measurements_are_bit_identical_across_executors() {
         assert_eq!(serial.summary.detections, parallel.summary.detections);
         assert_eq!(serial.summary.mean_tta, parallel.summary.mean_tta);
         assert_eq!(serial.summary.mean_ttsf, parallel.summary.mean_ttsf);
-        assert_eq!(serial.summary.tta_samples, parallel.summary.tta_samples);
-        assert_eq!(
-            serial.summary.compromised_ratios,
-            parallel.summary.compromised_ratios
-        );
+        assert_eq!(serial.summary.tta, parallel.summary.tta);
+        assert_eq!(serial.summary.ttsf, parallel.summary.ttsf);
+        assert_eq!(serial.summary.compromised, parallel.summary.compromised);
         assert_eq!(serial.batch_p_success, parallel.batch_p_success);
         assert_eq!(serial.batch_compromised, parallel.batch_compromised);
     }
@@ -130,7 +128,7 @@ fn pipeline_reports_match_across_executors() {
 #[test]
 fn quick_scale_experiment_suite_runs() {
     let results = run_all(Scale::Quick);
-    assert_eq!(results.len(), 7, "all seven experiments present");
+    assert_eq!(results.len(), 8, "all eight experiments present");
     for (id, output) in &results {
         assert!(
             !output.trim().is_empty(),
