@@ -9,11 +9,14 @@
 //! events-per-iteration line gives the per-event cost.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use diversify_attack::campaign::{CampaignConfig, ThreatModel};
-use diversify_bench::{
-    analytic_bench_model, analytic_throughput, san_throughput_events, scope_campaign_san,
+use diversify_attack::campaign::{
+    CampaignConfig, CampaignSimulator, ThreatModel, CAMPAIGN_RUN_NAMESPACE,
 };
-use diversify_core::exec::{campaign_plan, Executor};
+use diversify_bench::{
+    analytic_bench_model, analytic_throughput, campaign_alloc_reference_summary,
+    campaign_workspace_summary, san_throughput_events, scope_campaign_san,
+};
+use diversify_core::exec::{campaign_plan, Executor, ReplicationPlan};
 use diversify_core::runner::{measure_configuration_adaptive, PrecisionTarget};
 use diversify_san::Engine;
 use diversify_scada::scope::{ScopeConfig, ScopeSystem};
@@ -24,6 +27,9 @@ const HORIZON_HOURS: f64 = 5_000.0;
 /// Tokens in the cyclic-queue analytic workload: 1326 tangible states.
 const ANALYTIC_TOKENS: u32 = 50;
 const ANALYTIC_HORIZON: f64 = 200.0;
+/// Replications per iteration of the campaign-throughput benches (full
+/// scale: the one-year default horizon).
+const CAMPAIGN_REPS: u32 = 100;
 
 fn bench_engine(c: &mut Criterion) {
     let san = scope_campaign_san();
@@ -63,13 +69,45 @@ fn bench_engine(c: &mut Criterion) {
         b.iter(|| black_box(analytic_throughput(black_box(&model), ANALYTIC_HORIZON)))
     });
 
+    // Campaign replication throughput, full scale (default one-year
+    // horizon): the workspace executor (per-worker CampaignWorkspace,
+    // scalar CampaignStats fold, zero steady-state allocation) against
+    // the reference per-replication-allocation path (fresh workspace +
+    // materialized CampaignOutcome each seed). Identical seeds, identical
+    // results — the ratio is pure allocation/locality overhead.
+    let net = ScopeSystem::build(&ScopeConfig::default())
+        .network()
+        .clone();
+    let campaign_sim =
+        CampaignSimulator::new(&net, ThreatModel::stuxnet_like(), CampaignConfig::default());
+    let campaign_plan_full =
+        ReplicationPlan::flat(CAMPAIGN_REPS, 17).with_namespace(CAMPAIGN_RUN_NAMESPACE);
+    println!(
+        "campaign_replication_throughput workload: {CAMPAIGN_REPS} replications per iteration"
+    );
+    g.bench_function("campaign_replication_throughput", |b| {
+        b.iter(|| {
+            black_box(campaign_workspace_summary(
+                black_box(&campaign_sim),
+                &campaign_plan_full,
+                Executor::default(),
+            ))
+        })
+    });
+    g.bench_function("campaign_replication_alloc_reference", |b| {
+        b.iter(|| {
+            black_box(campaign_alloc_reference_summary(
+                black_box(&campaign_sim),
+                &campaign_plan_full,
+                Executor::default(),
+            ))
+        })
+    });
+
     // The adaptive-precision measurement path on the default SCoPE
     // monoculture: batch-sized rounds, streaming fold, Wilson-interval
     // stop rule on P_SA. Regressions in the round/merge machinery (or a
     // stop rule that suddenly runs to the cap) show up here.
-    let net = ScopeSystem::build(&ScopeConfig::default())
-        .network()
-        .clone();
     let threat = ThreatModel::stuxnet_like();
     let campaign = CampaignConfig {
         max_ticks: 24 * 30,

@@ -219,11 +219,12 @@ pub fn r6_threats(scale: Scale) -> String {
                 detection_stops_attack: false,
             },
         );
-        // The streaming fold over the historical 0xCA_0000 `run_many`
-        // seed schedule: outcomes aggregate as they complete, no
-        // materialized outcome vector.
+        // The workspace fold over the historical 0xCA_0000 `run_many`
+        // seed schedule: each worker reuses one campaign workspace and
+        // streams scalar stats — no materialized outcome, no
+        // per-replication allocation.
         let plan = ReplicationPlan::flat(reps, 17).with_namespace(CAMPAIGN_RUN_NAMESPACE);
-        let s = Executor::default().collect(&plan, |rep| sim.run(rep.seed), &IndicatorsCollector);
+        let s = campaign_workspace_summary(&sim, &plan, Executor::default());
         let _ = writeln!(
             out,
             "{:<14} {:>8.3} {:>9} {:>10} {:>12.3}",
@@ -556,6 +557,8 @@ pub fn scope_campaign_san() -> diversify_attack::to_san::NetworkCampaignSan {
 /// Runs `reps` replications of `model` on the given engine and returns
 /// the total number of activity firings — the workload behind the
 /// `san_sim_throughput` bench (divide by wall time for events/sec).
+/// One [`SimState`](diversify_san::SimState) is recycled through every
+/// replication, so the loop measures simulation, not setup.
 #[must_use]
 pub fn san_throughput_events(
     model: &diversify_san::SanModel,
@@ -564,12 +567,58 @@ pub fn san_throughput_events(
     horizon_hours: f64,
 ) -> u64 {
     let mut events = 0u64;
+    let mut state = diversify_san::SimState::new(model);
     for rep in 0..reps {
-        let mut sim = diversify_san::Simulator::with_engine(model, u64::from(rep) + 1, engine);
+        let mut sim =
+            diversify_san::Simulator::with_state(model, u64::from(rep) + 1, engine, state);
         sim.run_until(SimTime::from_secs(horizon_hours));
         events += sim.firings();
+        state = sim.into_state();
     }
     events
+}
+
+/// The campaign replication-throughput workload on the **workspace
+/// executor**: every worker keeps one
+/// [`CampaignWorkspace`](diversify_attack::campaign::CampaignWorkspace)
+/// across its replications and folds scalar
+/// [`CampaignStats`](diversify_attack::campaign::CampaignStats) into the
+/// streaming [`IndicatorsCollector`] — the allocation-free hot path the
+/// `campaign_replication_throughput` bench times.
+#[must_use]
+pub fn campaign_workspace_summary(
+    sim: &CampaignSimulator<'_>,
+    plan: &ReplicationPlan,
+    executor: Executor,
+) -> diversify_core::indicators::IndicatorSummary {
+    executor.run_ws(
+        plan,
+        || sim.workspace(),
+        |ws, rep| sim.run_into(ws, rep.seed),
+        &IndicatorsCollector,
+    )
+}
+
+/// The pre-workspace reference path for the same workload
+/// ([`CampaignSimulator::run_reference`]): every replication allocates
+/// fresh state/curve/rooted buffers (curve eagerly reserved for
+/// `max_ticks + 1`), rescans the rooted set every tick, and
+/// materializes a full
+/// [`CampaignOutcome`](diversify_attack::campaign::CampaignOutcome)
+/// before the collector reduces it to scalars. Kept as the baseline the
+/// `campaign_replication_throughput` bench compares against; results
+/// are bit-identical to [`campaign_workspace_summary`].
+#[must_use]
+pub fn campaign_alloc_reference_summary(
+    sim: &CampaignSimulator<'_>,
+    plan: &ReplicationPlan,
+    executor: Executor,
+) -> diversify_core::indicators::IndicatorSummary {
+    executor.collect(
+        plan,
+        |rep| sim.run_reference(rep.seed),
+        &IndicatorsCollector,
+    )
 }
 
 /// Runs every experiment at the given scale, returning `(id, output)`
@@ -615,6 +664,36 @@ mod tests {
         let (states, steps) = analytic_throughput(&model, 50.0);
         assert_eq!(states, 21 * 22 / 2);
         assert!(steps > 0);
+    }
+
+    #[test]
+    fn workspace_and_reference_campaign_paths_agree() {
+        let net = ScopeSystem::build(&ScopeConfig::default())
+            .network()
+            .clone();
+        let sim = CampaignSimulator::new(
+            &net,
+            ThreatModel::stuxnet_like(),
+            CampaignConfig {
+                max_ticks: 24 * 10,
+                detection_stops_attack: false,
+            },
+        );
+        let plan = ReplicationPlan::flat(30, 17).with_namespace(CAMPAIGN_RUN_NAMESPACE);
+        for exec in [Executor::serial(), Executor::parallel()] {
+            let ws = campaign_workspace_summary(&sim, &plan, exec);
+            let reference = campaign_alloc_reference_summary(&sim, &plan, exec);
+            assert_eq!(ws.replications, reference.replications);
+            assert_eq!(ws.successes, reference.successes);
+            assert_eq!(ws.detections, reference.detections);
+            assert_eq!(ws.p_success.to_bits(), reference.p_success.to_bits());
+            assert_eq!(ws.mean_tta, reference.mean_tta);
+            assert_eq!(ws.mean_ttsf, reference.mean_ttsf);
+            assert_eq!(
+                ws.mean_compromised_ratio.to_bits(),
+                reference.mean_compromised_ratio.to_bits()
+            );
+        }
     }
 
     #[test]

@@ -4,10 +4,15 @@
 //! [`ReplicationPlan`] (seeds + batch structure) run by a serial or
 //! parallel [`Executor`] and folded by a mergeable [`Collector`] — and
 //! adds the campaign-level pieces: [`MeasurementsCollector`], which
-//! streams ordered [`CampaignOutcome`]s into the batched
+//! streams ordered campaign outcomes into the batched
 //! [`Measurements`] the ANOVA stage consumes, [`IndicatorsCollector`]
 //! for plain (unbatched) indicator summaries, and the stream namespace
-//! campaign measurement has always used for its seed schedule.
+//! campaign measurement has always used for its seed schedule. Both
+//! collectors fold anything the scalar [`CampaignStats`] can be read
+//! from: a materialized
+//! [`CampaignOutcome`](diversify_attack::campaign::CampaignOutcome) or
+//! the stats themselves (the allocation-free workspace path behind
+//! `Executor::run_ws`).
 //!
 //! This is the single seam every replication loop in the workspace goes
 //! through: `core::runner::measure_configuration` (and its adaptive
@@ -25,7 +30,7 @@ pub use diversify_des::exec::{
 
 use crate::indicators::{IndicatorAccum, IndicatorSummary};
 use crate::runner::Measurements;
-use diversify_attack::campaign::CampaignOutcome;
+use diversify_attack::campaign::CampaignStats;
 
 /// The stream namespace campaign measurement derives its per-replication
 /// seeds under. The original hand-rolled loop used *additive* stream ids
@@ -69,10 +74,21 @@ struct BatchAccum {
 /// A [`Collector`] streaming campaign outcomes into [`Measurements`]:
 /// the overall [`IndicatorSummary`] plus per-batch success fractions and
 /// compromised ratios (the ANOVA replicate units).
+///
+/// Generic over the replication output: it folds anything the scalar
+/// [`CampaignStats`] can be read from — a full
+/// [`CampaignOutcome`](diversify_attack::campaign::CampaignOutcome)
+/// (the materializing reference path) or `CampaignStats` itself (the
+/// allocation-free workspace path). Both fold to bit-identical
+/// [`Measurements`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MeasurementsCollector;
 
-impl Collector<CampaignOutcome> for MeasurementsCollector {
+impl<T> Collector<T> for MeasurementsCollector
+where
+    T: Send,
+    for<'a> CampaignStats: From<&'a T>,
+{
     type Accum = MeasurementsAccum;
     type Output = Measurements;
 
@@ -85,21 +101,22 @@ impl Collector<CampaignOutcome> for MeasurementsCollector {
         plan: &ReplicationPlan,
         acc: &mut MeasurementsAccum,
         rep: Replication,
-        outcome: CampaignOutcome,
+        outcome: T,
     ) {
+        let stats = CampaignStats::from(&outcome);
         let batch = plan.batch_of(rep.index);
         match acc.batches.last_mut() {
             Some(last) if last.batch == batch => {
-                last.successes += u32::from(outcome.succeeded());
-                last.compromised_sum += outcome.final_compromised_ratio();
+                last.successes += u32::from(stats.succeeded());
+                last.compromised_sum += stats.final_compromised_ratio;
             }
             _ => acc.batches.push(BatchAccum {
                 batch,
-                successes: u32::from(outcome.succeeded()),
-                compromised_sum: outcome.final_compromised_ratio(),
+                successes: u32::from(stats.succeeded()),
+                compromised_sum: stats.final_compromised_ratio,
             }),
         }
-        acc.indicators.push(&outcome);
+        acc.indicators.push_stats(&stats);
     }
 
     fn merge(&self, into: &mut MeasurementsAccum, other: MeasurementsAccum) {
@@ -134,10 +151,16 @@ impl Collector<CampaignOutcome> for MeasurementsCollector {
 /// A [`Collector`] streaming campaign outcomes into a plain
 /// [`IndicatorSummary`], ignoring batch structure — the fold behind
 /// unbatched campaign sweeps such as the R6 threat-model comparison.
+/// Like [`MeasurementsCollector`] it is generic over anything
+/// [`CampaignStats`] can be read from.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct IndicatorsCollector;
 
-impl Collector<CampaignOutcome> for IndicatorsCollector {
+impl<T> Collector<T> for IndicatorsCollector
+where
+    T: Send,
+    for<'a> CampaignStats: From<&'a T>,
+{
     type Accum = IndicatorAccum;
     type Output = IndicatorSummary;
 
@@ -150,9 +173,9 @@ impl Collector<CampaignOutcome> for IndicatorsCollector {
         _plan: &ReplicationPlan,
         acc: &mut IndicatorAccum,
         _rep: Replication,
-        outcome: CampaignOutcome,
+        outcome: T,
     ) {
-        acc.push(&outcome);
+        acc.push_stats(&CampaignStats::from(&outcome));
     }
 
     fn merge(&self, into: &mut IndicatorAccum, other: IndicatorAccum) {

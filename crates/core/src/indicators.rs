@@ -9,7 +9,7 @@
 //! path; batch means for ANOVA live in
 //! [`Measurements`](crate::runner::Measurements).
 
-use diversify_attack::campaign::CampaignOutcome;
+use diversify_attack::campaign::{CampaignOutcome, CampaignStats};
 use diversify_des::Precision;
 use diversify_stats::{
     proportion_ci, BernoulliCounter, ConfidenceInterval, StatsError, StreamingSummary,
@@ -54,15 +54,22 @@ impl IndicatorAccum {
 
     /// Folds one campaign outcome in.
     pub fn push(&mut self, outcome: &CampaignOutcome) {
-        self.success.push(outcome.succeeded());
-        self.detection.push(outcome.time_to_detection.is_some());
-        if let Some(t) = outcome.time_to_attack {
+        self.push_stats(&outcome.stats());
+    }
+
+    /// Folds one replication's scalar [`CampaignStats`] in — the
+    /// allocation-free fold behind the workspace hot path, where no full
+    /// [`CampaignOutcome`] is ever materialized.
+    pub fn push_stats(&mut self, stats: &CampaignStats) {
+        self.success.push(stats.succeeded());
+        self.detection.push(stats.time_to_detection.is_some());
+        if let Some(t) = stats.time_to_attack {
             self.tta.push(f64::from(t));
         }
-        if let Some(t) = outcome.time_to_detection {
+        if let Some(t) = stats.time_to_detection {
             self.ttsf.push(f64::from(t));
         }
-        self.compromised.push(outcome.final_compromised_ratio());
+        self.compromised.push(stats.final_compromised_ratio);
     }
 
     /// Merges another accumulator (covering later replications) in.

@@ -105,6 +105,13 @@ pub fn measure_configuration(
 /// Measures one configuration under an explicit [`ReplicationPlan`] and
 /// [`Executor`] — the entry point for callers that manage their own
 /// plans (the pipeline sweep, the bench experiments, determinism tests).
+///
+/// Runs on the workspace executor ([`Executor::run_ws`]): each worker
+/// keeps one [`CampaignWorkspace`](diversify_attack::campaign::CampaignWorkspace)
+/// alive across its replications and folds the scalar per-replication
+/// [`CampaignStats`](diversify_attack::campaign::CampaignStats), so the
+/// hot loop performs no steady-state allocation. Results are
+/// bit-identical to the materializing per-replication path.
 #[must_use]
 pub fn measure_configuration_with(
     network: &ScadaNetwork,
@@ -114,7 +121,12 @@ pub fn measure_configuration_with(
     executor: Executor,
 ) -> Measurements {
     let sim = CampaignSimulator::new(network, threat.clone(), config);
-    executor.collect(plan, |rep| sim.run(rep.seed), &MeasurementsCollector)
+    executor.run_ws(
+        plan,
+        || sim.workspace(),
+        |ws, rep| sim.run_into(ws, rep.seed),
+        &MeasurementsCollector,
+    )
 }
 
 /// Measures one configuration adaptively: batch-sized rounds of `plan`
@@ -127,6 +139,9 @@ pub fn measure_configuration_with(
 /// adaptive run that stops after *N* replications returns
 /// [`Measurements`] **bit-identical** to
 /// [`measure_configuration_with`] on `plan.with_batches(N / batch_size)`.
+/// Campaign workspaces live in a pool that survives across rounds
+/// ([`Executor::run_adaptive_ws`]), so later rounds re-pay no
+/// per-replication setup.
 #[must_use]
 pub fn measure_configuration_adaptive(
     network: &ScadaNetwork,
@@ -137,10 +152,11 @@ pub fn measure_configuration_adaptive(
     target: &PrecisionTarget,
 ) -> AdaptiveMeasurements {
     let sim = CampaignSimulator::new(network, threat.clone(), config);
-    executor.run_adaptive(
+    executor.run_adaptive_ws(
         plan,
         &target.rule,
-        |rep| sim.run(rep.seed),
+        || sim.workspace(),
+        |ws, rep| sim.run_into(ws, rep.seed),
         &MeasurementsCollector,
         |acc, _replications| acc.indicators.precision(target.response, target.level),
     )

@@ -25,10 +25,20 @@
 //!   plans fold through the identical round structure, an adaptive run
 //!   stopped after *N* replications is bit-identical to a fixed plan of
 //!   *N*.
+//! * **Workspace reuse** — [`Executor::run_ws`] (and its adaptive twin
+//!   [`Executor::run_adaptive_ws`]) hands every replication a mutable
+//!   per-worker *workspace* created by an `init` closure, so tasks can
+//!   keep scratch buffers, simulators and other heap state alive across
+//!   the replications a worker executes instead of reallocating them
+//!   per replication. Seeds and the fold shape are untouched — in fact
+//!   `run`/`collect`/`run_adaptive` *are* the workspace path with a unit
+//!   workspace — so workspace, serial and parallel runs of the same plan
+//!   all stay bit-identical.
 
 use crate::rng::{derive_seed, StreamId};
 use rayon::prelude::*;
 use std::ops::Range;
+use std::sync::Mutex;
 
 /// The default stream namespace for replication seeds (shared with the
 /// historical `ReplicationRunner` schedule so existing experiments keep
@@ -479,17 +489,21 @@ impl Executor {
     /// materializes the round's outputs (the only buffered vector, so
     /// peak memory is O(batch_size) regardless of how many rounds run)
     /// and folds them in replication order — the accumulate order is
-    /// identical either way.
-    fn round_accum<T, F, C>(
+    /// identical either way. Every replication borrows a workspace from
+    /// `pool` for the duration of its task.
+    fn round_accum<W, T, I, F, C>(
         &self,
         plan: &ReplicationPlan,
         round: u32,
+        pool: &WorkspacePool<'_, W, I>,
         task: &F,
         collector: &C,
     ) -> C::Accum
     where
+        W: Send,
         T: Send,
-        F: Fn(Replication) -> T + Sync + Send,
+        I: Fn() -> W + Sync,
+        F: Fn(&mut W, Replication) -> T + Sync + Send,
         C: Collector<T>,
     {
         let start = round * plan.batch_size();
@@ -499,14 +513,14 @@ impl Executor {
             ExecMode::Serial => {
                 for i in indices {
                     let rep = plan.replication(i);
-                    let value = task(rep);
+                    let value = pool.with(|ws| task(ws, rep));
                     collector.accumulate(plan, &mut acc, rep, value);
                 }
             }
             ExecMode::Parallel => {
                 let values: Vec<T> = indices
                     .into_par_iter()
-                    .map(|i| task(plan.replication(i)))
+                    .map(|i| pool.with(|ws| task(ws, plan.replication(i))))
                     .collect();
                 for (offset, value) in values.into_iter().enumerate() {
                     let rep = plan.replication(start + offset as u32);
@@ -517,22 +531,26 @@ impl Executor {
         acc
     }
 
-    /// Folds rounds `0..rounds` of `plan` into one accumulator.
-    fn fold_rounds<T, F, C>(
+    /// Folds rounds `0..rounds` of `plan` into one accumulator, reusing
+    /// the workspaces in `pool` across rounds.
+    fn fold_rounds<W, T, I, F, C>(
         &self,
         plan: &ReplicationPlan,
         rounds: u32,
+        pool: &WorkspacePool<'_, W, I>,
         task: &F,
         collector: &C,
     ) -> C::Accum
     where
+        W: Send,
         T: Send,
-        F: Fn(Replication) -> T + Sync + Send,
+        I: Fn() -> W + Sync,
+        F: Fn(&mut W, Replication) -> T + Sync + Send,
         C: Collector<T>,
     {
         let mut acc = collector.empty();
         for round in 0..rounds {
-            let partial = self.round_accum(plan, round, task, collector);
+            let partial = self.round_accum(plan, round, pool, task, collector);
             collector.merge(&mut acc, partial);
         }
         acc
@@ -556,7 +574,65 @@ impl Executor {
         F: Fn(Replication) -> T + Sync + Send,
         C: Collector<T>,
     {
-        let acc = self.fold_rounds(plan, plan.batches(), &task, collector);
+        self.run_ws(plan, || (), |(): &mut (), rep| task(rep), collector)
+    }
+
+    /// Runs every replication with a reusable per-worker **workspace**
+    /// and folds the outputs with `collector`.
+    ///
+    /// `init` creates one workspace per worker that needs one (a serial
+    /// run creates exactly one; a parallel run at most one per
+    /// concurrently active worker). Each replication receives `&mut W`
+    /// for the duration of its task, so simulators, scratch vectors and
+    /// other heap state amortize across all the replications a worker
+    /// executes — the task is responsible for resetting whatever
+    /// per-replication state it reads (the campaign and SAN workspaces
+    /// in this workspace do so by construction).
+    ///
+    /// Seeds are still the plan's pure `namespace ^ index` derivation
+    /// and the fold shape is the same fixed per-round structure as
+    /// [`Executor::collect`], so for any task whose output depends only
+    /// on its `Replication` (not on workspace history), `run_ws` is
+    /// **bit-identical** to `collect` on every executor mode.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use diversify_des::exec::{Executor, ReplicationPlan, VecCollector};
+    ///
+    /// let plan = ReplicationPlan::flat(64, 7);
+    /// // The workspace is a scratch buffer reused across replications.
+    /// let sums: Vec<u64> = Executor::parallel().run_ws(
+    ///     &plan,
+    ///     Vec::new,
+    ///     |scratch: &mut Vec<u64>, rep| {
+    ///         scratch.clear();
+    ///         scratch.extend((0..8).map(|k| rep.seed.rotate_left(k) % 97));
+    ///         scratch.iter().sum()
+    ///     },
+    ///     &VecCollector,
+    /// );
+    /// let plain: Vec<u64> = Executor::serial().run(&plan, |rep| {
+    ///     (0..8).map(|k| rep.seed.rotate_left(k) % 97).sum()
+    /// });
+    /// assert_eq!(sums, plain);
+    /// ```
+    pub fn run_ws<W, T, I, F, C>(
+        &self,
+        plan: &ReplicationPlan,
+        init: I,
+        task: F,
+        collector: &C,
+    ) -> C::Output
+    where
+        W: Send,
+        T: Send,
+        I: Fn() -> W + Sync,
+        F: Fn(&mut W, Replication) -> T + Sync + Send,
+        C: Collector<T>,
+    {
+        let pool = WorkspacePool::new(&init);
+        let acc = self.fold_rounds(plan, plan.batches(), &pool, &task, collector);
         collector.finish(plan, acc)
     }
 
@@ -590,6 +666,44 @@ impl Executor {
         C: Collector<T>,
         M: Fn(&C::Accum, u32) -> Option<Precision>,
     {
+        self.run_adaptive_ws(
+            plan,
+            rule,
+            || (),
+            |(): &mut (), rep| task(rep),
+            collector,
+            monitor,
+        )
+    }
+
+    /// The workspace twin of [`Executor::run_adaptive`]: adaptive
+    /// batch-sized rounds whose replications borrow per-worker
+    /// workspaces from one pool that stays alive **across rounds**, so
+    /// an adaptive run re-pays workspace setup once, not once per
+    /// round.
+    ///
+    /// Everything `run_adaptive` guarantees still holds: a run that
+    /// stops after *N* replications is bit-identical to
+    /// `run_ws(&plan.with_batches(N / batch_size), …)` — and, for
+    /// history-independent tasks, to the plain `collect` of that plan.
+    pub fn run_adaptive_ws<W, T, I, F, C, M>(
+        &self,
+        plan: &ReplicationPlan,
+        rule: &StopRule,
+        init: I,
+        task: F,
+        collector: &C,
+        monitor: M,
+    ) -> AdaptiveRun<C::Output>
+    where
+        W: Send,
+        T: Send,
+        I: Fn() -> W + Sync,
+        F: Fn(&mut W, Replication) -> T + Sync + Send,
+        C: Collector<T>,
+        M: Fn(&C::Accum, u32) -> Option<Precision>,
+    {
+        let pool = WorkspacePool::new(&init);
         let batch = plan.batch_size();
         let max_rounds = (rule.max_replications / batch).max(1);
         let min_rounds = rule.min_replications.div_ceil(batch).clamp(1, max_rounds);
@@ -598,7 +712,7 @@ impl Executor {
         let mut precision = None;
         let mut target_met = false;
         while rounds < max_rounds {
-            let partial = self.round_accum(plan, rounds, &task, collector);
+            let partial = self.round_accum(plan, rounds, &pool, &task, collector);
             collector.merge(&mut acc, partial);
             rounds += 1;
             if rounds < min_rounds {
@@ -621,6 +735,50 @@ impl Executor {
             target_met,
             precision,
         }
+    }
+}
+
+/// A pool of reusable per-worker workspaces behind the
+/// [`Executor::run_ws`] family.
+///
+/// Workspaces are checked out for the duration of one replication and
+/// returned afterwards, so the pool holds at most one workspace per
+/// concurrently active worker, created lazily by `init`. The free list
+/// lives behind a mutex, but check-out/check-in is two uncontended
+/// lock round-trips per replication — noise next to any simulation
+/// task — and in the steady state the pool performs no allocation.
+struct WorkspacePool<'i, W, I> {
+    init: &'i I,
+    free: Mutex<Vec<W>>,
+}
+
+impl<'i, W, I: Fn() -> W> WorkspacePool<'i, W, I> {
+    fn new(init: &'i I) -> Self {
+        WorkspacePool {
+            init,
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Runs `f` with a workspace checked out of the pool (creating one
+    /// when every existing workspace is busy), then returns it. If `f`
+    /// panics the workspace is dropped, never recycled half-mutated.
+    ///
+    /// Zero-sized workspaces (the unit workspace the plain
+    /// `run`/`collect`/`run_adaptive` paths delegate with) skip the pool
+    /// entirely — there is nothing to reuse, so legacy callers pay no
+    /// lock traffic. The branch is a compile-time constant per
+    /// monomorphization.
+    fn with<R>(&self, f: impl FnOnce(&mut W) -> R) -> R {
+        if std::mem::size_of::<W>() == 0 {
+            let mut ws = (self.init)();
+            return f(&mut ws);
+        }
+        let checked_out = self.free.lock().expect("workspace pool poisoned").pop();
+        let mut ws = checked_out.unwrap_or_else(|| (self.init)());
+        let out = f(&mut ws);
+        self.free.lock().expect("workspace pool poisoned").push(ws);
+        out
     }
 }
 
@@ -751,6 +909,92 @@ mod tests {
             assert!(!adaptive.target_met);
             let fixed = exec.collect(&base.with_batches(4), task, &MeanCollector);
             assert_eq!(adaptive.output.to_bits(), fixed.to_bits());
+        }
+    }
+
+    #[test]
+    fn run_ws_is_bit_identical_to_run() {
+        let plan = ReplicationPlan::new(3, 17, 13);
+        let task = |rep: Replication| {
+            let mut rng = RngStream::new(rep.seed, StreamId(4));
+            (0..50).map(|_| rng.uniform()).sum::<f64>()
+        };
+        let reference = Executor::serial().run(&plan, task);
+        for exec in [Executor::serial(), Executor::parallel()] {
+            let ws: Vec<f64> = exec.run_ws(
+                &plan,
+                || Vec::with_capacity(50),
+                |scratch: &mut Vec<f64>, rep| {
+                    scratch.clear();
+                    let mut rng = RngStream::new(rep.seed, StreamId(4));
+                    scratch.extend((0..50).map(|_| rng.uniform()));
+                    scratch.iter().sum()
+                },
+                &VecCollector,
+            );
+            assert_eq!(
+                ws.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                reference.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn serial_run_ws_reuses_one_workspace() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let created = AtomicU32::new(0);
+        let plan = ReplicationPlan::new(4, 8, 0);
+        let _ = Executor::serial().run_ws(
+            &plan,
+            || created.fetch_add(1, Ordering::Relaxed),
+            |_, rep| rep.index,
+            &VecCollector,
+        );
+        assert_eq!(created.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn adaptive_ws_keeps_workspaces_across_rounds() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let created = AtomicU32::new(0);
+        let base = ReplicationPlan::new(1, 5, 2);
+        let rule = StopRule::relative(1e-9, 5, 40);
+        let run = Executor::serial().run_adaptive_ws(
+            &base,
+            &rule,
+            || created.fetch_add(1, Ordering::Relaxed),
+            |_, rep| f64::from(rep.index),
+            &MeanCollector,
+            |_, _| None,
+        );
+        assert_eq!(run.rounds, 8);
+        // Eight rounds, one workspace: the pool outlives each round.
+        assert_eq!(created.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn adaptive_ws_truncation_matches_plain_adaptive() {
+        let base = ReplicationPlan::new(1, 10, 99);
+        let rule = StopRule::relative(1e-9, 10, 40);
+        let task = |rep: Replication| {
+            let mut rng = RngStream::new(rep.seed, StreamId(2));
+            rng.uniform()
+        };
+        for exec in [Executor::serial(), Executor::parallel()] {
+            let plain = exec.run_adaptive(&base, &rule, task, &MeanCollector, |_, _| None);
+            let ws = exec.run_adaptive_ws(
+                &base,
+                &rule,
+                || 0u64,
+                |count: &mut u64, rep| {
+                    *count += 1;
+                    task(rep)
+                },
+                &MeanCollector,
+                |_, _| None,
+            );
+            assert_eq!(ws.rounds, plain.rounds);
+            assert_eq!(ws.output.to_bits(), plain.output.to_bits());
         }
     }
 

@@ -77,6 +77,6 @@ pub use ctmc::{poisson_weights, Ctmc, PoissonWeights, TransientDistribution};
 pub use error::SanError;
 pub use model::{ActivityId, Marking, PlaceId, SanModel};
 pub use reward::{FirstPassage, ImpulseReward, Observer, RateReward};
-pub use sim::{Engine, Simulator};
+pub use sim::{Engine, SimState, Simulator};
 pub use solver::{solve, Method, RewardSpec, TransientResult, TransientSolver};
 pub use statespace::{explore, ExploreOptions, StateSpace};

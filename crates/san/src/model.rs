@@ -317,6 +317,14 @@ impl SanModel {
         Marking::new(self.initial.clone())
     }
 
+    /// Overwrites `into` with the initial marking, reusing its buffer —
+    /// the allocation-free reset used when simulation state is recycled
+    /// across replications ([`SimState::reset`](crate::SimState::reset)).
+    pub fn copy_initial_marking(&self, into: &mut Marking) {
+        into.tokens.clear();
+        into.tokens.extend_from_slice(&self.initial);
+    }
+
     /// All activity ids, in index order.
     pub fn activity_ids(&self) -> impl Iterator<Item = ActivityId> {
         (0..self.activities.len()).map(ActivityId)

@@ -85,6 +85,15 @@ impl RateReward {
     pub fn current(&self) -> f64 {
         self.last_value
     }
+
+    /// Clears all accumulated state so the observer can watch a fresh
+    /// trajectory — the reuse hook for replication loops that keep their
+    /// observers alive instead of reallocating them per replication.
+    pub fn reset(&mut self) {
+        self.acc = None;
+        self.final_mean = None;
+        self.last_value = 0.0;
+    }
 }
 
 impl Observer for RateReward {
@@ -143,6 +152,12 @@ impl ImpulseReward {
     pub fn count(&self) -> u64 {
         self.count
     }
+
+    /// Clears the accumulated total and count for a fresh trajectory.
+    pub fn reset(&mut self) {
+        self.total = 0.0;
+        self.count = 0;
+    }
 }
 
 impl Observer for ImpulseReward {
@@ -195,6 +210,11 @@ impl FirstPassage {
     #[must_use]
     pub fn reached(&self) -> bool {
         self.hit.is_some()
+    }
+
+    /// Forgets the recorded passage for a fresh trajectory.
+    pub fn reset(&mut self) {
+        self.hit = None;
     }
 }
 

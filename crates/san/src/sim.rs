@@ -58,16 +58,52 @@ pub enum Engine {
 ///   firing time.
 pub struct Simulator<'m> {
     model: &'m SanModel,
-    marking: Marking,
+    st: SimState,
     now: SimTime,
-    calendar: Calendar<ActivityId>,
-    scheduled: Vec<Option<EventToken>>,
     delay_rng: RngStream,
     case_rng: RngStream,
     instant_rng: RngStream,
     firings: u64,
     error: Option<SanError>,
     engine: Engine,
+}
+
+/// The recyclable per-replication state of a [`Simulator`]: the marking,
+/// the event calendar, the activity schedule and every incremental-engine
+/// scratch buffer — everything that owns heap memory.
+///
+/// A Monte-Carlo loop creates one `SimState` per worker and threads it
+/// through its replications:
+///
+/// ```
+/// use diversify_san::{FiringDistribution, SanBuilder, SimState, Simulator, Engine};
+/// use diversify_des::SimTime;
+///
+/// let mut b = SanBuilder::new();
+/// let up = b.place("up", 1);
+/// let down = b.place("down", 0);
+/// b.timed_activity("fail", FiringDistribution::Exponential { rate: 1.0 })
+///     .input_arc(up, 1)
+///     .output_arc(down, 1)
+///     .build();
+/// let model = b.build().unwrap();
+///
+/// let mut state = SimState::new(&model);
+/// for seed in 0..100 {
+///     let mut sim = Simulator::with_state(&model, seed, Engine::default(), state);
+///     sim.run_until(SimTime::from_secs(10.0));
+///     state = sim.into_state(); // buffers survive for the next seed
+/// }
+/// ```
+///
+/// [`SimState::reset`] (called by [`Simulator::with_state`]) clears the
+/// buffers without releasing their capacity, so after the first
+/// replication over a given model the steady state allocates nothing
+/// (`tests/zero_alloc.rs` asserts this).
+pub struct SimState {
+    marking: Marking,
+    calendar: Calendar<ActivityId>,
+    scheduled: Vec<Option<EventToken>>,
     // ---- incremental-engine state (scratch reused across events) ----
     /// Places written since the last schedule reconciliation (deduped via
     /// `place_stamp`).
@@ -94,11 +130,68 @@ pub struct Simulator<'m> {
     weights_buf: Vec<f64>,
 }
 
+impl std::fmt::Debug for SimState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimState")
+            .field("marking", &self.marking)
+            .field("pending_events", &self.calendar.len())
+            .finish()
+    }
+}
+
+impl SimState {
+    /// State sized for `model`, in its initial marking.
+    #[must_use]
+    pub fn new(model: &SanModel) -> Self {
+        let mut st = SimState {
+            marking: Marking::new(Vec::new()),
+            calendar: Calendar::new(),
+            scheduled: Vec::new(),
+            touched_places: Vec::with_capacity(model.place_count()),
+            place_stamp: Vec::new(),
+            act_stamp: Vec::new(),
+            stamp_gen: 1,
+            touched_all: true,
+            affected: Vec::with_capacity(model.activity_count()),
+            instant_enabled: Vec::new(),
+            enabled_buf: Vec::new(),
+            weights_buf: Vec::new(),
+        };
+        st.reset(model);
+        st
+    }
+
+    /// Returns the state to `model`'s initial marking with an empty
+    /// calendar and fresh scratch, reusing every buffer. After the state
+    /// has been sized for a model once, resetting for that model (or any
+    /// model no larger) allocates nothing.
+    pub fn reset(&mut self, model: &SanModel) {
+        let na = model.activity_count();
+        let np = model.place_count();
+        model.copy_initial_marking(&mut self.marking);
+        self.calendar.clear();
+        self.scheduled.clear();
+        self.scheduled.resize(na, None);
+        self.touched_places.clear();
+        self.place_stamp.clear();
+        self.place_stamp.resize(np, 0);
+        self.act_stamp.clear();
+        self.act_stamp.resize(na, 0);
+        self.stamp_gen = 1;
+        self.touched_all = true; // the initial marking "touches" everything
+        self.affected.clear();
+        self.instant_enabled.clear();
+        self.instant_enabled.resize(na, false);
+        self.enabled_buf.clear();
+        self.weights_buf.clear();
+    }
+}
+
 impl<'m> std::fmt::Debug for Simulator<'m> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulator")
             .field("now", &self.now)
-            .field("marking", &self.marking)
+            .field("marking", &self.st.marking)
             .field("firings", &self.firings)
             .field("engine", &self.engine)
             .finish()
@@ -116,34 +209,42 @@ impl<'m> Simulator<'m> {
     /// Creates a simulator on an explicit [`Engine`].
     #[must_use]
     pub fn with_engine(model: &'m SanModel, seed: u64, engine: Engine) -> Self {
-        let na = model.activity_count();
-        let np = model.place_count();
+        Simulator::with_state(model, seed, engine, SimState::new(model))
+    }
+
+    /// Creates a simulator that recycles `state` — the workspace-reuse
+    /// entry point for replication loops. The state is [`reset`] for
+    /// `model`, so trajectories are bit-identical to a simulator built
+    /// by [`Simulator::with_engine`]; only the allocations differ.
+    /// Reclaim the state with [`Simulator::into_state`] when the
+    /// replication is done.
+    ///
+    /// [`reset`]: SimState::reset
+    #[must_use]
+    pub fn with_state(model: &'m SanModel, seed: u64, engine: Engine, mut state: SimState) -> Self {
+        state.reset(model);
         let mut sim = Simulator {
             model,
-            marking: model.initial_marking(),
+            st: state,
             now: SimTime::ZERO,
-            calendar: Calendar::new(),
-            scheduled: vec![None; na],
             delay_rng: RngStream::new(seed, StreamId(STREAM_DELAYS)),
             case_rng: RngStream::new(seed, StreamId(STREAM_CASES)),
             instant_rng: RngStream::new(seed, StreamId(STREAM_INSTANT)),
             firings: 0,
             error: None,
             engine,
-            touched_places: Vec::with_capacity(np),
-            place_stamp: vec![0; np],
-            act_stamp: vec![0; na],
-            stamp_gen: 1,
-            touched_all: true, // the initial marking "touches" everything
-            affected: Vec::with_capacity(na),
-            instant_enabled: vec![false; na],
-            enabled_buf: Vec::new(),
-            weights_buf: Vec::new(),
         };
         sim.refresh_all_instant();
         sim.settle_instantaneous(&mut crate::reward::NullObserver);
         sim.reconcile_schedules(None);
         sim
+    }
+
+    /// Consumes the simulator, handing its [`SimState`] back for reuse by
+    /// the next replication.
+    #[must_use]
+    pub fn into_state(self) -> SimState {
+        self.st
     }
 
     /// The engine this simulator runs on.
@@ -155,7 +256,7 @@ impl<'m> Simulator<'m> {
     /// The current marking.
     #[must_use]
     pub fn marking(&self) -> &Marking {
-        &self.marking
+        &self.st.marking
     }
 
     /// The current virtual time.
@@ -185,9 +286,9 @@ impl<'m> Simulator<'m> {
     /// Runs until `horizon` (or quiescence), reporting marking changes and
     /// firings to `observer`.
     pub fn run_until_observed(&mut self, horizon: SimTime, observer: &mut dyn Observer) {
-        observer.on_marking(self.now, &self.marking);
+        observer.on_marking(self.now, &self.st.marking);
         while self.error.is_none() {
-            let Some(next) = self.calendar.peek_time() else {
+            let Some(next) = self.st.calendar.peek_time() else {
                 // Quiescent: the marking is frozen, so transient rewards
                 // over [0, horizon] are well-defined — advance the clock.
                 if horizon.is_finite() {
@@ -199,22 +300,22 @@ impl<'m> Simulator<'m> {
                 self.now = horizon;
                 break;
             }
-            let (time, activity) = self.calendar.pop().expect("peeked event exists");
+            let (time, activity) = self.st.calendar.pop().expect("peeked event exists");
             self.now = time;
-            self.scheduled[activity.index()] = None;
+            self.st.scheduled[activity.index()] = None;
             // The schedule reconciliation cancels stale events, so a popped
             // event is enabled unless a same-instant earlier firing just
             // disabled it — re-check for safety.
-            if !self.model.is_enabled(activity, &self.marking) {
+            if !self.model.is_enabled(activity, &self.st.marking) {
                 self.reconcile_schedules(Some(activity.index()));
                 continue;
             }
             self.fire(activity, observer);
             self.settle_instantaneous(observer);
             self.reconcile_schedules(Some(activity.index()));
-            observer.on_marking(self.now, &self.marking);
+            observer.on_marking(self.now, &self.st.marking);
         }
-        observer.on_end(self.now, &self.marking);
+        observer.on_end(self.now, &self.st.marking);
     }
 
     /// Runs until `pred` holds on the marking, the horizon passes, or the
@@ -224,26 +325,26 @@ impl<'m> Simulator<'m> {
     where
         P: Fn(&Marking) -> bool,
     {
-        if pred(&self.marking) {
+        if pred(&self.st.marking) {
             return Some(self.now);
         }
         while self.error.is_none() {
-            let next = self.calendar.peek_time()?;
+            let next = self.st.calendar.peek_time()?;
             if next > horizon {
                 self.now = horizon;
                 return None;
             }
-            let (time, activity) = self.calendar.pop().expect("peeked event exists");
+            let (time, activity) = self.st.calendar.pop().expect("peeked event exists");
             self.now = time;
-            self.scheduled[activity.index()] = None;
-            if !self.model.is_enabled(activity, &self.marking) {
+            self.st.scheduled[activity.index()] = None;
+            if !self.model.is_enabled(activity, &self.st.marking) {
                 self.reconcile_schedules(Some(activity.index()));
                 continue;
             }
             self.fire(activity, &mut crate::reward::NullObserver);
             self.settle_instantaneous(&mut crate::reward::NullObserver);
             self.reconcile_schedules(Some(activity.index()));
-            if pred(&self.marking) {
+            if pred(&self.st.marking) {
                 return Some(self.now);
             }
         }
@@ -257,10 +358,10 @@ impl<'m> Simulator<'m> {
         let model = self.model;
         let a = model.activity(activity);
         for &(p, n) in &a.input_arcs {
-            self.marking.remove_tokens(p, n);
+            self.st.marking.remove_tokens(p, n);
         }
         for g in &a.input_gates {
-            (g.effect)(&mut self.marking);
+            (g.effect)(&mut self.st.marking);
         }
         let case_idx = if a.cases.len() == 1 {
             0
@@ -269,16 +370,16 @@ impl<'m> Simulator<'m> {
         };
         let case = &a.cases[case_idx];
         for &(p, n) in &case.output_arcs {
-            self.marking.add_tokens(p, n);
+            self.st.marking.add_tokens(p, n);
         }
         for g in &case.output_gates {
-            (g.effect)(&mut self.marking);
+            (g.effect)(&mut self.st.marking);
         }
         self.firings += 1;
         if self.engine == Engine::Incremental {
             self.record_fire_effects(activity, case_idx);
         }
-        observer.on_fire(self.now, activity, case_idx, &self.marking);
+        observer.on_fire(self.now, activity, case_idx, &self.st.marking);
     }
 
     /// Incremental bookkeeping after a firing: accumulate the written
@@ -287,22 +388,22 @@ impl<'m> Simulator<'m> {
     fn record_fire_effects(&mut self, activity: ActivityId, case_idx: usize) {
         let model = self.model;
         if model.index.writes_unknown[activity.index()] {
-            self.touched_all = true;
+            self.st.touched_all = true;
             self.refresh_all_instant();
             return;
         }
         for &p in &model.index.touched[activity.index()][case_idx] {
             let pi = p.index();
-            if self.place_stamp[pi] != self.stamp_gen {
-                self.place_stamp[pi] = self.stamp_gen;
-                self.touched_places.push(pi);
+            if self.st.place_stamp[pi] != self.st.stamp_gen {
+                self.st.place_stamp[pi] = self.st.stamp_gen;
+                self.st.touched_places.push(pi);
             }
             for &a in &model.index.instant_dependents[pi] {
-                self.instant_enabled[a.index()] = model.is_enabled(a, &self.marking);
+                self.st.instant_enabled[a.index()] = model.is_enabled(a, &self.st.marking);
             }
         }
         for &a in &model.index.global_instant {
-            self.instant_enabled[a.index()] = model.is_enabled(a, &self.marking);
+            self.st.instant_enabled[a.index()] = model.is_enabled(a, &self.st.marking);
         }
     }
 
@@ -310,7 +411,7 @@ impl<'m> Simulator<'m> {
     fn refresh_all_instant(&mut self) {
         let model = self.model;
         for &a in &model.index.instantaneous {
-            self.instant_enabled[a.index()] = model.is_enabled(a, &self.marking);
+            self.st.instant_enabled[a.index()] = model.is_enabled(a, &self.st.marking);
         }
     }
 
@@ -331,13 +432,13 @@ impl<'m> Simulator<'m> {
             // activities) instead of O(all activities); index order is
             // preserved so weighted selection draws match the reference
             // engine exactly.
-            self.enabled_buf.clear();
+            self.st.enabled_buf.clear();
             for &a in &model.index.instantaneous {
-                if self.instant_enabled[a.index()] {
-                    self.enabled_buf.push(a.index());
+                if self.st.instant_enabled[a.index()] {
+                    self.st.enabled_buf.push(a.index());
                 }
             }
-            if self.enabled_buf.is_empty() {
+            if self.st.enabled_buf.is_empty() {
                 return;
             }
             count += 1;
@@ -347,19 +448,19 @@ impl<'m> Simulator<'m> {
                 });
                 return;
             }
-            let chosen = if self.enabled_buf.len() == 1 {
-                self.enabled_buf[0]
+            let chosen = if self.st.enabled_buf.len() == 1 {
+                self.st.enabled_buf[0]
             } else {
-                self.weights_buf.clear();
-                for &i in &self.enabled_buf {
-                    self.weights_buf.push(
+                self.st.weights_buf.clear();
+                for &i in &self.st.enabled_buf {
+                    self.st.weights_buf.push(
                         model
                             .activity(ActivityId(i))
                             .instantaneous_weight()
                             .expect("enabled_buf holds instantaneous activities"),
                     );
                 }
-                self.enabled_buf[self.instant_rng.discrete(&self.weights_buf)]
+                self.st.enabled_buf[self.instant_rng.discrete(&self.st.weights_buf)]
             };
             self.fire(ActivityId(chosen), observer);
         }
@@ -372,7 +473,7 @@ impl<'m> Simulator<'m> {
                 .map(ActivityId)
                 .filter(|&id| {
                     self.model.activity(id).is_instantaneous()
-                        && self.model.is_enabled(id, &self.marking)
+                        && self.model.is_enabled(id, &self.st.marking)
                 })
                 .collect();
             if enabled.is_empty() {
@@ -414,18 +515,18 @@ impl<'m> Simulator<'m> {
     }
 
     fn reconcile_incremental(&mut self, fired: Option<usize>) {
-        if self.touched_all {
+        if self.st.touched_all {
             self.reconcile_full();
             self.end_cycle();
             return;
         }
         let model = self.model;
-        debug_assert!(self.affected.is_empty());
+        debug_assert!(self.st.affected.is_empty());
         if let Some(idx) = fired {
             self.mark_affected(idx);
         }
-        for ti in 0..self.touched_places.len() {
-            let p = self.touched_places[ti];
+        for ti in 0..self.st.touched_places.len() {
+            let p = self.st.touched_places[ti];
             for &a in &model.index.timed_dependents[p] {
                 self.mark_affected(a.index());
             }
@@ -437,9 +538,9 @@ impl<'m> Simulator<'m> {
         // to the full-rescan engine: the set of activities that transition
         // to "newly enabled" is the same, and both engines sample them in
         // ascending index order.
-        self.affected.sort_unstable();
-        for ai in 0..self.affected.len() {
-            self.reconcile_one(self.affected[ai]);
+        self.st.affected.sort_unstable();
+        for ai in 0..self.st.affected.len() {
+            self.reconcile_one(self.st.affected[ai]);
         }
         self.end_cycle();
     }
@@ -457,35 +558,38 @@ impl<'m> Simulator<'m> {
         let ActivityTiming::Timed(dist) = &a.timing else {
             return;
         };
-        let enabled = model.is_enabled(id, &self.marking);
-        match (enabled, self.scheduled[idx]) {
+        let enabled = model.is_enabled(id, &self.st.marking);
+        match (enabled, self.st.scheduled[idx]) {
             (true, None) => {
                 let delay = dist.sample(&mut self.delay_rng);
-                let token = self.calendar.push(self.now + SimTime::from_secs(delay), id);
-                self.scheduled[idx] = Some(token);
+                let token = self
+                    .st
+                    .calendar
+                    .push(self.now + SimTime::from_secs(delay), id);
+                self.st.scheduled[idx] = Some(token);
             }
             (false, Some(token)) => {
-                self.calendar.cancel(token);
-                self.scheduled[idx] = None;
+                self.st.calendar.cancel(token);
+                self.st.scheduled[idx] = None;
             }
             _ => {}
         }
     }
 
     fn mark_affected(&mut self, idx: usize) {
-        if self.act_stamp[idx] != self.stamp_gen {
-            self.act_stamp[idx] = self.stamp_gen;
-            self.affected.push(idx);
+        if self.st.act_stamp[idx] != self.st.stamp_gen {
+            self.st.act_stamp[idx] = self.st.stamp_gen;
+            self.st.affected.push(idx);
         }
     }
 
     /// Resets the per-cycle accumulation after a reconciliation. Bumping
     /// the generation invalidates all stamps in O(1).
     fn end_cycle(&mut self) {
-        self.touched_places.clear();
-        self.affected.clear();
-        self.touched_all = false;
-        self.stamp_gen += 1;
+        self.st.touched_places.clear();
+        self.st.affected.clear();
+        self.st.touched_all = false;
+        self.st.stamp_gen += 1;
     }
 }
 

@@ -5,8 +5,8 @@
 
 use crate::error::SanError;
 use crate::model::{ActivityId, Marking, SanModel};
-use crate::reward::{FirstPassage, ImpulseReward, MultiObserver, RateReward};
-use crate::sim::Simulator;
+use crate::reward::{FirstPassage, ImpulseReward, Observer, RateReward};
+use crate::sim::{Engine, SimState, Simulator};
 use diversify_des::{derive_seed, SimTime, StreamId, Welford};
 use std::sync::Arc;
 
@@ -254,15 +254,29 @@ impl TransientSolver {
     }
 
     /// Runs all replications and aggregates the reward estimates.
+    ///
+    /// The replication loop is workspace-reusing: one [`SimState`] and
+    /// one set of reward observers are built up front and recycled
+    /// through every replication ([`Simulator::with_state`] +
+    /// `Observer::reset`), so the steady state performs no allocation —
+    /// only the RNG seeds change from replication to replication, and
+    /// trajectories stay bit-identical to fresh-`Simulator` runs.
     #[must_use]
     pub fn solve(&self, model: &SanModel, rewards: &[RewardSpec]) -> TransientResult {
         let mut acc: Vec<(Welford, u32)> = rewards.iter().map(|_| (Welford::new(), 0)).collect();
+        let mut tracker = RewardTracker::new(rewards);
+        let mut values: Vec<Option<f64>> = vec![None; rewards.len()];
+        let mut state = SimState::new(model);
         for rep in 0..self.replications {
             let seed = derive_seed(self.master_seed, StreamId(0x7A_0000 + u64::from(rep)));
-            let values = self.solve_one(model, rewards, seed);
-            for (slot, value) in acc.iter_mut().zip(values) {
+            tracker.reset();
+            let mut sim = Simulator::with_state(model, seed, Engine::default(), state);
+            sim.run_until_observed(self.horizon, &mut tracker);
+            state = sim.into_state();
+            tracker.collect_into(&mut values);
+            for (slot, value) in acc.iter_mut().zip(&values) {
                 if let Some(v) = value {
-                    slot.0.push(v);
+                    slot.0.push(*v);
                     slot.1 += 1;
                 }
             }
@@ -282,10 +296,20 @@ impl TransientSolver {
             horizon: self.horizon,
         }
     }
+}
 
-    /// Runs one replication and returns per-reward values (`None` for an
-    /// unreached first passage).
-    fn solve_one(&self, model: &SanModel, rewards: &[RewardSpec], seed: u64) -> Vec<Option<f64>> {
+/// The solver's reusable observer set: one observer per reward spec,
+/// built once per `solve` call and reset between replications, fanning
+/// trajectory callbacks out to all of them without any per-replication
+/// allocation.
+struct RewardTracker {
+    rates: Vec<(usize, RateReward)>,
+    passages: Vec<(usize, FirstPassage)>,
+    impulses: Vec<(usize, ImpulseReward)>,
+}
+
+impl RewardTracker {
+    fn new(rewards: &[RewardSpec]) -> Self {
         let mut rates: Vec<(usize, RateReward)> = Vec::new();
         let mut passages: Vec<(usize, FirstPassage)> = Vec::new();
         let mut impulses: Vec<(usize, ImpulseReward)> = Vec::new();
@@ -304,31 +328,61 @@ impl TransientSolver {
                 }
             }
         }
-        {
-            let mut multi = MultiObserver::new();
-            for (_, r) in rates.iter_mut() {
-                multi.push(r);
-            }
-            for (_, p) in passages.iter_mut() {
-                multi.push(p);
-            }
-            for (_, im) in impulses.iter_mut() {
-                multi.push(im);
-            }
-            let mut sim = Simulator::new(model, seed);
-            sim.run_until_observed(self.horizon, &mut multi);
+        RewardTracker {
+            rates,
+            passages,
+            impulses,
         }
-        let mut out: Vec<Option<f64>> = vec![None; rewards.len()];
-        for (i, r) in rates {
-            out[i] = r.mean();
+    }
+
+    /// Prepares every observer for a fresh trajectory.
+    fn reset(&mut self) {
+        for (_, r) in &mut self.rates {
+            r.reset();
         }
-        for (i, p) in passages {
-            out[i] = p.time().map(SimTime::as_secs);
+        for (_, p) in &mut self.passages {
+            p.reset();
         }
-        for (i, im) in impulses {
-            out[i] = Some(im.count() as f64);
+        for (_, im) in &mut self.impulses {
+            im.reset();
         }
-        out
+    }
+
+    /// Writes per-reward values into `out` (`None` for an unreached
+    /// first passage), indexed by reward-spec position.
+    fn collect_into(&self, out: &mut [Option<f64>]) {
+        for (i, r) in &self.rates {
+            out[*i] = r.mean();
+        }
+        for (i, p) in &self.passages {
+            out[*i] = p.time().map(SimTime::as_secs);
+        }
+        for (i, im) in &self.impulses {
+            out[*i] = Some(im.count() as f64);
+        }
+    }
+}
+
+impl Observer for RewardTracker {
+    fn on_marking(&mut self, now: SimTime, marking: &Marking) {
+        for (_, r) in &mut self.rates {
+            r.on_marking(now, marking);
+        }
+        for (_, p) in &mut self.passages {
+            p.on_marking(now, marking);
+        }
+    }
+
+    fn on_fire(&mut self, now: SimTime, activity: ActivityId, case: usize, marking: &Marking) {
+        for (_, im) in &mut self.impulses {
+            im.on_fire(now, activity, case, marking);
+        }
+    }
+
+    fn on_end(&mut self, now: SimTime, marking: &Marking) {
+        for (_, r) in &mut self.rates {
+            r.on_end(now, marking);
+        }
     }
 }
 
