@@ -7,11 +7,42 @@
 //! draws from the [`ExploitCatalog`] probabilities, which in turn depend
 //! on the per-node [`ComponentProfile`](diversify_scada::components::ComponentProfile)s — that is precisely where
 //! diversity enters.
+//!
+//! # The event-driven frontier engine
+//!
+//! [`CampaignSimulator::run_into`] no longer scans the whole node array
+//! each tick. It maintains three [`ActiveSet`]s between ticks — the
+//! *infected* set (escalation candidates), the *lateral frontier*
+//! (nodes ≥ Rooted that still have at least one clean neighbor, tracked
+//! with a per-node compromised-neighbor counter over the CSR topology),
+//! and the *payload-eligible* set (PLCs with a non-zero payload
+//! probability, not yet reprogrammed, with a rooted self-or-neighbor) —
+//! so a tick costs O(frontier), not O(nodes). On a 10^5-node fleet
+//! where the campaign touches one plant, the other ~99 900 nodes are
+//! never visited.
+//!
+//! Ascending-id cursor traversal of the sets reproduces, draw for draw,
+//! what a dense ascending scan with visit-time eligibility checks
+//! produces, so the engine stays **bit-identical** to
+//! [`CampaignSimulator::run_reference`] — the dense oracle kept alive
+//! precisely to prove that (`tests/frontier_differential.rs`).
+//!
+//! One model-semantics change accompanied this engine (PR 6): a rooted
+//! node whose neighbors are all compromised no longer makes lateral
+//! attempts. Those attempts could never change state — every draw
+//! landed on a non-clean destination and was skipped — but each
+//! consumed RNG draws, which both bound throughput to O(rooted) per
+//! tick and made an O(frontier) schedule impossible. Dropping them
+//! changes per-seed trajectories but **not the distribution** of any
+//! indicator: the removed draws had no state effect. Seeds recorded
+//! before PR 6 therefore replay to different (equally valid)
+//! trajectories.
 
 use crate::exploit::ExploitCatalog;
+use crate::frontier::ActiveSet;
 use crate::stage::{AttackStage, NodeCompromise};
 use diversify_des::{Executor, ReplicationPlan, RngStream, StreamId};
-use diversify_scada::network::{NodeId, NodeRole, ScadaNetwork};
+use diversify_scada::network::{NodeId, NodeRole, ScadaNetwork, Topology};
 use serde::{Deserialize, Serialize};
 
 /// What the attacker is trying to achieve.
@@ -195,31 +226,43 @@ impl From<&CampaignStats> for CampaignStats {
     }
 }
 
-/// Reusable per-replication state of the campaign simulator: the
-/// node-state array, the per-tick ratio curve, and the rooted-node
-/// list. Created once per worker (via [`CampaignSimulator::workspace`])
-/// and handed to [`CampaignSimulator::run_into`] for every replication;
-/// buffers are cleared, never reallocated, so the steady state runs
-/// allocation-free (`tests/zero_alloc.rs` asserts this).
+/// Reusable per-replication state of the frontier campaign engine.
+/// Created once per worker (via [`CampaignSimulator::workspace`]) and
+/// handed to [`CampaignSimulator::run_into`] for every replication;
+/// buffers are reused, never reallocated, so the steady state runs
+/// allocation-free (`tests/zero_alloc.rs` asserts this — including at
+/// 10^4 nodes).
 ///
-/// The ratio curve is sized lazily — it grows to the longest run this
-/// workspace has seen, not to `max_ticks + 1` up front — so quick-scale
-/// sweeps with short detection-terminated runs stop over-reserving.
+/// Memory is **frontier-proportional where it can be** and
+/// reset-cost-proportional everywhere: the three active sets are
+/// bitsets cleared by walking their summaries, and the O(n) state and
+/// counter arrays are wiped through dirty lists, so preparing a
+/// replication costs O(touched nodes), not O(n). A full O(n)
+/// initialization happens only when the workspace first meets a
+/// network of a different size.
 #[derive(Debug, Clone, Default)]
 pub struct CampaignWorkspace {
     /// Per-node compromise states of the most recent replication.
     states: Vec<NodeCompromise>,
+    /// Per-node count of non-clean neighbors. A node ≥ Rooted belongs
+    /// to the lateral frontier iff this is below its degree.
+    compromised_nbrs: Vec<u32>,
     /// Compromised ratio sampled at every tick of the most recent
     /// replication (index = tick).
     ratio_curve: Vec<f64>,
-    /// Nodes with state ≥ Rooted, maintained incrementally in ascending
-    /// node-id order (the same order the per-tick rescan used to
-    /// produce, so RNG draw schedules are unchanged).
-    rooted: Vec<NodeId>,
-    /// Nodes with state exactly Infected, also in ascending id order —
-    /// the escalation stage iterates this instead of scanning every
-    /// node.
-    infected: Vec<NodeId>,
+    /// Nodes with state exactly Infected (escalation candidates).
+    infected: ActiveSet,
+    /// Nodes ≥ Rooted with at least one clean neighbor (lateral
+    /// sources).
+    frontier: ActiveSet,
+    /// PLCs with non-zero payload probability, not yet reprogrammed,
+    /// whose self-or-neighbor is ≥ Rooted.
+    eligible: ActiveSet,
+    /// Nodes whose state left Clean this replication (reset list).
+    dirty_states: Vec<u32>,
+    /// Nodes whose `compromised_nbrs` left zero this replication
+    /// (reset list).
+    dirty_degrees: Vec<u32>,
 }
 
 impl CampaignWorkspace {
@@ -229,37 +272,33 @@ impl CampaignWorkspace {
         CampaignWorkspace::default()
     }
 
-    /// Prepares the workspace for a fresh replication over `n` nodes.
+    /// Prepares the workspace for a fresh replication over `n` nodes:
+    /// sparse reset through the dirty lists when the size matches, full
+    /// (re)initialization otherwise.
     fn reset(&mut self, n: usize) {
-        self.states.clear();
-        self.states.resize(n, NodeCompromise::Clean);
         self.ratio_curve.clear();
-        self.rooted.clear();
-        self.infected.clear();
-    }
-
-    /// Inserts `id` into the rooted list, keeping ascending id order.
-    /// Each node enters at most once per replication, so the memmove
-    /// cost is O(nodes) *per replication*, replacing the old O(nodes)
-    /// rescan *per tick*.
-    fn insert_rooted(&mut self, id: NodeId) {
-        if let Err(at) = self.rooted.binary_search(&id) {
-            self.rooted.insert(at, id);
-        }
-    }
-
-    /// Inserts `id` into the infected list, keeping ascending id order.
-    fn insert_infected(&mut self, id: NodeId) {
-        if let Err(at) = self.infected.binary_search(&id) {
-            self.infected.insert(at, id);
-        }
-    }
-
-    /// Removes `id` from the infected list (a node leaving the Infected
-    /// state for Rooted or Reprogrammed).
-    fn remove_infected(&mut self, id: NodeId) {
-        if let Ok(at) = self.infected.binary_search(&id) {
-            self.infected.remove(at);
+        if self.states.len() == n {
+            for &i in &self.dirty_states {
+                self.states[i as usize] = NodeCompromise::Clean;
+            }
+            for &i in &self.dirty_degrees {
+                self.compromised_nbrs[i as usize] = 0;
+            }
+            self.dirty_states.clear();
+            self.dirty_degrees.clear();
+            self.infected.clear();
+            self.frontier.clear();
+            self.eligible.clear();
+        } else {
+            self.states.clear();
+            self.states.resize(n, NodeCompromise::Clean);
+            self.compromised_nbrs.clear();
+            self.compromised_nbrs.resize(n, 0);
+            self.dirty_states.clear();
+            self.dirty_degrees.clear();
+            self.infected.resize(n);
+            self.frontier.resize(n);
+            self.eligible.resize(n);
         }
     }
 
@@ -277,24 +316,114 @@ impl CampaignWorkspace {
     }
 }
 
+/// Bookkeeping when node `id` leaves the Clean state: every neighbor's
+/// compromised counter advances, and a rooted neighbor whose last clean
+/// neighbor just vanished is saturated — it leaves the lateral frontier
+/// (its attempts could no longer change state). The caller updates
+/// `states[id]` and the clean counter itself.
+fn note_left_clean(
+    topo: &Topology,
+    id: NodeId,
+    states: &[NodeCompromise],
+    compromised_nbrs: &mut [u32],
+    frontier: &mut ActiveSet,
+    dirty_states: &mut Vec<u32>,
+    dirty_degrees: &mut Vec<u32>,
+) {
+    dirty_states.push(id.index() as u32);
+    for &nb in topo.neighbors(id) {
+        let i = nb.index();
+        if compromised_nbrs[i] == 0 {
+            dirty_degrees.push(i as u32);
+        }
+        compromised_nbrs[i] += 1;
+        if compromised_nbrs[i] as usize == topo.degree(nb) && states[i] >= NodeCompromise::Rooted {
+            frontier.remove(i);
+        }
+    }
+}
+
+/// Bookkeeping when node `id` reaches Rooted (or Reprogrammed, which
+/// also spreads laterally): it joins the frontier if it still has a
+/// clean neighbor, payload-capable PLCs in its closed neighborhood
+/// become eligible, and the exfiltration foothold counter advances for
+/// data-bearing roles. Called after `states[id]` is updated.
+#[allow(clippy::too_many_arguments)]
+fn note_rooted(
+    net: &ScadaNetwork,
+    topo: &Topology,
+    payload_p: &[f64],
+    id: NodeId,
+    states: &[NodeCompromise],
+    compromised_nbrs: &[u32],
+    frontier: &mut ActiveSet,
+    eligible: &mut ActiveSet,
+    data_rooted: &mut u32,
+) {
+    let i = id.index();
+    if (compromised_nbrs[i] as usize) < topo.degree(id) {
+        frontier.insert(i);
+    }
+    if payload_p[i] > 0.0 && states[i] != NodeCompromise::Reprogrammed {
+        eligible.insert(i);
+    }
+    for &nb in topo.neighbors(id) {
+        let j = nb.index();
+        if payload_p[j] > 0.0 && states[j] != NodeCompromise::Reprogrammed {
+            eligible.insert(j);
+        }
+    }
+    if matches!(
+        net.role(id),
+        NodeRole::Historian | NodeRole::EngineeringWorkstation
+    ) {
+        *data_rooted += 1;
+    }
+}
+
+/// Merges two ascending, disjoint id slices into one ascending vector.
+fn merge_sorted(a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] < b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
 /// Tick-based Monte-Carlo campaign simulator over a plant network.
 ///
-/// Network-derived constants (entry points, PLC ids, detection profiles)
-/// are resolved once at construction so each replication starts without
-/// re-scanning the topology; within a replication the tick loop reuses
-/// one scratch buffer and maintains compromise counters incrementally,
-/// skipping whole stages once they can no longer change any state.
+/// Network-derived constants (entry points, PLC ids and their payload
+/// probabilities, detection profiles, the CSR topology reference) are
+/// resolved once at construction — from the network's precomputed
+/// role/zone indexes, without allocating scans — so each replication
+/// starts without re-touching the topology. Within a replication the
+/// event-driven tick loop (see the module docs) costs O(frontier), not
+/// O(nodes).
 #[derive(Debug)]
 pub struct CampaignSimulator<'n> {
     network: &'n ScadaNetwork,
+    topo: &'n Topology,
     threat: ThreatModel,
     config: CampaignConfig,
-    /// Entry-point node ids (initial-infection candidates).
+    /// Entry-point node ids (initial-infection candidates), ascending.
     entries: Vec<NodeId>,
-    /// PLC node ids (payload targets).
-    plc_ids: Vec<NodeId>,
-    /// Historian/engineering node ids (exfiltration targets).
+    /// PLC node ids (payload targets) — the network's role index.
+    plc_ids: &'n [NodeId],
+    /// Historian/engineering node ids (exfiltration targets), ascending.
     data_ids: Vec<NodeId>,
+    /// Per-node PLC payload probability; zero for non-PLCs and for
+    /// threats without a PLC payload. Fixed because profiles cannot
+    /// change while the simulator borrows the network.
+    payload_p: Vec<f64>,
     /// Representative profiles for detection: the historian node and a
     /// field sensor owner (first PLC).
     historian_profile: diversify_scada::components::ComponentProfile,
@@ -305,36 +434,38 @@ impl<'n> CampaignSimulator<'n> {
     /// Creates a simulator for `threat` against `network`.
     #[must_use]
     pub fn new(network: &'n ScadaNetwork, threat: ThreatModel, config: CampaignConfig) -> Self {
-        let entries: Vec<NodeId> = network
-            .node_ids()
-            .filter(|&id| network.node(id).role.is_entry_point())
-            .collect();
-        let plc_ids = network.nodes_with_role(NodeRole::Plc);
-        let data_ids: Vec<NodeId> = network
-            .node_ids()
-            .filter(|&id| {
-                matches!(
-                    network.node(id).role,
-                    NodeRole::Historian | NodeRole::EngineeringWorkstation
-                )
-            })
-            .collect();
-        let historian_profile = network
-            .nodes_with_role(NodeRole::Historian)
+        let topo = network.topology();
+        let entries = merge_sorted(
+            topo.with_role(NodeRole::OfficeWorkstation),
+            topo.with_role(NodeRole::EngineeringWorkstation),
+        );
+        let plc_ids = topo.with_role(NodeRole::Plc);
+        let data_ids = merge_sorted(
+            topo.with_role(NodeRole::Historian),
+            topo.with_role(NodeRole::EngineeringWorkstation),
+        );
+        let mut payload_p = vec![0.0; network.node_count()];
+        for &plc in plc_ids {
+            payload_p[plc.index()] = threat.catalog.plc_payload_probability(network.profile(plc));
+        }
+        let historian_profile = topo
+            .with_role(NodeRole::Historian)
             .first()
-            .map(|&id| network.node(id).profile)
+            .map(|&id| *network.profile(id))
             .unwrap_or_default();
         let sensor_profile = plc_ids
             .first()
-            .map(|&id| network.node(id).profile)
+            .map(|&id| *network.profile(id))
             .unwrap_or_default();
         CampaignSimulator {
             network,
+            topo,
             threat,
             config,
             entries,
             plc_ids,
             data_ids,
+            payload_p,
             historian_profile,
             sensor_profile,
         }
@@ -351,13 +482,9 @@ impl<'n> CampaignSimulator<'n> {
     /// replication (the idiom behind `Executor::run_ws`).
     #[must_use]
     pub fn workspace(&self) -> CampaignWorkspace {
-        let n = self.network.node_count();
-        CampaignWorkspace {
-            states: vec![NodeCompromise::Clean; n],
-            ratio_curve: Vec::new(),
-            rooted: Vec::with_capacity(n),
-            infected: Vec::with_capacity(n),
-        }
+        let mut ws = CampaignWorkspace::new();
+        ws.reset(self.network.node_count());
+        ws
     }
 
     /// Runs one campaign replication with the given seed — the
@@ -390,22 +517,34 @@ impl<'n> CampaignSimulator<'n> {
     }
 
     /// Runs one campaign replication inside `ws`, reusing its buffers —
-    /// the allocation-free hot path. Returns the scalar
+    /// the allocation-free, event-driven hot path. Returns the scalar
     /// [`CampaignStats`]; the full ratio curve and final node states
     /// remain readable from the workspace until the next replication.
     ///
-    /// The trajectory is a pure function of `seed`: RNG draws happen in
-    /// exactly the order of the original per-replication-allocation
-    /// implementation (the rooted set is maintained incrementally but
-    /// iterated in ascending node-id order, matching the old rescan), so
-    /// [`CampaignSimulator::run`] and `run_into` are bit-identical.
+    /// The trajectory is a pure function of `seed`: the active sets are
+    /// traversed in ascending id order with a cursor, which reproduces
+    /// exactly the draw schedule of a dense ascending scan that checks
+    /// eligibility at visit time, so `run_into` is bit-identical to
+    /// [`CampaignSimulator::run_reference`] and
+    /// [`CampaignSimulator::run`].
     #[must_use]
     pub fn run_into(&self, ws: &mut CampaignWorkspace, seed: u64) -> CampaignStats {
         let net = self.network;
+        let topo = self.topo;
         let cat = &self.threat.catalog;
         let mut rng = RngStream::new(seed, StreamId(0xA77));
         let n = net.node_count();
         ws.reset(n);
+        let CampaignWorkspace {
+            states,
+            compromised_nbrs,
+            ratio_curve,
+            infected,
+            frontier,
+            eligible,
+            dirty_states,
+            dirty_degrees,
+        } = ws;
         let mut deepest = AttackStage::Initial;
         let mut time_to_attack = None;
         let mut time_to_detection = None;
@@ -414,68 +553,84 @@ impl<'n> CampaignSimulator<'n> {
         let mut exfil_ticks = 0u32;
 
         let total_plcs = self.plc_ids.len().max(1);
-        // Incrementally maintained summaries of the node states (the
-        // clean counter plus the workspace's sorted infected/rooted
-        // lists), so per-tick bookkeeping touches only the nodes whose
-        // state can matter and whole stages can be skipped once they
-        // provably cannot change anything further.
         let mut clean = n; // nodes still Clean
         let mut reprogrammed = 0usize; // PLCs Reprogrammed
+        let mut data_rooted = 0u32; // data-bearing nodes ≥ Rooted
 
-        ws.ratio_curve.push(0.0);
+        ratio_curve.push(0.0);
         'ticks: for tick in 1..=self.config.max_ticks {
             // Stage: Initial → Activated (seed an entry node). The attacker
             // seeds an entry-point node (USB stick in the office, per the
             // Stuxnet dossier); entry succeeds against the entry node's OS.
             if clean == n {
                 if let Some(&entry) = self.entries.first() {
-                    let p = cat.infection_probability(&net.node(entry).profile);
+                    let p = cat.infection_probability(net.profile(entry));
                     if rng.bernoulli(p) {
-                        ws.states[entry.index()] = NodeCompromise::Infected;
-                        ws.insert_infected(entry);
+                        states[entry.index()] = NodeCompromise::Infected;
                         clean -= 1;
+                        infected.insert(entry.index());
+                        note_left_clean(
+                            topo,
+                            entry,
+                            states,
+                            compromised_nbrs,
+                            frontier,
+                            dirty_states,
+                            dirty_degrees,
+                        );
                         deepest = deepest.max(AttackStage::Activated);
                     }
                 }
             }
 
-            // Stage: privilege escalation on infected nodes. The sorted
-            // infected list is visited in ascending id order — the order
-            // the reference implementation's full scan draws in — and a
-            // node that escalates is removed in place, so each node
-            // infected at stage entry is visited exactly once.
+            // Stage: privilege escalation on infected nodes. Cursor
+            // traversal visits each node Infected at stage entry once, in
+            // ascending id order — the dense scan's draw order. A node
+            // that escalates leaves the set (behind the cursor) and joins
+            // the lateral structures.
             {
-                let mut i = 0;
-                while i < ws.infected.len() {
-                    let id = ws.infected[i];
-                    let p = cat.escalation_probability(&net.node(id).profile);
-                    if rng.bernoulli(p) {
-                        ws.states[id.index()] = NodeCompromise::Rooted;
-                        ws.infected.remove(i);
-                        ws.insert_rooted(id);
+                let mut cursor = 0;
+                while let Some(i) = infected.next_at_or_after(cursor) {
+                    cursor = i + 1;
+                    let id = NodeId::from_index(i);
+                    if rng.bernoulli(cat.escalation_probability(net.profile(id))) {
+                        states[i] = NodeCompromise::Rooted;
+                        infected.remove(i);
+                        note_rooted(
+                            net,
+                            topo,
+                            &self.payload_p,
+                            id,
+                            states,
+                            compromised_nbrs,
+                            frontier,
+                            eligible,
+                            &mut data_rooted,
+                        );
                         deepest = deepest.max(AttackStage::RootAccess);
-                    } else {
-                        i += 1;
                     }
                 }
             }
 
-            // Stage: lateral propagation from rooted nodes. With no clean
-            // node left the stage can only burn RNG draws on already-
-            // compromised destinations, so it is skipped outright.
+            // Stage: lateral propagation from the frontier — rooted nodes
+            // that still have a clean neighbor. A source saturated by an
+            // earlier source this tick has already left the set, exactly
+            // as the dense scan's visit-time eligibility check skips it.
+            // When the last node leaves Clean every source saturates, so
+            // the frontier empties itself and the stage disappears.
             if clean > 0 {
-                for si in 0..ws.rooted.len() {
-                    let src = ws.rooted[si];
+                let mut cursor = 0;
+                while let Some(s) = frontier.next_at_or_after(cursor) {
+                    cursor = s + 1;
+                    let src = NodeId::from_index(s);
+                    let neighbors = topo.neighbors(src);
+                    let src_dialect = net.profile(src).dialect;
                     for _ in 0..self.threat.attempts_per_tick {
-                        let neighbors = net.neighbors(src);
-                        if neighbors.is_empty() {
-                            continue;
-                        }
                         let dst = neighbors[rng.index(neighbors.len())];
-                        if ws.states[dst.index()] != NodeCompromise::Clean {
+                        if states[dst.index()] != NodeCompromise::Clean {
                             continue;
                         }
-                        let dst_profile = &net.node(dst).profile;
+                        let dst_profile = net.profile(dst);
                         // Zone crossings face the destination firewall.
                         if net.crosses_zone(src, dst) {
                             let pass = cat.firewall_pass_probability(dst_profile);
@@ -486,54 +641,72 @@ impl<'n> CampaignSimulator<'n> {
                         }
                         // Propagation additionally requires speaking the
                         // destination's wire dialect inside the field zone.
-                        let src_dialect = net.node(src).profile.dialect;
                         let dialect_ok = src_dialect == dst_profile.dialect
-                            || !matches!(
-                                net.node(dst).role,
-                                NodeRole::Plc | NodeRole::FieldGateway
-                            );
+                            || !matches!(net.role(dst), NodeRole::Plc | NodeRole::FieldGateway);
                         if !dialect_ok && !rng.bernoulli(0.05) {
                             payload_failures += 1;
                             continue;
                         }
                         if rng.bernoulli(cat.infection_probability(dst_profile)) {
-                            ws.states[dst.index()] = NodeCompromise::Infected;
-                            ws.insert_infected(dst);
+                            states[dst.index()] = NodeCompromise::Infected;
                             clean -= 1;
+                            infected.insert(dst.index());
+                            note_left_clean(
+                                topo,
+                                dst,
+                                states,
+                                compromised_nbrs,
+                                frontier,
+                                dirty_states,
+                                dirty_degrees,
+                            );
                             deepest = deepest.max(AttackStage::NetworkPropagation);
                         }
                     }
                 }
             }
 
-            // Stage: PLC payload delivery (sabotage threats only).
-            if reprogrammed < self.plc_ids.len() {
-                for &plc in &self.plc_ids {
-                    if ws.states[plc.index()] == NodeCompromise::Reprogrammed {
-                        continue;
-                    }
-                    // Needs a rooted neighbor (gateway or engineering path).
-                    let has_rooted_neighbor = net
-                        .neighbors(plc)
-                        .iter()
-                        .any(|&nb| ws.states[nb.index()] >= NodeCompromise::Rooted)
-                        || ws.states[plc.index()] >= NodeCompromise::Rooted;
-                    if !has_rooted_neighbor {
-                        continue;
-                    }
-                    let p = cat.plc_payload_probability(&net.node(plc).profile);
-                    if p == 0.0 {
-                        continue;
-                    }
-                    if rng.bernoulli(p) {
-                        if ws.states[plc.index()] == NodeCompromise::Clean {
+            // Stage: PLC payload delivery (sabotage threats only). The
+            // eligible set holds exactly the PLCs the dense scan would
+            // draw for: payload-capable, not yet reprogrammed, rooted
+            // self-or-neighbor. A PLC whose neighbor is reprogrammed
+            // mid-stage joins at its id — visited this tick iff the
+            // cursor has not passed it, matching the dense ascending scan.
+            {
+                let mut cursor = 0;
+                while let Some(pi) = eligible.next_at_or_after(cursor) {
+                    cursor = pi + 1;
+                    let plc = NodeId::from_index(pi);
+                    if rng.bernoulli(self.payload_p[pi]) {
+                        let prev = states[pi];
+                        states[pi] = NodeCompromise::Reprogrammed;
+                        if prev == NodeCompromise::Clean {
                             clean -= 1;
-                        } else if ws.states[plc.index()] == NodeCompromise::Infected {
-                            ws.remove_infected(plc);
+                            note_left_clean(
+                                topo,
+                                plc,
+                                states,
+                                compromised_nbrs,
+                                frontier,
+                                dirty_states,
+                                dirty_degrees,
+                            );
+                        } else if prev == NodeCompromise::Infected {
+                            infected.remove(pi);
                         }
-                        ws.states[plc.index()] = NodeCompromise::Reprogrammed;
-                        ws.insert_rooted(plc);
+                        eligible.remove(pi);
                         reprogrammed += 1;
+                        note_rooted(
+                            net,
+                            topo,
+                            &self.payload_p,
+                            plc,
+                            states,
+                            compromised_nbrs,
+                            frontier,
+                            eligible,
+                            &mut data_rooted,
+                        );
                         deepest = deepest.max(AttackStage::DeviceImpairment);
                     } else {
                         payload_failures += 1;
@@ -551,11 +724,10 @@ impl<'n> CampaignSimulator<'n> {
                     }
                 }
                 AttackGoal::Exfiltrate { ticks } => {
-                    let data_access = self
-                        .data_ids
-                        .iter()
-                        .any(|&id| ws.states[id.index()] >= NodeCompromise::Rooted);
-                    if data_access {
+                    // `data_rooted` replaces the dense per-tick scan over
+                    // the historian/engineering ids; roots are permanent,
+                    // so a counter maintained at rooting time is exact.
+                    if data_rooted > 0 {
                         exfil_ticks += 1;
                         if time_to_attack.is_none() && exfil_ticks >= ticks {
                             time_to_attack = Some(tick);
@@ -577,13 +749,13 @@ impl<'n> CampaignSimulator<'n> {
                 if rng.bernoulli(p) {
                     time_to_detection = Some(tick);
                     if self.config.detection_stops_attack {
-                        ws.ratio_curve.push((n - clean) as f64 / n as f64);
+                        ratio_curve.push((n - clean) as f64 / n as f64);
                         break 'ticks;
                     }
                 }
             }
 
-            ws.ratio_curve.push((n - clean) as f64 / n as f64);
+            ratio_curve.push((n - clean) as f64 / n as f64);
 
             // Early exit when nothing further can change.
             if time_to_attack.is_some() && time_to_detection.is_some() {
@@ -594,21 +766,22 @@ impl<'n> CampaignSimulator<'n> {
         CampaignStats {
             time_to_attack,
             time_to_detection,
-            final_compromised_ratio: ws.ratio_curve.last().copied().unwrap_or(0.0),
+            final_compromised_ratio: ratio_curve.last().copied().unwrap_or(0.0),
             deepest_stage: deepest,
             firewall_blocks,
             payload_failures,
         }
     }
 
-    /// The original per-replication-allocation implementation, kept
-    /// verbatim as the reference baseline: every call allocates fresh
-    /// state/curve/rooted buffers (the ratio curve eagerly reserved for
-    /// `max_ticks + 1` samples) and rescans all nodes for the rooted set
-    /// every tick. Differential tests prove [`CampaignSimulator::run`] /
+    /// The dense reference implementation, kept alive as the
+    /// differential oracle for the frontier engine: every call allocates
+    /// fresh buffers and every tick rescans *all* nodes, checking stage
+    /// eligibility (state, clean-neighbor availability, payload
+    /// preconditions) at visit time in ascending id order. Differential
+    /// and property tests prove [`CampaignSimulator::run`] /
     /// [`CampaignSimulator::run_into`] reproduce it bit for bit; the
-    /// `campaign_replication_throughput` bench measures the workspace
-    /// path against it.
+    /// `campaign_fleet_scaling` bench measures the frontier path against
+    /// it.
     #[must_use]
     pub fn run_reference(&self, seed: u64) -> CampaignOutcome {
         let net = self.network;
@@ -628,13 +801,12 @@ impl<'n> CampaignSimulator<'n> {
         let mut clean = n;
         let mut infected = 0usize;
         let mut reprogrammed = 0usize;
-        let mut rooted_buf: Vec<NodeId> = Vec::with_capacity(n);
 
         ratio_curve.push(0.0);
         'ticks: for tick in 1..=self.config.max_ticks {
             if clean == n {
                 if let Some(&entry) = self.entries.first() {
-                    let p = cat.infection_probability(&net.node(entry).profile);
+                    let p = cat.infection_probability(net.profile(entry));
                     if rng.bernoulli(p) {
                         states[entry.index()] = NodeCompromise::Infected;
                         clean -= 1;
@@ -646,36 +818,38 @@ impl<'n> CampaignSimulator<'n> {
 
             if infected > 0 {
                 for id in net.node_ids() {
-                    if states[id.index()] == NodeCompromise::Infected {
-                        let p = cat.escalation_probability(&net.node(id).profile);
-                        if rng.bernoulli(p) {
-                            states[id.index()] = NodeCompromise::Rooted;
-                            infected -= 1;
-                            deepest = deepest.max(AttackStage::RootAccess);
-                        }
+                    if states[id.index()] == NodeCompromise::Infected
+                        && rng.bernoulli(cat.escalation_probability(net.profile(id)))
+                    {
+                        states[id.index()] = NodeCompromise::Rooted;
+                        infected -= 1;
+                        deepest = deepest.max(AttackStage::RootAccess);
                     }
                 }
             }
 
             if clean > 0 {
-                // The per-tick full rescan the workspace path replaces
-                // with incremental maintenance.
-                rooted_buf.clear();
-                rooted_buf.extend(
-                    net.node_ids()
-                        .filter(|&id| states[id.index()] >= NodeCompromise::Rooted),
-                );
-                for &src in &rooted_buf {
+                // The dense sweep the frontier engine replaces: visit
+                // every node, and make lateral attempts from those that
+                // are rooted *and still have a clean neighbor* at visit
+                // time.
+                for src in net.node_ids() {
+                    if states[src.index()] < NodeCompromise::Rooted {
+                        continue;
+                    }
+                    let neighbors = net.neighbors(src);
+                    if !neighbors
+                        .iter()
+                        .any(|&nb| states[nb.index()] == NodeCompromise::Clean)
+                    {
+                        continue;
+                    }
                     for _ in 0..self.threat.attempts_per_tick {
-                        let neighbors = net.neighbors(src);
-                        if neighbors.is_empty() {
-                            continue;
-                        }
                         let dst = neighbors[rng.index(neighbors.len())];
                         if states[dst.index()] != NodeCompromise::Clean {
                             continue;
                         }
-                        let dst_profile = &net.node(dst).profile;
+                        let dst_profile = net.profile(dst);
                         if net.crosses_zone(src, dst) {
                             let pass = cat.firewall_pass_probability(dst_profile);
                             if !rng.bernoulli(pass) {
@@ -683,12 +857,9 @@ impl<'n> CampaignSimulator<'n> {
                                 continue;
                             }
                         }
-                        let src_dialect = net.node(src).profile.dialect;
+                        let src_dialect = net.profile(src).dialect;
                         let dialect_ok = src_dialect == dst_profile.dialect
-                            || !matches!(
-                                net.node(dst).role,
-                                NodeRole::Plc | NodeRole::FieldGateway
-                            );
+                            || !matches!(net.role(dst), NodeRole::Plc | NodeRole::FieldGateway);
                         if !dialect_ok && !rng.bernoulli(0.05) {
                             payload_failures += 1;
                             continue;
@@ -704,7 +875,7 @@ impl<'n> CampaignSimulator<'n> {
             }
 
             if reprogrammed < self.plc_ids.len() {
-                for &plc in &self.plc_ids {
+                for &plc in self.plc_ids {
                     if states[plc.index()] == NodeCompromise::Reprogrammed {
                         continue;
                     }
@@ -716,7 +887,7 @@ impl<'n> CampaignSimulator<'n> {
                     if !has_rooted_neighbor {
                         continue;
                     }
-                    let p = cat.plc_payload_probability(&net.node(plc).profile);
+                    let p = cat.plc_payload_probability(net.profile(plc));
                     if p == 0.0 {
                         continue;
                     }
@@ -833,6 +1004,7 @@ pub const CAMPAIGN_RUN_NAMESPACE: u64 = 0xCA_0000;
 mod tests {
     use super::*;
     use diversify_scada::components::ComponentProfile;
+    use diversify_scada::fleet::{FleetConfig, FleetSystem};
     use diversify_scada::scope::{ScopeConfig, ScopeSystem};
 
     fn scope_network() -> ScadaNetwork {
@@ -872,7 +1044,7 @@ mod tests {
         let mut net = scope_network();
         let ids: Vec<_> = net.node_ids().collect();
         for id in ids {
-            net.node_mut(id).profile = ComponentProfile::hardened();
+            *net.profile_mut(id) = ComponentProfile::hardened();
         }
         let weak_net = scope_network();
         let threat = ThreatModel::stuxnet_like();
@@ -924,10 +1096,32 @@ mod tests {
                 assert_eq!(outcome.stats(), stats, "seed {seed}");
                 assert_eq!(outcome.compromised_ratio, ws.ratio_curve(), "seed {seed}");
                 assert_eq!(outcome.final_states, ws.states(), "seed {seed}");
-                // The incremental rooted set must reproduce the original
-                // rescan-per-tick implementation exactly, RNG draw for
-                // RNG draw.
+                // The event-driven frontier engine must reproduce the
+                // dense visit-time-eligibility sweep exactly, RNG draw
+                // for RNG draw.
                 assert_eq!(outcome, sim.run_reference(seed), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_matches_reference_on_generated_fleet() {
+        // The fleet-shaped counterpart of the SCoPE differential above
+        // (the broader randomized sweep lives in
+        // `tests/frontier_differential.rs`).
+        let fleet = FleetSystem::build(&FleetConfig::sized(400, 77));
+        let cfg = CampaignConfig {
+            max_ticks: 24 * 60,
+            detection_stops_attack: false,
+        };
+        for threat in [ThreatModel::stuxnet_like(), ThreatModel::flame_like()] {
+            let sim = CampaignSimulator::new(fleet.network(), threat, cfg);
+            let mut ws = sim.workspace();
+            for seed in 0..5u64 {
+                let reference = sim.run_reference(seed);
+                let stats = sim.run_into(&mut ws, seed);
+                assert_eq!(reference.stats(), stats, "seed {seed}");
+                assert_eq!(reference.final_states, ws.states(), "seed {seed}");
             }
         }
     }
@@ -943,6 +1137,23 @@ mod tests {
         let _ = sim.run_into(&mut ws, 1234);
         // …and the original seed still reproduces exactly.
         assert_eq!(sim.run_into(&mut ws, 42), first);
+    }
+
+    #[test]
+    fn workspace_survives_network_size_change() {
+        // The sparse reset must fall back to full initialization when a
+        // workspace warmed on one network meets a differently sized one.
+        let small = scope_network();
+        let big = FleetSystem::build(&FleetConfig::sized(300, 5));
+        let threat = ThreatModel::stuxnet_like();
+        let sim_small = CampaignSimulator::new(&small, threat.clone(), CampaignConfig::default());
+        let sim_big = CampaignSimulator::new(big.network(), threat, CampaignConfig::default());
+        let mut ws = sim_small.workspace();
+        let _ = sim_small.run_into(&mut ws, 1);
+        let on_big = sim_big.run_into(&mut ws, 2);
+        assert_eq!(on_big, sim_big.run(2).stats());
+        let back_small = sim_small.run_into(&mut ws, 1);
+        assert_eq!(back_small, sim_small.run(1).stats());
     }
 
     #[test]
@@ -1031,7 +1242,7 @@ mod tests {
         let mut net = scope_network();
         let ids: Vec<_> = net.node_ids().collect();
         for id in ids {
-            net.node_mut(id).profile.firewall = diversify_scada::components::FirewallPolicy::Strict;
+            net.profile_mut(id).firewall = diversify_scada::components::FirewallPolicy::Strict;
         }
         let sim =
             CampaignSimulator::new(&net, ThreatModel::stuxnet_like(), CampaignConfig::default());

@@ -14,7 +14,10 @@
 //!   "availability of tools and/or exploits" knob);
 //! * [`campaign`] — Stuxnet-, Duqu- and Flame-like campaign models and the
 //!   tick-based [`campaign::CampaignSimulator`] that produces the paper's
-//!   three security indicators;
+//!   three security indicators; its event-driven tick loop costs
+//!   O(infection frontier), not O(nodes);
+//! * [`frontier`] — the hierarchical-bitset active set behind the
+//!   frontier engine;
 //! * [`chain`] — the Sec. I motivating example (identical vs diverse
 //!   machines, P_SA ≈ P_M vs P_SA ≈ P_M1 × P_M2);
 //! * [`tree`] — attack trees with AND/OR semantics, success probability
@@ -31,6 +34,7 @@ pub mod bayes;
 pub mod campaign;
 pub mod chain;
 pub mod exploit;
+pub mod frontier;
 pub mod stage;
 pub mod to_san;
 pub mod tree;

@@ -199,7 +199,7 @@ impl NetworkCampaignSan {
         net.node_ids()
             .filter(|&id| {
                 matches!(
-                    net.node(id).role,
+                    net.role(id),
                     NodeRole::Historian | NodeRole::EngineeringWorkstation
                 )
             })
@@ -243,24 +243,23 @@ pub fn compile_network_campaign(
     let impaired = b.place("impaired", 0);
     let infected: Vec<PlaceId> = net
         .node_ids()
-        .map(|id| b.place(format!("inf-{}", net.node(id).name), 0))
+        .map(|id| b.place(format!("inf-{}", net.name(id)), 0))
         .collect();
     let rooted: Vec<PlaceId> = net
         .node_ids()
-        .map(|id| b.place(format!("root-{}", net.node(id).name), 0))
+        .map(|id| b.place(format!("root-{}", net.name(id)), 0))
         .collect();
 
     // Entry seeding: the entry-point nodes race for the single dormant
     // token (USB stick / spear-phish, per the Stuxnet dossier).
     for id in net.node_ids() {
-        let node = net.node(id);
-        if !node.role.is_entry_point() {
+        if !net.role(id).is_entry_point() {
             continue;
         }
         b.timed_activity(
-            format!("seed-{}", node.name),
+            format!("seed-{}", net.name(id)),
             FiringDistribution::Exponential {
-                rate: rate_of(cat.infection_probability(&node.profile), 1.0),
+                rate: rate_of(cat.infection_probability(net.profile(id)), 1.0),
             },
         )
         .input_arc(dormant, 1)
@@ -271,11 +270,10 @@ pub fn compile_network_campaign(
 
     // Privilege escalation per node: infected -> rooted.
     for id in net.node_ids() {
-        let node = net.node(id);
         b.timed_activity(
-            format!("escalate-{}", node.name),
+            format!("escalate-{}", net.name(id)),
             FiringDistribution::Exponential {
-                rate: rate_of(cat.escalation_probability(&node.profile), 1.0),
+                rate: rate_of(cat.escalation_probability(net.profile(id)), 1.0),
             },
         )
         .input_arc(infected[id.index()], 1)
@@ -288,14 +286,14 @@ pub fn compile_network_campaign(
     // probability, field targets the dialect-mismatch factor.
     for src in net.node_ids() {
         for &dst in net.neighbors(src) {
-            let dst_node = net.node(dst);
-            let mut p = cat.infection_probability(&dst_node.profile);
+            let dst_profile = net.profile(dst);
+            let mut p = cat.infection_probability(dst_profile);
             if net.crosses_zone(src, dst) {
-                p *= cat.firewall_pass_probability(&dst_node.profile);
+                p *= cat.firewall_pass_probability(dst_profile);
             }
-            let src_dialect = net.node(src).profile.dialect;
-            let needs_dialect = matches!(dst_node.role, NodeRole::Plc | NodeRole::FieldGateway);
-            if needs_dialect && src_dialect != dst_node.profile.dialect {
+            let src_dialect = net.profile(src).dialect;
+            let needs_dialect = matches!(net.role(dst), NodeRole::Plc | NodeRole::FieldGateway);
+            if needs_dialect && src_dialect != dst_profile.dialect {
                 p *= 0.05;
             }
             let (r_src, i_dst, r_dst) = (
@@ -304,7 +302,7 @@ pub fn compile_network_campaign(
                 rooted[dst.index()],
             );
             b.timed_activity(
-                format!("hop-{}-{}", net.node(src).name, dst_node.name),
+                format!("hop-{}-{}", net.name(src), net.name(dst)),
                 FiringDistribution::Exponential {
                     rate: rate_of(p, attempts),
                 },
@@ -321,15 +319,14 @@ pub fn compile_network_campaign(
     // a neighbor (gateway / engineering path). Sabotage threats only —
     // espionage catalogs have a zero payload probability.
     for id in net.node_ids() {
-        let node = net.node(id);
-        if node.role != NodeRole::Plc {
+        if net.role(id) != NodeRole::Plc {
             continue;
         }
-        let p = cat.plc_payload_probability(&node.profile);
+        let p = cat.plc_payload_probability(net.profile(id));
         if p == 0.0 {
             continue;
         }
-        let pwn = b.place(format!("pwn-{}", node.name), 0);
+        let pwn = b.place(format!("pwn-{}", net.name(id)), 0);
         let mut reads = vec![pwn, rooted[id.index()]];
         let mut footholds = vec![rooted[id.index()]];
         for &nb in net.neighbors(id) {
@@ -337,7 +334,7 @@ pub fn compile_network_campaign(
             footholds.push(rooted[nb.index()]);
         }
         b.timed_activity(
-            format!("payload-{}", node.name),
+            format!("payload-{}", net.name(id)),
             FiringDistribution::Exponential {
                 rate: rate_of(p, attempts),
             },
@@ -355,11 +352,11 @@ pub fn compile_network_campaign(
     let p_detect = cat.detection_probability(
         &net.nodes_with_role(NodeRole::Historian)
             .first()
-            .map(|&id| net.node(id).profile)
+            .map(|&id| *net.profile(id))
             .unwrap_or_default(),
         &net.nodes_with_role(NodeRole::Plc)
             .first()
-            .map(|&id| net.node(id).profile)
+            .map(|&id| *net.profile(id))
             .unwrap_or_default(),
         false,
         threat.stealth,

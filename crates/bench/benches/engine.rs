@@ -19,6 +19,7 @@ use diversify_bench::{
 use diversify_core::exec::{campaign_plan, Executor, ReplicationPlan};
 use diversify_core::runner::{measure_configuration_adaptive, PrecisionTarget};
 use diversify_san::Engine;
+use diversify_scada::fleet::{FleetConfig, FleetSystem};
 use diversify_scada::scope::{ScopeConfig, ScopeSystem};
 use std::hint::black_box;
 
@@ -142,5 +143,46 @@ fn bench_engine(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_engine);
+/// Fleet-scaling axis: replications/s of the event-driven frontier
+/// engine across four decades of generated plant-family size, plus the
+/// dense O(nodes)-per-tick reference sweep at 10^4 and 10^5 nodes for
+/// the headline comparison recorded in `BENCH_5.json`. The horizon is
+/// bounded (30 simulated days) so the workload is the same at every
+/// size; fleets are built outside the timed loops.
+fn bench_fleet_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("campaign_fleet_scaling");
+    g.sample_size(10);
+    for &target in &[100usize, 1_000, 10_000, 100_000, 1_000_000] {
+        let fleet = FleetSystem::build(&FleetConfig::sized(target, 0x5CA1E));
+        let n = fleet.network().node_count();
+        let campaign = CampaignConfig {
+            max_ticks: 24 * 30,
+            detection_stops_attack: false,
+        };
+        let sim = CampaignSimulator::new(fleet.network(), ThreatModel::stuxnet_like(), campaign);
+        let mut ws = sim.workspace();
+        let reps: u64 = if target <= 10_000 { 10 } else { 2 };
+        println!("campaign_fleet_frontier_{target}: {n} nodes, {reps} replications/iteration");
+        g.bench_function(&format!("campaign_fleet_frontier_{target}"), |b| {
+            b.iter(|| {
+                for seed in 0..reps {
+                    black_box(sim.run_into(&mut ws, seed));
+                }
+            })
+        });
+        if target == 10_000 || target == 100_000 {
+            let dense_reps: u64 = if target == 10_000 { 2 } else { 1 };
+            g.bench_function(&format!("campaign_fleet_dense_{target}"), |b| {
+                b.iter(|| {
+                    for seed in 0..dense_reps {
+                        black_box(sim.run_reference(seed));
+                    }
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_fleet_scaling);
 criterion_main!(benches);

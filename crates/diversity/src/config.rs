@@ -58,7 +58,7 @@ impl DiversityConfig {
             for class in &self.rotate {
                 rotate_class(&mut profile, *class, i);
             }
-            network.node_mut(id).profile = profile;
+            *network.profile_mut(id) = profile;
         }
     }
 }
@@ -103,7 +103,7 @@ mod tests {
     fn monoculture_leaves_everything_identical() {
         let mut net = network();
         DiversityConfig::monoculture().apply(&mut net);
-        let profiles: Vec<_> = net.node_ids().map(|id| net.node(id).profile).collect();
+        let profiles: Vec<_> = net.node_ids().map(|id| *net.profile(id)).collect();
         assert!(profiles.windows(2).all(|w| w[0] == w[1]));
         assert_eq!(profiles[0], ComponentProfile::default());
     }
@@ -114,8 +114,8 @@ mod tests {
         DiversityConfig::full_rotation().apply(&mut net);
         // Adjacent node indices get different OS variants.
         let ids: Vec<_> = net.node_ids().collect();
-        let a = net.node(ids[0]).profile;
-        let b = net.node(ids[1]).profile;
+        let a = *net.profile(ids[0]);
+        let b = *net.profile(ids[1]);
         assert_ne!(a.os, b.os);
         assert_ne!(a.dialect, b.dialect);
     }
@@ -125,8 +125,8 @@ mod tests {
         let mut net = network();
         DiversityConfig::rotate_only(ComponentClass::ProtocolDialect).apply(&mut net);
         let ids: Vec<_> = net.node_ids().collect();
-        let a = net.node(ids[0]).profile;
-        let b = net.node(ids[1]).profile;
+        let a = *net.profile(ids[0]);
+        let b = *net.profile(ids[1]);
         assert_ne!(a.dialect, b.dialect);
         assert_eq!(a.os, b.os);
         assert_eq!(a.plc_firmware, b.plc_firmware);
@@ -137,7 +137,7 @@ mod tests {
         let mut net = network();
         DiversityConfig::rotate_only(ComponentClass::OperatingSystem).apply(&mut net);
         let distinct: std::collections::HashSet<_> =
-            net.node_ids().map(|id| net.node(id).profile.os).collect();
+            net.node_ids().map(|id| net.profile(id).os).collect();
         assert_eq!(distinct.len(), OsVariant::ALL.len());
     }
 

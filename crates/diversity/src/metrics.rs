@@ -45,7 +45,7 @@ fn os_counts(network: &ScadaNetwork) -> HashMap<String, usize> {
     let mut counts: HashMap<String, usize> = HashMap::new();
     for id in network.node_ids() {
         *counts
-            .entry(format!("{:?}", network.node(id).profile.os))
+            .entry(format!("{:?}", network.profile(id).os))
             .or_insert(0) += 1;
     }
     counts
@@ -68,7 +68,7 @@ pub fn deployment_cost(
     let mut distinct: [std::collections::HashSet<String>; 6] = Default::default();
     let mut hardened = 0usize;
     for id in network.node_ids() {
-        let p = &network.node(id).profile;
+        let p = network.profile(id);
         distinct[0].insert(format!("{:?}", p.os));
         distinct[1].insert(format!("{:?}", p.plc_firmware));
         distinct[2].insert(format!("{:?}", p.dialect));
@@ -139,7 +139,7 @@ mod tests {
         let before = deployment_cost(&net, 0.0, 10.0);
         let ids: Vec<_> = net.node_ids().take(2).collect();
         for id in ids {
-            net.node_mut(id).profile = diversify_scada::components::ComponentProfile::hardened();
+            *net.profile_mut(id) = diversify_scada::components::ComponentProfile::hardened();
         }
         let after = deployment_cost(&net, 0.0, 10.0);
         assert!((after - before - 20.0).abs() < 30.0); // 2 hardened + variant effects at 0 premium

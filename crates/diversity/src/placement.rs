@@ -83,7 +83,7 @@ pub fn apply_placement(
 ) -> Vec<NodeId> {
     let chosen = strategy.select(network);
     for &id in &chosen {
-        network.node_mut(id).profile = hardened;
+        *network.profile_mut(id) = hardened;
     }
     chosen
 }
@@ -124,7 +124,7 @@ mod tests {
         let set: std::collections::HashSet<_> = chosen.iter().collect();
         assert_eq!(set.len(), 5);
         for id in chosen {
-            assert_eq!(net.node(id).profile, ComponentProfile::hardened());
+            assert_eq!(*net.profile(id), ComponentProfile::hardened());
         }
     }
 
@@ -144,7 +144,7 @@ mod tests {
         let chosen = PlacementStrategy::Strategic { k: 3 }.select(&net);
         assert_eq!(chosen.len(), 3);
         // Device-impairment targets come first: all picks are PLCs.
-        let roles: Vec<NodeRole> = chosen.iter().map(|&id| net.node(id).role).collect();
+        let roles: Vec<NodeRole> = chosen.iter().map(|&id| net.role(id)).collect();
         assert!(
             roles.iter().all(|r| *r == NodeRole::Plc),
             "strategic picks should start with the PLCs, got {roles:?}"
@@ -152,7 +152,7 @@ mod tests {
         // Past the PLCs, gateways follow (SCoPE default has 4 PLCs + 2
         // gateways).
         let six = PlacementStrategy::Strategic { k: 6 }.select(&net);
-        let tail: Vec<NodeRole> = six[4..].iter().map(|&id| net.node(id).role).collect();
+        let tail: Vec<NodeRole> = six[4..].iter().map(|&id| net.role(id)).collect();
         assert!(
             tail.iter().all(|r| *r == NodeRole::FieldGateway),
             "{tail:?}"

@@ -1,0 +1,374 @@
+//! Fleet-scale plant-family generator.
+//!
+//! The paper's case study is one plant with tens of nodes; the roadmap
+//! north-star is indicator queries over production fleets of 10^5–10^6
+//! devices. This module grows the SCoPE plant shape into a **tiered
+//! fleet**: `plants → substations → field devices`, deterministically
+//! randomized from a seed so any size from 10^2 to 10^6 nodes can be
+//! regenerated bit-for-bit.
+//!
+//! Each plant mirrors the SCoPE layout — an office chain (corporate
+//! zone), an HMI/historian/engineering triangle (control-center zone),
+//! and per-substation field gateways fronting PLC stars (field zone).
+//! Substation PLC counts are jittered around the configured mean and
+//! plants are joined in a historian WAN ring, so generated fleets are a
+//! *family* of related-but-distinct topologies rather than one stamped
+//! pattern.
+//!
+//! ```
+//! use diversify_scada::fleet::{FleetConfig, FleetSystem};
+//!
+//! let fleet = FleetSystem::build(&FleetConfig::sized(1_000, 7));
+//! let n = fleet.network().node_count();
+//! assert!((900..=1_100).contains(&n));
+//! // Same seed, same fleet.
+//! let again = FleetSystem::build(&FleetConfig::sized(1_000, 7));
+//! assert_eq!(again.network().node_count(), n);
+//! ```
+
+use crate::components::ComponentProfile;
+use crate::network::{NodeId, NodeRole, ScadaNetwork, Zone};
+use diversify_des::{RngStream, StreamId};
+
+/// RNG stream id for fleet topology generation.
+const FLEET_STREAM: StreamId = StreamId(0xF1EE);
+
+/// Configuration of a tiered plant fleet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Number of plants in the fleet.
+    pub plants: usize,
+    /// Substations (field gateways) per plant.
+    pub substations_per_plant: usize,
+    /// Mean PLCs per substation (jittered ±1 per substation).
+    pub plcs_per_substation: usize,
+    /// Office workstations per plant.
+    pub offices_per_plant: usize,
+    /// Master seed for the topology jitter.
+    pub seed: u64,
+    /// Baseline component profile applied to every node.
+    pub baseline_profile: ComponentProfile,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            plants: 1,
+            substations_per_plant: 10,
+            plcs_per_substation: 8,
+            offices_per_plant: 2,
+            seed: 0xF1EE7,
+            baseline_profile: ComponentProfile::default(),
+        }
+    }
+}
+
+impl FleetConfig {
+    /// A configuration whose generated fleet has approximately
+    /// `target_nodes` nodes (within a few percent — substation PLC
+    /// counts are seed-jittered). Valid from about 10^2 up to 10^6
+    /// nodes: small targets shrink to a single plant, large targets add
+    /// ~95-node plants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_nodes` is zero.
+    #[must_use]
+    pub fn sized(target_nodes: usize, seed: u64) -> Self {
+        assert!(target_nodes > 0, "fleet must have at least one node");
+        let base = FleetConfig {
+            seed,
+            ..FleetConfig::default()
+        };
+        // Split the target across ~95-node plants, then refit the
+        // substation count so plants × plant-size lands on the target.
+        let per_plant = base.nodes_per_plant_estimate();
+        let plants = (target_nodes / per_plant).max(1);
+        let overhead = base.offices_per_plant + 3;
+        let per_substation = 1 + base.plcs_per_substation;
+        let plant_target = target_nodes / plants;
+        let substations =
+            (plant_target.saturating_sub(overhead) + per_substation / 2) / per_substation;
+        FleetConfig {
+            plants,
+            substations_per_plant: substations.max(1),
+            ..base
+        }
+    }
+
+    /// Expected node count of one plant (before jitter).
+    #[must_use]
+    pub fn nodes_per_plant_estimate(&self) -> usize {
+        self.offices_per_plant + 3 + self.substations_per_plant * (1 + self.plcs_per_substation)
+    }
+
+    /// Expected node count of the whole fleet (before jitter).
+    #[must_use]
+    pub fn node_estimate(&self) -> usize {
+        self.plants * self.nodes_per_plant_estimate()
+    }
+}
+
+/// Node ids of one generated plant.
+#[derive(Debug, Clone)]
+pub struct PlantNodes {
+    /// Office workstations (corporate zone).
+    pub offices: Vec<NodeId>,
+    /// Operator HMI.
+    pub hmi: NodeId,
+    /// Process historian (WAN ring endpoint).
+    pub historian: NodeId,
+    /// Engineering workstation.
+    pub engineering: NodeId,
+    /// Field gateways, one per substation.
+    pub gateways: Vec<NodeId>,
+    /// PLCs, grouped per substation in gateway order.
+    pub plcs: Vec<NodeId>,
+}
+
+/// A generated fleet: the network plus per-plant node indexes.
+#[derive(Debug, Clone)]
+pub struct FleetSystem {
+    config: FleetConfig,
+    network: ScadaNetwork,
+    plants: Vec<PlantNodes>,
+}
+
+impl FleetSystem {
+    /// Generates the fleet for `config`. Deterministic: identical
+    /// configurations (including the seed) yield identical networks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero plants or substations.
+    #[must_use]
+    pub fn build(config: &FleetConfig) -> Self {
+        assert!(
+            config.plants > 0 && config.substations_per_plant > 0,
+            "non-empty fleet required"
+        );
+        let p = config.baseline_profile;
+        let mut rng = RngStream::new(config.seed, FLEET_STREAM);
+        let mut net = ScadaNetwork::new();
+        let mut plants = Vec::with_capacity(config.plants);
+
+        for plant in 0..config.plants {
+            // Corporate zone: office LAN chain, reporting into the
+            // historian below.
+            let offices: Vec<NodeId> = (0..config.offices_per_plant)
+                .map(|i| {
+                    net.add_node(
+                        format!("p{plant}-office-{i}"),
+                        NodeRole::OfficeWorkstation,
+                        Zone::Corporate,
+                        p,
+                    )
+                })
+                .collect();
+            for w in offices.windows(2) {
+                net.connect(w[0], w[1]);
+            }
+
+            // Control-center zone: the SCoPE triangle.
+            let hmi = net.add_node(
+                format!("p{plant}-hmi"),
+                NodeRole::Hmi,
+                Zone::ControlCenter,
+                p,
+            );
+            let historian = net.add_node(
+                format!("p{plant}-historian"),
+                NodeRole::Historian,
+                Zone::ControlCenter,
+                p,
+            );
+            let engineering = net.add_node(
+                format!("p{plant}-engineering"),
+                NodeRole::EngineeringWorkstation,
+                Zone::ControlCenter,
+                p,
+            );
+            net.connect(hmi, historian);
+            net.connect(hmi, engineering);
+            net.connect(historian, engineering);
+            for &o in &offices {
+                net.connect(o, historian);
+            }
+
+            // Field zone: per substation, a gateway fronting a PLC star.
+            // PLC counts jitter ±1 around the configured mean so plants
+            // differ; every gateway keeps supervisory links to the HMI
+            // and the engineering workstation (project downloads).
+            let mut gateways = Vec::with_capacity(config.substations_per_plant);
+            let mut plcs = Vec::new();
+            for sub in 0..config.substations_per_plant {
+                let gw = net.add_node(
+                    format!("p{plant}-gw-{sub}"),
+                    NodeRole::FieldGateway,
+                    Zone::Field,
+                    p,
+                );
+                net.connect(hmi, gw);
+                net.connect(engineering, gw);
+                let jitter = rng.index(3); // 0, 1 or 2 → -1, 0 or +1
+                let count = (config.plcs_per_substation + jitter)
+                    .saturating_sub(1)
+                    .max(1);
+                for i in 0..count {
+                    let plc = net.add_node(
+                        format!("p{plant}-plc-{sub}-{i}"),
+                        NodeRole::Plc,
+                        Zone::Field,
+                        p,
+                    );
+                    net.connect(gw, plc);
+                    plcs.push(plc);
+                }
+                gateways.push(gw);
+            }
+            // Occasional redundant backbone between adjacent substations.
+            for pair in gateways.windows(2) {
+                if rng.bernoulli(0.3) {
+                    net.connect(pair[0], pair[1]);
+                }
+            }
+
+            plants.push(PlantNodes {
+                offices,
+                hmi,
+                historian,
+                engineering,
+                gateways,
+                plcs,
+            });
+        }
+
+        // Fleet WAN: historian ring (closed only when it adds a new edge).
+        for pair in plants.windows(2) {
+            net.connect(pair[0].historian, pair[1].historian);
+        }
+        if plants.len() > 2 {
+            net.connect(plants[plants.len() - 1].historian, plants[0].historian);
+        }
+
+        FleetSystem {
+            config: config.clone(),
+            network: net,
+            plants,
+        }
+    }
+
+    /// The generated network.
+    #[must_use]
+    pub fn network(&self) -> &ScadaNetwork {
+        &self.network
+    }
+
+    /// Mutable network access (diversity placement rewrites profiles).
+    pub fn network_mut(&mut self) -> &mut ScadaNetwork {
+        &mut self.network
+    }
+
+    /// The configuration this fleet was generated from.
+    #[must_use]
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Per-plant node indexes, in generation order.
+    #[must_use]
+    pub fn plants(&self) -> &[PlantNodes] {
+        &self.plants
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_fleet_matches_estimate_closely() {
+        let cfg = FleetConfig::default();
+        let fleet = FleetSystem::build(&cfg);
+        let n = fleet.network().node_count();
+        let est = cfg.node_estimate();
+        // Jitter is ±1 PLC per substation.
+        assert!(n.abs_diff(est) <= cfg.plants * cfg.substations_per_plant);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = FleetConfig::sized(2_000, 42);
+        let a = FleetSystem::build(&cfg);
+        let b = FleetSystem::build(&cfg);
+        assert_eq!(a.network().node_count(), b.network().node_count());
+        assert_eq!(a.network().link_count(), b.network().link_count());
+        for id in a.network().node_ids() {
+            assert_eq!(a.network().neighbors(id), b.network().neighbors(id));
+            assert_eq!(a.network().role(id), b.network().role(id));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FleetSystem::build(&FleetConfig::sized(2_000, 1));
+        let b = FleetSystem::build(&FleetConfig::sized(2_000, 2));
+        // Same tier counts, different jitter → different link/node totals
+        // (overwhelmingly likely; both are deterministic).
+        assert!(
+            a.network().node_count() != b.network().node_count()
+                || a.network().link_count() != b.network().link_count()
+        );
+    }
+
+    #[test]
+    fn sized_hits_targets_across_four_decades() {
+        for &target in &[100usize, 1_000, 10_000, 100_000] {
+            let fleet = FleetSystem::build(&FleetConfig::sized(target, 9));
+            let n = fleet.network().node_count();
+            let err = n.abs_diff(target) as f64 / target as f64;
+            assert!(
+                err < 0.15,
+                "sized({target}) produced {n} nodes ({err:.0} rel err)"
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_is_connected_and_zoned() {
+        let fleet = FleetSystem::build(&FleetConfig::sized(1_000, 3));
+        let net = fleet.network();
+        let entry = fleet.plants()[0].offices[0];
+        assert_eq!(net.reachable(entry).len(), net.node_count());
+        assert!(!net.nodes_in_zone(Zone::Corporate).is_empty());
+        assert!(!net.nodes_in_zone(Zone::ControlCenter).is_empty());
+        assert!(!net.nodes_in_zone(Zone::Field).is_empty());
+        // Every plant contributes an entry point and PLCs.
+        for plant in fleet.plants() {
+            assert!(net.role(plant.offices[0]).is_entry_point());
+            assert!(!plant.plcs.is_empty());
+        }
+    }
+
+    #[test]
+    fn plc_population_dominates_at_scale() {
+        let fleet = FleetSystem::build(&FleetConfig::sized(10_000, 5));
+        let net = fleet.network();
+        let plcs = net.nodes_with_role(NodeRole::Plc).len();
+        assert!(
+            plcs * 2 > net.node_count(),
+            "field devices should be the majority: {plcs} of {}",
+            net.node_count()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_plants_rejected() {
+        let cfg = FleetConfig {
+            plants: 0,
+            ..FleetConfig::default()
+        };
+        let _ = FleetSystem::build(&cfg);
+    }
+}

@@ -17,12 +17,16 @@
 //!   fan/valve/pump actuators, with fault/impairment states.
 //! * [`physics`] — the data-center cooling plant (racks → room air → CRAC
 //!   units → chilled-water loop) as an explicit-Euler thermal model.
-//! * [`network`] — the plant network: nodes, security zones, links,
-//!   firewall rules, reachability, and centrality analysis used for
+//! * [`network`] — the plant network: structure-of-arrays node state and
+//!   a CSR topology (flat neighbor array, precomputed role/zone indexes)
+//!   serving reachability and the centrality analysis used for
 //!   *strategic* diversity placement.
 //! * [`scope`] — a parameterized model of the SCoPE data-center cooling
 //!   system (the paper's case study): builds the full topology and wires
 //!   PLC control loops to the thermal model.
+//! * [`fleet`] — a tiered plant-family generator (plants → substations →
+//!   field devices), deterministically seed-randomized and valid from
+//!   10^2 to 10^6 nodes, for fleet-scale campaign studies.
 //!
 //! ## Quick start
 //!
@@ -43,6 +47,7 @@
 pub mod components;
 pub mod device;
 pub mod error;
+pub mod fleet;
 pub mod network;
 pub mod physics;
 pub mod plc;
@@ -54,5 +59,6 @@ pub use components::{
     SensorVendor,
 };
 pub use error::ScadaError;
-pub use network::{LinkId, NetworkNode, NodeId, NodeRole, ScadaNetwork, Zone};
+pub use fleet::{FleetConfig, FleetSystem};
+pub use network::{LinkId, NodeId, NodeRole, ScadaNetwork, Topology, Zone};
 pub use protocol::dialect::ProtocolDialect;

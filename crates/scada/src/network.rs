@@ -1,10 +1,28 @@
 //! The plant network: nodes, zones, links, firewall rules and the graph
 //! analyses used by attack propagation and strategic diversity placement.
+//!
+//! # Representation
+//!
+//! Node state is stored **structure-of-arrays** (names, roles, zones and
+//! component profiles as parallel vectors), and the link structure is
+//! served from a **CSR topology** (a flat neighbor array indexed by
+//! per-node offsets) with precomputed role and zone indexes. The CSR
+//! view is derived data: it is built lazily on first query after a
+//! topology mutation and cached until the next `add_node`/`connect`, so
+//! construction stays an append-only edge list while every traversal —
+//! campaign propagation, reachability, centrality — runs over two
+//! contiguous arrays. Rebuilds cost O(V + E); alternating mutation and
+//! query pays that price per alternation, so build the plant first and
+//! query after (every generator in this workspace does).
+//!
+//! Profile rewrites (diversity placement) do **not** invalidate the
+//! cache: the topology depends only on nodes and links.
 
 use crate::components::ComponentProfile;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashSet, VecDeque};
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Identifies a node within one [`ScadaNetwork`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -15,6 +33,15 @@ impl NodeId {
     #[must_use]
     pub fn index(self) -> usize {
         self.0
+    }
+
+    /// Reconstructs a node id from a raw index — for engines that keep
+    /// node indexes in their own packed structures (bitsets, counters).
+    /// The id is only meaningful for the network whose index space it
+    /// came from; out-of-range ids make accessors panic.
+    #[must_use]
+    pub fn from_index(index: usize) -> NodeId {
+        NodeId(index)
     }
 }
 
@@ -36,6 +63,16 @@ pub enum Zone {
 impl Zone {
     /// All zones, outermost first.
     pub const ALL: [Zone; 3] = [Zone::Corporate, Zone::ControlCenter, Zone::Field];
+
+    /// Position of this zone in [`Zone::ALL`] (the zone-index key).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Zone::Corporate => 0,
+            Zone::ControlCenter => 1,
+            Zone::Field => 2,
+        }
+    }
 }
 
 /// The functional role of a network node.
@@ -56,6 +93,29 @@ pub enum NodeRole {
 }
 
 impl NodeRole {
+    /// All roles, in declaration order.
+    pub const ALL: [NodeRole; 6] = [
+        NodeRole::OfficeWorkstation,
+        NodeRole::Hmi,
+        NodeRole::Historian,
+        NodeRole::EngineeringWorkstation,
+        NodeRole::Plc,
+        NodeRole::FieldGateway,
+    ];
+
+    /// Position of this role in [`NodeRole::ALL`] (the role-index key).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            NodeRole::OfficeWorkstation => 0,
+            NodeRole::Hmi => 1,
+            NodeRole::Historian => 2,
+            NodeRole::EngineeringWorkstation => 3,
+            NodeRole::Plc => 4,
+            NodeRole::FieldGateway => 5,
+        }
+    }
+
     /// Whether this role can host the initial infection (removable media,
     /// email, etc. — Stuxnet's entry vectors live in office space).
     #[must_use]
@@ -67,20 +127,6 @@ impl NodeRole {
     }
 }
 
-/// One node of the plant network.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct NetworkNode {
-    /// Display name.
-    pub name: String,
-    /// Functional role.
-    pub role: NodeRole,
-    /// Security zone.
-    pub zone: Zone,
-    /// Deployed component variants (the diversity configuration acts
-    /// here).
-    pub profile: ComponentProfile,
-}
-
 /// An undirected communication link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Link {
@@ -90,12 +136,115 @@ pub struct Link {
     pub b: NodeId,
 }
 
-/// The plant network graph.
+/// The derived CSR view of a [`ScadaNetwork`]: flat neighbor array plus
+/// per-node offsets, and the precomputed role/zone membership lists
+/// (each in ascending node-id order). Borrow it once via
+/// [`ScadaNetwork::topology`] before a hot loop; all methods are O(1)
+/// slice lookups.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// `offsets[i]..offsets[i + 1]` indexes node `i`'s neighbors.
+    offsets: Vec<u32>,
+    /// Flat neighbor array. Per-node neighbor order matches link
+    /// insertion order (what the old `Vec<Vec<NodeId>>` adjacency
+    /// produced), so RNG draw schedules indexed by neighbor position
+    /// are unchanged by the CSR migration.
+    neighbors: Vec<NodeId>,
+    /// Node ids per [`NodeRole`] (indexed by [`NodeRole::index`]).
+    by_role: Vec<Vec<NodeId>>,
+    /// Node ids per [`Zone`] (indexed by [`Zone::index`]).
+    by_zone: Vec<Vec<NodeId>>,
+}
+
+impl Topology {
+    fn build(n: usize, roles: &[NodeRole], zones: &[Zone], links: &[Link]) -> Self {
+        assert!(
+            n < u32::MAX as usize && links.len() < (u32::MAX / 2) as usize,
+            "node/link counts exceed the CSR u32 offset range"
+        );
+        // Counting pass.
+        let mut offsets = vec![0u32; n + 1];
+        for l in links {
+            offsets[l.a.0 + 1] += 1;
+            offsets[l.b.0 + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        // Fill pass, in link insertion order: node `a` receives `b` in
+        // exactly the order `connect` was called — the order the old
+        // nested-Vec adjacency stored.
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![NodeId(0); links.len() * 2];
+        for l in links {
+            neighbors[cursor[l.a.0] as usize] = l.b;
+            cursor[l.a.0] += 1;
+            neighbors[cursor[l.b.0] as usize] = l.a;
+            cursor[l.b.0] += 1;
+        }
+        // Role/zone membership: one ascending pass over the SoA arrays.
+        let mut by_role = vec![Vec::new(); NodeRole::ALL.len()];
+        let mut by_zone = vec![Vec::new(); Zone::ALL.len()];
+        for i in 0..n {
+            by_role[roles[i].index()].push(NodeId(i));
+            by_zone[zones[i].index()].push(NodeId(i));
+        }
+        Topology {
+            offsets,
+            neighbors,
+            by_role,
+            by_zone,
+        }
+    }
+
+    /// Neighbors of a node, in link insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn neighbors(&self, id: NodeId) -> &[NodeId] {
+        &self.neighbors[self.offsets[id.0] as usize..self.offsets[id.0 + 1] as usize]
+    }
+
+    /// Number of neighbors of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn degree(&self, id: NodeId) -> usize {
+        (self.offsets[id.0 + 1] - self.offsets[id.0]) as usize
+    }
+
+    /// Ids of nodes with a given role, ascending.
+    #[must_use]
+    pub fn with_role(&self, role: NodeRole) -> &[NodeId] {
+        &self.by_role[role.index()]
+    }
+
+    /// Ids of nodes in a given zone, ascending.
+    #[must_use]
+    pub fn in_zone(&self, zone: Zone) -> &[NodeId] {
+        &self.by_zone[zone.index()]
+    }
+}
+
+/// The plant network graph: structure-of-arrays node state plus an edge
+/// list, with the derived [`Topology`] (CSR + role/zone indexes) cached
+/// lazily.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ScadaNetwork {
-    nodes: Vec<NetworkNode>,
+    names: Vec<String>,
+    roles: Vec<NodeRole>,
+    zones: Vec<Zone>,
+    profiles: Vec<ComponentProfile>,
     links: Vec<Link>,
-    adjacency: Vec<Vec<NodeId>>,
+    /// Derived CSR view; invalidated by `add_node`/`connect`, rebuilt on
+    /// the next query. Skipped by serde (rebuilt lazily after
+    /// deserialization) and cheap to clone when empty.
+    #[serde(skip)]
+    topo: OnceLock<Topology>,
 }
 
 impl ScadaNetwork {
@@ -113,14 +262,12 @@ impl ScadaNetwork {
         zone: Zone,
         profile: ComponentProfile,
     ) -> NodeId {
-        self.nodes.push(NetworkNode {
-            name: name.into(),
-            role,
-            zone,
-            profile,
-        });
-        self.adjacency.push(Vec::new());
-        NodeId(self.nodes.len() - 1)
+        self.topo = OnceLock::new();
+        self.names.push(name.into());
+        self.roles.push(role);
+        self.zones.push(zone);
+        self.profiles.push(profile);
+        NodeId(self.names.len() - 1)
     }
 
     /// Connects two nodes with an undirected link.
@@ -130,20 +277,19 @@ impl ScadaNetwork {
     /// Panics if either id is out of range or the link is a self-loop.
     pub fn connect(&mut self, a: NodeId, b: NodeId) -> LinkId {
         assert!(
-            a.0 < self.nodes.len() && b.0 < self.nodes.len(),
+            a.0 < self.names.len() && b.0 < self.names.len(),
             "bad node id"
         );
         assert_ne!(a, b, "self-loops are not allowed");
+        self.topo = OnceLock::new();
         self.links.push(Link { a, b });
-        self.adjacency[a.0].push(b);
-        self.adjacency[b.0].push(a);
         LinkId(self.links.len() - 1)
     }
 
     /// Number of nodes.
     #[must_use]
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.names.len()
     }
 
     /// Number of links.
@@ -152,44 +298,92 @@ impl ScadaNetwork {
         self.links.len()
     }
 
-    /// The node with the given id.
+    /// The derived CSR topology (flat neighbors + role/zone indexes),
+    /// building it if a mutation invalidated the cache. Hot loops should
+    /// call this once and keep the reference.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        self.topo.get_or_init(|| {
+            Topology::build(self.names.len(), &self.roles, &self.zones, &self.links)
+        })
+    }
+
+    /// Display name of a node.
     ///
     /// # Panics
     ///
     /// Panics if the id is out of range.
     #[must_use]
-    pub fn node(&self, id: NodeId) -> &NetworkNode {
-        &self.nodes[id.0]
+    pub fn name(&self, id: NodeId) -> &str {
+        &self.names[id.0]
     }
 
-    /// Mutable access to a node (used by diversity placement).
+    /// Functional role of a node.
     ///
     /// # Panics
     ///
     /// Panics if the id is out of range.
-    pub fn node_mut(&mut self, id: NodeId) -> &mut NetworkNode {
-        &mut self.nodes[id.0]
+    #[must_use]
+    pub fn role(&self, id: NodeId) -> NodeRole {
+        self.roles[id.0]
+    }
+
+    /// Security zone of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn zone(&self, id: NodeId) -> Zone {
+        self.zones[id.0]
+    }
+
+    /// Deployed component variants of a node (where the diversity
+    /// configuration acts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn profile(&self, id: NodeId) -> &ComponentProfile {
+        &self.profiles[id.0]
+    }
+
+    /// Mutable profile access (used by diversity placement). Does not
+    /// invalidate the cached topology: role, zone and links are fixed at
+    /// construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn profile_mut(&mut self, id: NodeId) -> &mut ComponentProfile {
+        &mut self.profiles[id.0]
+    }
+
+    /// The per-node profile array (parallel to node ids) — the SoA view
+    /// for bulk readers.
+    #[must_use]
+    pub fn profiles(&self) -> &[ComponentProfile] {
+        &self.profiles
     }
 
     /// Iterates over all node ids.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.nodes.len()).map(NodeId)
+        (0..self.names.len()).map(NodeId)
     }
 
-    /// Ids of nodes with a given role.
+    /// Ids of nodes with a given role, in ascending id order — served
+    /// from the precomputed role index, no allocation.
     #[must_use]
-    pub fn nodes_with_role(&self, role: NodeRole) -> Vec<NodeId> {
-        self.node_ids()
-            .filter(|&id| self.node(id).role == role)
-            .collect()
+    pub fn nodes_with_role(&self, role: NodeRole) -> &[NodeId] {
+        self.topology().with_role(role)
     }
 
-    /// Ids of nodes in a given zone.
+    /// Ids of nodes in a given zone, in ascending id order — served from
+    /// the precomputed zone index, no allocation.
     #[must_use]
-    pub fn nodes_in_zone(&self, zone: Zone) -> Vec<NodeId> {
-        self.node_ids()
-            .filter(|&id| self.node(id).zone == zone)
-            .collect()
+    pub fn nodes_in_zone(&self, zone: Zone) -> &[NodeId] {
+        self.topology().in_zone(zone)
     }
 
     /// Neighbors of a node.
@@ -199,24 +393,35 @@ impl ScadaNetwork {
     /// Panics if the id is out of range.
     #[must_use]
     pub fn neighbors(&self, id: NodeId) -> &[NodeId] {
-        &self.adjacency[id.0]
+        self.topology().neighbors(id)
+    }
+
+    /// Number of neighbors of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn degree(&self, id: NodeId) -> usize {
+        self.topology().degree(id)
     }
 
     /// Whether a hop from `from` to `to` crosses a zone boundary (and is
     /// therefore subject to the target's firewall policy).
     #[must_use]
     pub fn crosses_zone(&self, from: NodeId, to: NodeId) -> bool {
-        self.node(from).zone != self.node(to).zone
+        self.zones[from.0] != self.zones[to.0]
     }
 
     /// Nodes reachable from `start` (ignoring firewalls) — basic
     /// connectivity.
     #[must_use]
     pub fn reachable(&self, start: NodeId) -> HashSet<NodeId> {
+        let topo = self.topology();
         let mut seen = HashSet::from([start]);
         let mut queue = VecDeque::from([start]);
         while let Some(n) = queue.pop_front() {
-            for &next in self.neighbors(n) {
+            for &next in topo.neighbors(n) {
                 if seen.insert(next) {
                     queue.push_back(next);
                 }
@@ -229,36 +434,47 @@ impl ScadaNetwork {
     /// shortest-path trees (one BFS per source) in which it appears as an
     /// interior vertex. Cheap (O(V·E)) and sufficient to rank choke
     /// points for *strategic* diversity placement.
+    ///
+    /// Runs over the CSR arrays with one set of scratch buffers reused
+    /// across all V source BFS passes (epoch-stamped visit marks, so no
+    /// per-source clearing) — the only allocations are the scratch set
+    /// and the returned ranking.
     #[must_use]
     pub fn centrality(&self) -> Vec<(NodeId, f64)> {
-        let n = self.nodes.len();
+        let topo = self.topology();
+        let n = self.names.len();
         let mut score = vec![0.0f64; n];
+        // Scratch reused across sources: a visit stamp per node (stamp ==
+        // current epoch ⇔ visited this BFS), BFS parents, and the queue.
+        let mut stamp = vec![0u32; n];
+        let mut parent = vec![u32::MAX; n];
+        let mut queue: VecDeque<u32> = VecDeque::with_capacity(n);
         for src in 0..n {
-            // BFS parents.
-            let mut dist = vec![usize::MAX; n];
-            let mut parent = vec![None; n];
-            dist[src] = 0;
-            let mut q = VecDeque::from([src]);
-            while let Some(u) = q.pop_front() {
-                for &NodeId(v) in &self.adjacency[u] {
-                    if dist[v] == usize::MAX {
-                        dist[v] = dist[u] + 1;
-                        parent[v] = Some(u);
-                        q.push_back(v);
+            let epoch = src as u32 + 1;
+            stamp[src] = epoch;
+            parent[src] = u32::MAX;
+            queue.clear();
+            queue.push_back(src as u32);
+            while let Some(u) = queue.pop_front() {
+                for &NodeId(v) in topo.neighbors(NodeId(u as usize)) {
+                    if stamp[v] != epoch {
+                        stamp[v] = epoch;
+                        parent[v] = u;
+                        queue.push_back(v as u32);
                     }
                 }
             }
             // Walk each destination's path and credit interior vertices.
             for dst in 0..n {
-                if dst == src || dist[dst] == usize::MAX {
+                if dst == src || stamp[dst] != epoch {
                     continue;
                 }
                 let mut cur = parent[dst];
-                while let Some(p) = cur {
-                    if p != src {
-                        score[p] += 1.0;
+                while cur != u32::MAX {
+                    if cur as usize != src {
+                        score[cur as usize] += 1.0;
                     }
-                    cur = parent[p];
+                    cur = parent[cur as usize];
                 }
             }
         }
@@ -273,11 +489,12 @@ impl ScadaNetwork {
         if from == to {
             return Some(0);
         }
-        let mut dist = vec![usize::MAX; self.nodes.len()];
+        let topo = self.topology();
+        let mut dist = vec![usize::MAX; self.names.len()];
         dist[from.0] = 0;
         let mut q = VecDeque::from([from]);
         while let Some(u) = q.pop_front() {
-            for &v in self.neighbors(u) {
+            for &v in topo.neighbors(u) {
                 if dist[v.0] == usize::MAX {
                     dist[v.0] = dist[u.0] + 1;
                     if v == to {
@@ -300,11 +517,10 @@ impl fmt::Display for ScadaNetwork {
             self.link_count()
         )?;
         for id in self.node_ids() {
-            let n = self.node(id);
             writeln!(
                 f,
                 "  [{:>3}] {:<24} {:?} / {:?}",
-                id.0, n.name, n.role, n.zone
+                id.0, self.names[id.0], self.roles[id.0], self.zones[id.0]
             )?;
         }
         Ok(())
@@ -342,12 +558,54 @@ mod tests {
         let (net, corp, hmi, plc1, _) = small_net();
         assert_eq!(net.node_count(), 4);
         assert_eq!(net.link_count(), 3);
-        assert_eq!(net.node(corp).name, "corp");
+        assert_eq!(net.name(corp), "corp");
         assert_eq!(net.nodes_with_role(NodeRole::Plc).len(), 2);
-        assert_eq!(net.nodes_in_zone(Zone::ControlCenter), vec![hmi]);
+        assert_eq!(net.nodes_in_zone(Zone::ControlCenter), &[hmi]);
         assert_eq!(net.neighbors(hmi).len(), 3);
         assert!(net.crosses_zone(corp, hmi));
         assert!(!net.crosses_zone(plc1, plc1));
+    }
+
+    #[test]
+    fn csr_neighbor_order_matches_link_insertion_order() {
+        let (net, corp, hmi, plc1, plc2) = small_net();
+        // Node `hmi` received corp (link 0), plc1 (link 1), plc2 (link 2)
+        // — exactly the order the old nested-Vec adjacency stored.
+        assert_eq!(net.neighbors(hmi), &[corp, plc1, plc2]);
+        assert_eq!(net.neighbors(corp), &[hmi]);
+        assert_eq!(net.degree(hmi), 3);
+        assert_eq!(net.degree(plc2), 1);
+    }
+
+    #[test]
+    fn role_and_zone_indexes_are_ascending() {
+        let (net, _, _, plc1, plc2) = small_net();
+        assert_eq!(net.nodes_with_role(NodeRole::Plc), &[plc1, plc2]);
+        assert!(net.nodes_with_role(NodeRole::Historian).is_empty());
+        let field = net.nodes_in_zone(Zone::Field);
+        assert!(field.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn topology_cache_invalidated_by_mutation() {
+        let (mut net, corp, hmi, ..) = small_net();
+        assert_eq!(net.neighbors(corp).len(), 1);
+        // Mutate after a query: the cache must rebuild.
+        let extra = net.add_node("extra", NodeRole::Historian, Zone::ControlCenter, profile());
+        net.connect(corp, extra);
+        assert_eq!(net.neighbors(corp).len(), 2);
+        assert_eq!(net.nodes_with_role(NodeRole::Historian), &[extra]);
+        assert_eq!(net.neighbors(hmi).len(), 3);
+    }
+
+    #[test]
+    fn profile_rewrites_do_not_invalidate_topology() {
+        let (mut net, corp, hmi, ..) = small_net();
+        let before = net.topology() as *const Topology;
+        net.profile_mut(corp).os = crate::components::OsVariant::Linux;
+        let after = net.topology() as *const Topology;
+        assert_eq!(before, after, "profile edits must keep the CSR cache");
+        assert_eq!(net.neighbors(hmi).len(), 3);
     }
 
     #[test]
@@ -390,6 +648,23 @@ mod tests {
     }
 
     #[test]
+    fn centrality_handles_disconnected_components() {
+        let (mut net, _, hmi, ..) = small_net();
+        let a = net.add_node("a", NodeRole::Plc, Zone::Field, profile());
+        let b = net.add_node("b", NodeRole::Plc, Zone::Field, profile());
+        let c = net.add_node("c", NodeRole::Plc, Zone::Field, profile());
+        net.connect(a, b);
+        net.connect(b, c);
+        let ranking = net.centrality();
+        // `b` is interior on a–c paths (both directions), `hmi` interior
+        // on all cross-leaf paths of the star; both score > 0.
+        let score = |id| ranking.iter().find(|(i, _)| *i == id).unwrap().1;
+        assert!(score(b) > 0.0);
+        assert!(score(hmi) > score(b));
+        assert_eq!(score(a), 0.0);
+    }
+
+    #[test]
     #[should_panic(expected = "self-loops")]
     fn self_loop_rejected() {
         let (mut net, corp, ..) = small_net();
@@ -405,6 +680,16 @@ mod tests {
     }
 
     #[test]
+    fn role_and_zone_index_round_trip() {
+        for (i, r) in NodeRole::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+        for (i, z) in Zone::ALL.iter().enumerate() {
+            assert_eq!(z.index(), i);
+        }
+    }
+
+    #[test]
     fn display_lists_nodes() {
         let (net, ..) = small_net();
         let s = net.to_string();
@@ -413,9 +698,22 @@ mod tests {
     }
 
     #[test]
-    fn node_mut_updates_profile() {
+    fn profile_mut_updates_profile() {
         let (mut net, corp, ..) = small_net();
-        net.node_mut(corp).profile = ComponentProfile::hardened();
-        assert!(net.node(corp).profile.resilience() > 0.5);
+        *net.profile_mut(corp) = ComponentProfile::hardened();
+        assert!(net.profile(corp).resilience() > 0.5);
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds_topology() {
+        let (net, _, hmi, ..) = small_net();
+        let json = serde_json::to_string(&net).unwrap();
+        let back: ScadaNetwork = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.node_count(), net.node_count());
+        assert_eq!(back.neighbors(hmi), net.neighbors(hmi));
+        assert_eq!(
+            back.nodes_with_role(NodeRole::Plc),
+            net.nodes_with_role(NodeRole::Plc)
+        );
     }
 }

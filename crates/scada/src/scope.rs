@@ -237,8 +237,8 @@ impl ScopeRuntime {
             rack_groups[group].push(rack);
         }
         for i in 0..cfg.cracs {
-            let node = system.network.node(system.plc_nodes[i]);
-            let mut plc = Plc::new(i as u8 + 1, node.profile.plc_firmware);
+            let profile = *system.network.profile(system.plc_nodes[i]);
+            let mut plc = Plc::new(i as u8 + 1, profile.plc_firmware);
             plc.install_program(cooling_control_program());
             plc.set_holding(0, (cfg.setpoint * 10.0) as u16)
                 .expect("register 0 exists");
@@ -246,7 +246,7 @@ impl ScopeRuntime {
                 .expect("register 3 exists");
             plcs.push(plc);
             sensors.push(Sensor::new(
-                node.profile.sensor,
+                profile.sensor,
                 MeasuredQuantity::Temperature,
                 0.2,
             ));

@@ -121,6 +121,36 @@ fn lazily_sized_workspace_stops_allocating_once_warm() {
     assert_eq!(allocations() - before, 0);
 }
 
+/// The frontier engine at fleet scale: on a generated 10^4-node plant
+/// family, replications through a warm workspace stay allocation-free —
+/// the sparse reset and the hierarchical-bitset frontier never touch
+/// the allocator once sized.
+#[test]
+fn fleet_scale_campaign_is_allocation_free_after_warmup() {
+    use diversify::scada::fleet::{FleetConfig, FleetSystem};
+    let _guard = measured();
+    let fleet = FleetSystem::build(&FleetConfig::sized(10_000, 0xA110C));
+    let sim = CampaignSimulator::new(
+        fleet.network(),
+        ThreatModel::stuxnet_like(),
+        CampaignConfig::default(),
+    );
+    let mut ws = sim.workspace();
+    let seeds: Vec<u64> = (0..5).collect();
+    for &seed in &seeds {
+        black_box(sim.run_into(&mut ws, seed));
+    }
+    let before = allocations();
+    for &seed in &seeds {
+        black_box(sim.run_into(&mut ws, seed));
+    }
+    let delta = allocations() - before;
+    assert_eq!(
+        delta, 0,
+        "fleet-scale campaign loop allocated {delta} times after warm-up"
+    );
+}
+
 /// The incremental SAN engine on the mid-size SCoPE network-campaign
 /// model: recycling one `SimState` across replications, the second pass
 /// over the same seeds performs zero allocations — calendar slots,
