@@ -41,7 +41,7 @@
 use crate::exploit::ExploitCatalog;
 use crate::frontier::ActiveSet;
 use crate::stage::{AttackStage, NodeCompromise};
-use diversify_des::{Executor, ReplicationPlan, RngStream, StreamId};
+use diversify_des::{Executor, PartialRun, ReplicationPlan, RngStream, RunPolicy, StreamId};
 use diversify_scada::network::{NodeId, NodeRole, ScadaNetwork, Topology};
 use serde::{Deserialize, Serialize};
 
@@ -204,6 +204,17 @@ impl CampaignStats {
     #[must_use]
     pub fn succeeded(&self) -> bool {
         self.time_to_attack.is_some()
+    }
+
+    /// Whether every numeric field is finite and in range — the
+    /// validator the budgeted measurement paths use to reject corrupted
+    /// replications before they poison a streaming aggregate. The
+    /// simulator produces only finite ratios in `[0, 1]` by
+    /// construction, so a rejection always indicates a fault.
+    #[must_use]
+    pub fn is_finite(&self) -> bool {
+        self.final_compromised_ratio.is_finite()
+            && (0.0..=1.0).contains(&self.final_compromised_ratio)
     }
 }
 
@@ -990,6 +1001,30 @@ impl<'n> CampaignSimulator<'n> {
     pub fn run_plan(&self, plan: &ReplicationPlan, executor: Executor) -> Vec<CampaignOutcome> {
         executor.run(plan, |rep| self.run(rep.seed))
     }
+
+    /// The fault-tolerant form of [`CampaignSimulator::run_plan`]: runs
+    /// the plan under a [`RunPolicy`] (panic isolation, deterministic
+    /// retry, budget with cooperative cancellation) and returns a
+    /// [`PartialRun`] over the outcomes that completed. Each surviving
+    /// outcome is bit-identical to the same replication of a fault-free
+    /// `run_plan`, and outcomes whose statistics are non-finite are
+    /// rejected as invalid rather than returned.
+    #[must_use]
+    pub fn run_plan_budgeted(
+        &self,
+        plan: &ReplicationPlan,
+        executor: Executor,
+        policy: &RunPolicy,
+    ) -> PartialRun<Vec<CampaignOutcome>> {
+        executor.run_ws_checked(
+            plan,
+            || (),
+            |(): &mut (), rep| self.run(rep.seed),
+            &diversify_des::exec::VecCollector,
+            policy,
+            |outcome: &CampaignOutcome| outcome.stats().is_finite(),
+        )
+    }
 }
 
 /// Stream namespace [`CampaignSimulator::run_many`] has always derived
@@ -1019,6 +1054,27 @@ mod tests {
         let sim =
             CampaignSimulator::new(&net, ThreatModel::stuxnet_like(), CampaignConfig::default());
         assert!(sim.run_many(0, 1).is_empty());
+    }
+
+    #[test]
+    fn budgeted_plan_matches_plain_plan_and_truncates_cleanly() {
+        use diversify_des::{Budget, RunPolicy};
+        let net = scope_network();
+        let sim =
+            CampaignSimulator::new(&net, ThreatModel::stuxnet_like(), CampaignConfig::default());
+        let plan = ReplicationPlan::new(4, 5, 77).with_namespace(CAMPAIGN_RUN_NAMESPACE);
+        // Unbudgeted policy: identical to run_plan.
+        let plain = sim.run_plan(&plan, Executor::serial());
+        let run = sim.run_plan_budgeted(&plan, Executor::serial(), &RunPolicy::new());
+        assert!(!run.is_degraded());
+        assert_eq!(run.output.as_ref(), Some(&plain));
+        // A 12-replication budget affords 2 rounds of 5; the result is
+        // the exact prefix.
+        let policy = RunPolicy::new().with_budget(Budget::unlimited().with_max_replications(12));
+        let truncated = sim.run_plan_budgeted(&plan, Executor::serial(), &policy);
+        assert_eq!(truncated.completed, 10);
+        assert_eq!(truncated.output.as_ref().map(Vec::len), Some(10));
+        assert_eq!(truncated.output.as_ref().unwrap()[..], plain[..10]);
     }
 
     #[test]

@@ -16,7 +16,9 @@ use diversify_bench::{
     analytic_bench_model, analytic_throughput, campaign_alloc_reference_summary,
     campaign_workspace_summary, san_throughput_events, scope_campaign_san,
 };
-use diversify_core::exec::{campaign_plan, Executor, ReplicationPlan};
+use diversify_core::exec::{
+    campaign_plan, Executor, IndicatorsCollector, ReplicationPlan, RunPolicy,
+};
 use diversify_core::runner::{measure_configuration_adaptive, PrecisionTarget};
 use diversify_san::Engine;
 use diversify_scada::fleet::{FleetConfig, FleetSystem};
@@ -93,6 +95,27 @@ fn bench_engine(c: &mut Criterion) {
                 &campaign_plan_full,
                 Executor::default(),
             ))
+        })
+    });
+    // The same workload through the explicitly budgeted entry point
+    // (unwind catch + budget check + failure accounting per
+    // replication). The strict path above already routes through the
+    // hardened core, so this bench isolates the marginal cost of the
+    // budget/retry bookkeeping — the PR's "within 5%" claim.
+    let unlimited = RunPolicy::new();
+    g.bench_function("campaign_replication_budgeted", |b| {
+        b.iter(|| {
+            black_box(
+                Executor::default()
+                    .run_ws_budgeted(
+                        &campaign_plan_full,
+                        || campaign_sim.workspace(),
+                        |ws, rep| campaign_sim.run_into(ws, rep.seed),
+                        &IndicatorsCollector,
+                        &unlimited,
+                    )
+                    .output,
+            )
         })
     });
     g.bench_function("campaign_replication_alloc_reference", |b| {

@@ -24,9 +24,12 @@
 //! [`Executor::run_adaptive`] precision-targeted runs.
 
 pub use diversify_des::exec::{
-    AdaptiveRun, Collector, ExecMode, Executor, MeanCollector, Precision, Replication,
-    ReplicationPlan, StopRule, VecCollector, DEFAULT_STREAM_NAMESPACE,
+    accept_all, AdaptiveRun, Budget, BudgetOutcome, CancelToken, Collector, ExecMode, Executor,
+    FailureCause, MeanCollector, PartialRun, PlanError, Precision, Replication, ReplicationFailure,
+    ReplicationPlan, Reseed, RetryPolicy, RunPolicy, StopRule, VecCollector,
+    DEFAULT_STREAM_NAMESPACE,
 };
+pub use diversify_des::faults::{FaultKind, FaultPlan, InjectedPanic};
 
 use crate::indicators::{IndicatorAccum, IndicatorSummary};
 use crate::runner::Measurements;
@@ -64,9 +67,14 @@ pub struct MeasurementsAccum {
 }
 
 /// Running per-batch state: the counters batch means derive from.
+/// `count` tracks how many replications actually folded into the batch —
+/// equal to the plan's batch size on a fault-free run, smaller when the
+/// budgeted paths skipped failed replications, so batch means stay
+/// means over *completed* replications instead of silently deflating.
 #[derive(Debug, Clone, Copy)]
 struct BatchAccum {
     batch: u32,
+    count: u32,
     successes: u32,
     compromised_sum: f64,
 }
@@ -107,11 +115,13 @@ where
         let batch = plan.batch_of(rep.index);
         match acc.batches.last_mut() {
             Some(last) if last.batch == batch => {
+                last.count += 1;
                 last.successes += u32::from(stats.succeeded());
                 last.compromised_sum += stats.final_compromised_ratio;
             }
             _ => acc.batches.push(BatchAccum {
                 batch,
+                count: 1,
                 successes: u32::from(stats.succeeded()),
                 compromised_sum: stats.final_compromised_ratio,
             }),
@@ -125,23 +135,33 @@ where
     }
 
     fn finish(&self, plan: &ReplicationPlan, acc: MeasurementsAccum) -> Measurements {
-        debug_assert_eq!(acc.batches.len(), plan.batches() as usize);
-        let batch_size = f64::from(plan.batch_size());
+        // Budgeted runs may fold fewer batches (truncation) or fewer
+        // replications per batch (isolated failures) than the plan.
+        debug_assert!(acc.batches.len() <= plan.batches() as usize);
+        // Divide by the folded count, so a degraded batch reports the
+        // mean over its survivors. On a fault-free run every count
+        // equals the plan's batch size and the division — and therefore
+        // the output — is bit-identical to the pre-fault-tolerance
+        // collector.
         let batch_p_success = acc
             .batches
             .iter()
-            .map(|b| f64::from(b.successes) / batch_size)
+            .map(|b| f64::from(b.successes) / f64::from(b.count))
             .collect();
         let batch_compromised = acc
             .batches
             .iter()
-            .map(|b| b.compromised_sum / batch_size)
+            .map(|b| b.compromised_sum / f64::from(b.count))
             .collect();
         Measurements {
+            // The executor never calls `finish` on an empty fold
+            // (budgeted paths return `output: None` instead), so the
+            // accumulator holds at least one replication here.
+            #[allow(clippy::disallowed_methods)]
             summary: acc
                 .indicators
                 .finish()
-                .expect("replication plans are non-empty"),
+                .expect("finish is never called on an empty fold"),
             batch_p_success,
             batch_compromised,
         }
@@ -183,7 +203,11 @@ where
     }
 
     fn finish(&self, _plan: &ReplicationPlan, acc: IndicatorAccum) -> IndicatorSummary {
-        acc.finish().expect("replication plans are non-empty")
+        // The executor never calls `finish` on an empty fold (budgeted
+        // paths return `output: None` instead).
+        #[allow(clippy::disallowed_methods)]
+        acc.finish()
+            .expect("finish is never called on an empty fold")
     }
 }
 

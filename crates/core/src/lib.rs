@@ -36,7 +36,10 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::disallowed_methods))]
+#![cfg_attr(test, allow(clippy::disallowed_methods))]
 
+pub mod error;
 pub mod exec;
 pub mod factors;
 pub mod indicators;
@@ -44,11 +47,16 @@ pub mod pipeline;
 pub mod report;
 pub mod runner;
 
-pub use exec::{AdaptiveRun, Collector, ExecMode, Executor, Precision, ReplicationPlan, StopRule};
+pub use error::PipelineError;
+pub use exec::{
+    AdaptiveRun, Budget, BudgetOutcome, CancelToken, Collector, ExecMode, Executor, PartialRun,
+    PlanError, Precision, ReplicationFailure, ReplicationPlan, RetryPolicy, RunPolicy, StopRule,
+};
 pub use factors::{factor_profile, FactorLevel};
 pub use indicators::{IndicatorAccum, IndicatorSummary, PrecisionResponse};
-pub use pipeline::{Pipeline, PipelineConfig, PipelineReport};
+pub use pipeline::{CellHealth, DoeMeasurements, Pipeline, PipelineConfig, PipelineReport};
 pub use runner::{
-    measure_configuration, measure_configuration_adaptive, measure_configuration_with,
-    AdaptiveMeasurements, Measurements, PrecisionTarget,
+    measure_configuration, measure_configuration_adaptive, measure_configuration_adaptive_budgeted,
+    measure_configuration_budgeted, measure_configuration_with, AdaptiveMeasurements, Measurements,
+    PartialMeasurements, PrecisionTarget,
 };

@@ -1,10 +1,15 @@
 //! The three-step pipeline — the paper's Figure 1 as an executable API.
 
-use crate::exec::{campaign_plan, Executor, Precision};
+use crate::error::PipelineError;
+use crate::exec::{
+    campaign_plan, BudgetOutcome, Executor, Precision, ReplicationFailure, RunPolicy,
+};
 use crate::factors::{factor_profile, FactorLevel};
-use crate::report::{render_adaptive_table, render_measurement_table};
+use crate::report::{render_adaptive_table, render_health_table, render_measurement_table};
 use crate::runner::{
-    measure_configuration_adaptive, measure_configuration_with, Measurements, PrecisionTarget,
+    measure_configuration_adaptive, measure_configuration_adaptive_budgeted,
+    measure_configuration_budgeted, measure_configuration_with, Measurements, PartialMeasurements,
+    PrecisionTarget,
 };
 use diversify_attack::campaign::{CampaignConfig, ThreatModel};
 use diversify_attack::to_san::{compile_stage_chain, success_place, StageParams};
@@ -50,6 +55,15 @@ pub struct PipelineConfig {
     /// allow two batches ([`Pipeline::doe_measurements`] panics on a
     /// tighter cap rather than silently exceeding it).
     pub precision: Option<PrecisionTarget>,
+    /// Opt-in fault tolerance: when set, every design point is measured
+    /// under this [`RunPolicy`] — panicking or invalid replications are
+    /// isolated (and retried per the policy) instead of aborting the
+    /// sweep, and the per-cell budget (replication cap, deadline, cancel
+    /// token) truncates a cell at a round boundary rather than the whole
+    /// run. The report then carries a per-cell [`CellHealth`] record and
+    /// flags degraded cells. `None` keeps the historical strict behavior:
+    /// any replication panic aborts the sweep.
+    pub resilience: Option<RunPolicy>,
 }
 
 impl Default for PipelineConfig {
@@ -67,6 +81,42 @@ impl Default for PipelineConfig {
             executor: Executor::default(),
             analytic_check: false,
             precision: None,
+            resilience: None,
+        }
+    }
+}
+
+/// How one design point fared under a resilient
+/// ([`PipelineConfig::resilience`]) sweep: what its budget allowed, what
+/// actually completed, and which replications failed.
+#[derive(Debug, Clone)]
+pub struct CellHealth {
+    /// Replications the cell attempted (completed rounds × batch size).
+    pub attempted: u32,
+    /// Replications that completed and folded into the cell's
+    /// measurements.
+    pub completed: u32,
+    /// Replications that failed every attempt, with seeds and causes.
+    pub failures: Vec<ReplicationFailure>,
+    /// How the cell's run ended.
+    pub budget_outcome: BudgetOutcome,
+}
+
+impl CellHealth {
+    /// Whether this cell lost replications to failures or truncation —
+    /// its measurements cover fewer replications than the plan asked
+    /// for.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        !self.failures.is_empty() || self.budget_outcome.is_truncation()
+    }
+
+    fn from_partial(part: &PartialMeasurements) -> CellHealth {
+        CellHealth {
+            attempted: part.attempted,
+            completed: part.completed,
+            failures: part.failed.clone(),
+            budget_outcome: part.budget_outcome,
         }
     }
 }
@@ -129,6 +179,20 @@ pub struct DoeMeasurements {
     /// Per-run adaptive-replication report, in design order — present
     /// exactly when [`PipelineConfig::precision`] was set.
     pub adaptive: Option<Vec<AdaptiveSweepPoint>>,
+    /// Per-run fault-tolerance record, in design order — present exactly
+    /// when [`PipelineConfig::resilience`] was set.
+    pub health: Option<Vec<CellHealth>>,
+}
+
+impl DoeMeasurements {
+    /// Whether any design point lost replications to failures or budget
+    /// truncation. Always `false` for strict (non-resilient) sweeps.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.health
+            .as_ref()
+            .is_some_and(|cells| cells.iter().any(CellHealth::is_degraded))
+    }
 }
 
 /// Output of step 3 (Diversity Assessment).
@@ -193,6 +257,10 @@ impl fmt::Display for PipelineReport {
             writeln!(f)?;
             write!(f, "{}", render_adaptive_table(adaptive))?;
         }
+        if let Some(health) = &self.doe.health {
+            writeln!(f)?;
+            write!(f, "{}", render_health_table(health))?;
+        }
         writeln!(f)?;
         writeln!(f, "== Step 3: Diversity Assessment (ANOVA on P_SA) ==")?;
         write!(f, "{}", self.assessment.anova_p_success)?;
@@ -252,13 +320,38 @@ impl Pipeline {
     /// # Panics
     ///
     /// Panics if a configured precision target caps replications below
-    /// two batches (`rule.max_replications < 2 × batch_size`) — the
-    /// sweep must never exceed the caller's hard cap, and ANOVA needs at
-    /// least two replicate batches per run for an error term. Never
-    /// panics otherwise (the built-in design is statically valid).
+    /// two batches (`rule.max_replications < 2 × batch_size`), or if a
+    /// configured resilience budget leaves a design point with zero
+    /// completed replications (an empty factorial cell) — see
+    /// [`Pipeline::try_doe_measurements`] for the non-panicking form.
+    /// Never panics otherwise (the built-in design is statically valid).
     #[must_use]
     pub fn doe_measurements(&self) -> DoeMeasurements {
+        match self.try_doe_measurements() {
+            Ok(doe) => doe,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// The fallible form of [`Pipeline::doe_measurements`]: rejects a
+    /// precision target whose cap is below two batches
+    /// ([`PipelineError::PrecisionCapTooTight`] — the sweep must never
+    /// exceed the caller's hard cap, and ANOVA needs at least two
+    /// replicate batches per run for an error term), and reports a
+    /// resilience budget that starves a design point of every
+    /// replication as [`PipelineError::EmptyDesignPoint`] instead of
+    /// leaving a hole in the factorial design.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::PrecisionCapTooTight`] and
+    /// [`PipelineError::EmptyDesignPoint`], as above.
+    pub fn try_doe_measurements(&self) -> Result<DoeMeasurements, PipelineError> {
         let labels: Vec<&str> = ComponentClass::ALL.iter().map(|c| c.label()).collect();
+        // The built-in 2^(6-2) design is statically valid; its generator
+        // words are fixed at compile time, so this cannot fail for any
+        // configuration.
+        #[allow(clippy::disallowed_methods)]
         let (design, _words) = fractional_factorial(&labels, &[vec![0, 1, 2], vec![1, 2, 3]])
             .expect("built-in 2^(6-2) design is valid");
         // One base plan; every design point gets its own decorrelated
@@ -273,20 +366,24 @@ impl Pipeline {
         // so the ANOVA error term survives the worst case. The floor
         // raises `min` only — a cap below it is rejected, never
         // silently exceeded.
-        let target = self.config.precision.map(|mut t| {
-            let floor = 2 * self.config.batch_size;
-            assert!(
-                t.rule.max_replications >= floor,
-                "precision target caps replications at {} but the ANOVA error term needs \
-                 at least two batches of {} per design run",
-                t.rule.max_replications,
-                self.config.batch_size
-            );
-            t.rule.min_replications = t.rule.min_replications.max(floor);
-            t
-        });
+        let floor = 2 * self.config.batch_size;
+        let target = match self.config.precision {
+            Some(mut t) => {
+                if t.rule.max_replications < floor {
+                    return Err(PipelineError::PrecisionCapTooTight {
+                        cap: t.rule.max_replications,
+                        floor,
+                    });
+                }
+                t.rule.min_replications = t.rule.min_replications.max(floor);
+                Some(t)
+            }
+            None => None,
+        };
+        let resilience = self.config.resilience.as_ref();
         let mut measurements = Vec::with_capacity(design.runs());
         let mut adaptive = target.map(|_| Vec::with_capacity(design.runs()));
+        let mut health = resilience.map(|_| Vec::with_capacity(design.runs()));
         for (run_idx, row) in design.rows.iter().enumerate() {
             let levels: Vec<FactorLevel> =
                 row.iter().map(|&l| FactorLevel::from_coded(l)).collect();
@@ -295,8 +392,8 @@ impl Pipeline {
             scope_cfg.baseline_profile = profile;
             let system = ScopeSystem::build(&scope_cfg);
             let run_plan = base_plan.derived(StreamId(run_idx as u64));
-            match (&target, &mut adaptive) {
-                (Some(target), Some(points)) => {
+            match (&target, &mut adaptive, resilience) {
+                (Some(target), Some(points), None) => {
                     let run = measure_configuration_adaptive(
                         system.network(),
                         &self.config.threat,
@@ -313,6 +410,35 @@ impl Pipeline {
                     });
                     measurements.push(run.output);
                 }
+                (Some(target), Some(points), Some(policy)) => {
+                    let part = measure_configuration_adaptive_budgeted(
+                        system.network(),
+                        &self.config.threat,
+                        self.config.campaign,
+                        &run_plan,
+                        self.config.executor,
+                        target,
+                        policy,
+                    );
+                    points.push(AdaptiveSweepPoint {
+                        replications: part.attempted,
+                        batches: part.rounds,
+                        target_met: part.budget_outcome == BudgetOutcome::PrecisionMet,
+                        precision: part.achieved_precision,
+                    });
+                    measurements.push(Self::take_cell(run_idx, part, &mut health)?);
+                }
+                (None, _, Some(policy)) => {
+                    let part = measure_configuration_budgeted(
+                        system.network(),
+                        &self.config.threat,
+                        self.config.campaign,
+                        &run_plan,
+                        self.config.executor,
+                        policy,
+                    );
+                    measurements.push(Self::take_cell(run_idx, part, &mut health)?);
+                }
                 _ => measurements.push(measure_configuration_with(
                     system.network(),
                     &self.config.threat,
@@ -322,11 +448,29 @@ impl Pipeline {
                 )),
             }
         }
-        DoeMeasurements {
+        Ok(DoeMeasurements {
             design,
             measurements,
             adaptive,
+            health,
+        })
+    }
+
+    /// Unwraps a budgeted cell: records its health and surfaces an empty
+    /// cell (zero completed replications) as
+    /// [`PipelineError::EmptyDesignPoint`].
+    fn take_cell(
+        run_idx: usize,
+        part: PartialMeasurements,
+        health: &mut Option<Vec<CellHealth>>,
+    ) -> Result<Measurements, PipelineError> {
+        if let Some(cells) = health {
+            cells.push(CellHealth::from_partial(&part));
         }
+        part.measurements.ok_or(PipelineError::EmptyDesignPoint {
+            run: run_idx,
+            outcome: part.budget_outcome,
+        })
     }
 
     /// Step 3 — Diversity Assessment: ANOVA the measurements, allocating
@@ -335,9 +479,27 @@ impl Pipeline {
     /// # Panics
     ///
     /// Panics only if `doe` was not produced by
-    /// [`Pipeline::doe_measurements`] (mismatched shapes).
+    /// [`Pipeline::doe_measurements`] (mismatched shapes) — see
+    /// [`Pipeline::try_assess`] for the non-panicking form.
     #[must_use]
     pub fn assess(&self, doe: &DoeMeasurements) -> Assessment {
+        match self.try_assess(doe) {
+            Ok(assessment) => assessment,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// The fallible form of [`Pipeline::assess`]: reports a degenerate
+    /// measurement set (mismatched shapes, too few replicate batches for
+    /// an ANOVA error term — possible when a resilient sweep truncated
+    /// every design point to under two batches) as
+    /// [`PipelineError::Stats`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Stats`] when the factorial ANOVA rejects the
+    /// measurement shape.
+    pub fn try_assess(&self, doe: &DoeMeasurements) -> Result<Assessment, PipelineError> {
         let effects: Vec<EffectSpec> = ComponentClass::ALL
             .iter()
             .enumerate()
@@ -364,10 +526,8 @@ impl Pipeline {
             .iter()
             .map(|m| truncated(&m.batch_compromised))
             .collect();
-        let anova_p_success = factorial_two_level(&doe.design.rows, &responses_p, &effects)
-            .expect("design produced by doe_measurements is regular");
-        let anova_compromised = factorial_two_level(&doe.design.rows, &responses_c, &effects)
-            .expect("design produced by doe_measurements is regular");
+        let anova_p_success = factorial_two_level(&doe.design.rows, &responses_p, &effects)?;
+        let anova_compromised = factorial_two_level(&doe.design.rows, &responses_c, &effects)?;
         let mut ranking: Vec<(ComponentClass, f64)> = ComponentClass::ALL
             .iter()
             .map(|c| {
@@ -377,12 +537,12 @@ impl Pipeline {
                 (*c, var)
             })
             .collect();
-        ranking.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite variances"));
-        Assessment {
+        ranking.sort_by(|a, b| b.1.total_cmp(&a.1));
+        Ok(Assessment {
             anova_p_success,
             anova_compromised,
             ranking,
-        }
+        })
     }
 
     /// Cross-checks the staged attack model against the exact CTMC
@@ -395,6 +555,11 @@ impl Pipeline {
     ///
     /// Never panics for catalog-derived parameters: the stage chain has
     /// five tangible states, far under every cap.
+    // The `expect`s below all guard static invariants of the built-in
+    // stage chain (valid catalog parameters, five tangible states under
+    // every solver cap, the "tta" reward always registered) — no user
+    // configuration reaches them.
+    #[allow(clippy::disallowed_methods)]
     #[must_use]
     pub fn analytic_cross_check(&self) -> AnalyticCrossCheck {
         let cat = &self.config.threat.catalog;
@@ -452,21 +617,43 @@ impl Pipeline {
 
     /// Runs all three steps (plus the analytic cross-check when
     /// configured).
+    ///
+    /// # Panics
+    ///
+    /// Panics where [`Pipeline::doe_measurements`] or
+    /// [`Pipeline::assess`] would — see [`Pipeline::try_run`] for the
+    /// non-panicking form.
     #[must_use]
     pub fn run(&self) -> PipelineReport {
+        match self.try_run() {
+            Ok(report) => report,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// The fallible form of [`Pipeline::run`]: configuration problems
+    /// (a precision cap below the ANOVA floor, a resilience budget that
+    /// empties a design point, a measurement set the ANOVA rejects)
+    /// come back as [`PipelineError`] values instead of panics.
+    ///
+    /// # Errors
+    ///
+    /// Any error of [`Pipeline::try_doe_measurements`] or
+    /// [`Pipeline::try_assess`].
+    pub fn try_run(&self) -> Result<PipelineReport, PipelineError> {
         let model = self.attack_modeling();
-        let doe = self.doe_measurements();
-        let assessment = self.assess(&doe);
+        let doe = self.try_doe_measurements()?;
+        let assessment = self.try_assess(&doe)?;
         let analytic = self
             .config
             .analytic_check
             .then(|| self.analytic_cross_check());
-        PipelineReport {
+        Ok(PipelineReport {
             model,
             doe,
             assessment,
             analytic,
-        }
+        })
     }
 }
 
@@ -588,6 +775,137 @@ mod tests {
             ..tiny_config()
         })
         .doe_measurements();
+    }
+
+    #[test]
+    fn resilient_sweep_is_bit_identical_to_strict_and_reports_health() {
+        use crate::exec::RunPolicy;
+        let strict = Pipeline::new(tiny_config()).doe_measurements();
+        let pipeline = Pipeline::new(PipelineConfig {
+            resilience: Some(RunPolicy::new()),
+            ..tiny_config()
+        });
+        let report = pipeline.run();
+        let resilient = &report.doe;
+        assert!(!resilient.is_degraded());
+        let health = resilient.health.as_ref().expect("resilient sweep");
+        assert_eq!(health.len(), resilient.measurements.len());
+        for cell in health {
+            assert!(!cell.is_degraded());
+            assert_eq!(cell.budget_outcome, BudgetOutcome::Completed);
+            assert_eq!(cell.attempted, 8);
+            assert_eq!(cell.completed, 8);
+        }
+        // An unconstrained fault-free resilient sweep folds the same
+        // replications in the same order as the strict sweep.
+        for (a, b) in strict.measurements.iter().zip(&resilient.measurements) {
+            assert_eq!(a.batch_p_success, b.batch_p_success);
+            assert_eq!(a.summary.p_success, b.summary.p_success);
+        }
+        let text = report.to_string();
+        assert!(text.contains("cell health"));
+        assert!(text.contains("0 of 16 degraded"));
+    }
+
+    #[test]
+    fn per_cell_budget_truncates_to_a_shorter_plan_bit_identically() {
+        use crate::exec::{Budget, RunPolicy};
+        // Cap each cell at one batch (4 of the planned 8 replications).
+        let capped = Pipeline::new(PipelineConfig {
+            resilience: Some(
+                RunPolicy::new().with_budget(Budget::unlimited().with_max_replications(4)),
+            ),
+            ..tiny_config()
+        })
+        .try_doe_measurements()
+        .expect("one batch per cell survives");
+        let one_batch = Pipeline::new(PipelineConfig {
+            batches: 1,
+            ..tiny_config()
+        })
+        .doe_measurements();
+        let health = capped.health.as_ref().expect("resilient sweep");
+        assert!(capped.is_degraded());
+        for cell in health {
+            assert_eq!(cell.budget_outcome, BudgetOutcome::ReplicationBudget);
+            assert_eq!(cell.completed, 4);
+            assert!(cell.failures.is_empty());
+        }
+        // Graceful degradation is deterministic: the truncated cell IS
+        // the one-batch plan's measurement, bit for bit.
+        for (a, b) in capped.measurements.iter().zip(&one_batch.measurements) {
+            assert_eq!(a.batch_p_success, b.batch_p_success);
+            assert_eq!(a.batch_compromised, b.batch_compromised);
+            assert_eq!(a.summary.p_success, b.summary.p_success);
+        }
+    }
+
+    #[test]
+    fn budget_that_empties_a_cell_is_a_typed_error() {
+        use crate::exec::{Budget, RunPolicy};
+        // A 2-replication cap cannot finish one 4-replication batch.
+        let err = Pipeline::new(PipelineConfig {
+            resilience: Some(
+                RunPolicy::new().with_budget(Budget::unlimited().with_max_replications(2)),
+            ),
+            ..tiny_config()
+        })
+        .try_doe_measurements()
+        .expect_err("empty cells must be rejected");
+        match err {
+            PipelineError::EmptyDesignPoint { run, outcome } => {
+                assert_eq!(run, 0);
+                assert_eq!(outcome, BudgetOutcome::ReplicationBudget);
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn resilient_adaptive_sweep_reports_points_and_health() {
+        use crate::exec::RunPolicy;
+        let plain = Pipeline::new(PipelineConfig {
+            precision: Some(PrecisionTarget::p_success(0.25, 8, 40)),
+            ..tiny_config()
+        })
+        .doe_measurements();
+        let resilient = Pipeline::new(PipelineConfig {
+            precision: Some(PrecisionTarget::p_success(0.25, 8, 40)),
+            resilience: Some(RunPolicy::new()),
+            ..tiny_config()
+        })
+        .doe_measurements();
+        let points = resilient.adaptive.as_ref().expect("adaptive sweep");
+        let health = resilient.health.as_ref().expect("resilient sweep");
+        assert_eq!(points.len(), 16);
+        assert_eq!(health.len(), 16);
+        assert!(!resilient.is_degraded());
+        // The hardened adaptive path spends replications identically.
+        let plain_points = plain.adaptive.as_ref().expect("adaptive sweep");
+        for (a, b) in plain_points.iter().zip(points) {
+            assert_eq!(a.replications, b.replications);
+            assert_eq!(a.batches, b.batches);
+            assert_eq!(a.target_met, b.target_met);
+        }
+        for (a, b) in plain.measurements.iter().zip(&resilient.measurements) {
+            assert_eq!(a.batch_p_success, b.batch_p_success);
+            assert_eq!(a.summary.p_success, b.summary.p_success);
+        }
+    }
+
+    #[test]
+    fn try_run_reports_tight_precision_cap_as_typed_error() {
+        let err = Pipeline::new(PipelineConfig {
+            precision: Some(PrecisionTarget::p_success(0.25, 1, 5)),
+            ..tiny_config()
+        })
+        .try_run()
+        .expect_err("cap below two batches");
+        assert!(matches!(
+            err,
+            PipelineError::PrecisionCapTooTight { cap: 5, floor: 8 }
+        ));
+        assert!(err.to_string().contains("caps replications"));
     }
 
     #[test]

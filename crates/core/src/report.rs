@@ -1,6 +1,6 @@
 //! Report rendering: aligned text tables and JSON artifacts.
 
-use crate::pipeline::AdaptiveSweepPoint;
+use crate::pipeline::{AdaptiveSweepPoint, CellHealth};
 use crate::runner::Measurements;
 use diversify_doe::design::DesignMatrix;
 use serde::Serialize;
@@ -73,6 +73,38 @@ pub fn render_adaptive_table(points: &[AdaptiveSweepPoint]) -> String {
     out
 }
 
+/// Renders the fault-tolerance report of a resilient sweep: per design
+/// run, replications attempted and completed, failures isolated, how the
+/// cell's budget ended, and whether the cell is degraded.
+#[must_use]
+pub fn render_health_table(cells: &[CellHealth]) -> String {
+    let mut out = String::new();
+    let degraded = cells.iter().filter(|c| c.is_degraded()).count();
+    let _ = writeln!(
+        out,
+        "cell health (per design run): {} of {} degraded",
+        degraded,
+        cells.len()
+    );
+    let _ = writeln!(
+        out,
+        "{:>3} {:>9} {:>9} {:>8} {:>18} {:>8}",
+        "run", "attempted", "completed", "failed", "outcome", "status"
+    );
+    for (i, c) in cells.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{i:>3} {:>9} {:>9} {:>8} {:>18} {:>8}",
+            c.attempted,
+            c.completed,
+            c.failures.len(),
+            c.budget_outcome.to_string(),
+            if c.is_degraded() { "DEGRADED" } else { "ok" }
+        );
+    }
+    out
+}
+
 /// Renders any serializable artifact as pretty JSON (for EXPERIMENTS.md
 /// appendices and machine-readable archives).
 ///
@@ -82,6 +114,9 @@ pub fn render_adaptive_table(points: &[AdaptiveSweepPoint]) -> String {
 /// plain-data types in this workspace.
 #[must_use]
 pub fn to_json<T: Serialize>(value: &T) -> String {
+    // Serialization of the workspace's plain-data report types cannot
+    // fail (no maps with non-string keys, no fallible Serialize impls).
+    #[allow(clippy::disallowed_methods)]
     serde_json::to_string_pretty(value).expect("plain data serializes")
 }
 
@@ -109,6 +144,30 @@ mod tests {
         assert!(s.contains("1.0000"));
         assert!(s.contains("4.000000"));
         assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn health_table_flags_degraded_cells() {
+        use crate::exec::BudgetOutcome;
+        let cells = vec![
+            CellHealth {
+                attempted: 8,
+                completed: 8,
+                failures: Vec::new(),
+                budget_outcome: BudgetOutcome::Completed,
+            },
+            CellHealth {
+                attempted: 4,
+                completed: 4,
+                failures: Vec::new(),
+                budget_outcome: BudgetOutcome::DeadlineExpired,
+            },
+        ];
+        let table = render_health_table(&cells);
+        assert!(table.contains("1 of 2 degraded"));
+        assert!(table.contains("DEGRADED"));
+        assert!(table.contains("deadline expired"));
+        assert!(table.lines().count() == 4);
     }
 
     #[test]

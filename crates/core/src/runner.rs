@@ -3,12 +3,13 @@
 //! adaptive-precision runs that stop once a confidence-interval target
 //! is met.
 
+use crate::error::PipelineError;
 use crate::exec::{
-    campaign_plan, AdaptiveRun, Executor, MeasurementsCollector, Precision, ReplicationPlan,
-    StopRule,
+    campaign_plan, AdaptiveRun, BudgetOutcome, Executor, MeasurementsCollector, PartialRun,
+    Precision, ReplicationFailure, ReplicationPlan, RunPolicy, StopRule,
 };
 use crate::indicators::{IndicatorSummary, PrecisionResponse};
-use diversify_attack::campaign::{CampaignConfig, CampaignSimulator, ThreatModel};
+use diversify_attack::campaign::{CampaignConfig, CampaignSimulator, CampaignStats, ThreatModel};
 use diversify_scada::network::ScadaNetwork;
 
 /// Replication-level measurements of one configuration, batched so ANOVA
@@ -61,19 +62,81 @@ impl PrecisionTarget {
         }
     }
 
+    /// The same target at a different confidence level, rejecting
+    /// levels outside `(0, 1)` with a typed error.
+    pub fn try_with_level(mut self, level: f64) -> Result<Self, PipelineError> {
+        if !(0.0 < level && level < 1.0) {
+            return Err(PipelineError::InvalidLevel(level));
+        }
+        self.level = level;
+        Ok(self)
+    }
+
     /// The same target at a different confidence level.
     ///
     /// # Panics
     ///
-    /// Panics unless `level` lies in `(0, 1)`.
+    /// Panics unless `level` lies in `(0, 1)`. Use
+    /// [`PrecisionTarget::try_with_level`] to validate untrusted
+    /// configuration.
     #[must_use]
-    pub fn with_level(mut self, level: f64) -> Self {
-        assert!(
-            0.0 < level && level < 1.0,
-            "confidence level must be in (0,1)"
-        );
-        self.level = level;
-        self
+    pub fn with_level(self, level: f64) -> Self {
+        match self.try_with_level(level) {
+            Ok(target) => target,
+            Err(err) => panic!("{err}"),
+        }
+    }
+}
+
+/// The gracefully degraded result of a budgeted measurement: the
+/// [`Measurements`] over every replication that completed (if any),
+/// plus the failure and budget record. Produced by
+/// [`measure_configuration_budgeted`] and
+/// [`measure_configuration_adaptive_budgeted`].
+#[derive(Debug, Clone)]
+pub struct PartialMeasurements {
+    /// Aggregated measurements over completed replications, or `None`
+    /// if nothing completed.
+    pub measurements: Option<Measurements>,
+    /// The monitored response's precision at the last adaptive check.
+    pub achieved_precision: Option<Precision>,
+    /// Batch-sized rounds executed.
+    pub rounds: u32,
+    /// Replications attempted.
+    pub attempted: u32,
+    /// Replications that completed and were accepted.
+    pub completed: u32,
+    /// Replications that failed (panicked, or produced non-finite
+    /// statistics), in replication order.
+    pub failed: Vec<ReplicationFailure>,
+    /// Why the run ended.
+    pub budget_outcome: BudgetOutcome,
+}
+
+impl PartialMeasurements {
+    fn from_run(run: PartialRun<Measurements>) -> Self {
+        PartialMeasurements {
+            measurements: run.output,
+            achieved_precision: run.precision,
+            rounds: run.rounds,
+            attempted: run.attempted,
+            completed: run.completed,
+            failed: run.failed,
+            budget_outcome: run.budget_outcome,
+        }
+    }
+
+    /// The indicator summary over completed replications, if any.
+    #[must_use]
+    pub fn indicators(&self) -> Option<&IndicatorSummary> {
+        self.measurements.as_ref().map(|m| &m.summary)
+    }
+
+    /// Whether the result is degraded: some replications failed, or an
+    /// external budget truncated the run.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        !self.failed.is_empty() || self.budget_outcome.is_truncation()
     }
 }
 
@@ -109,7 +172,7 @@ pub fn measure_configuration(
 /// Runs on the workspace executor ([`Executor::run_ws`]): each worker
 /// keeps one [`CampaignWorkspace`](diversify_attack::campaign::CampaignWorkspace)
 /// alive across its replications and folds the scalar per-replication
-/// [`CampaignStats`](diversify_attack::campaign::CampaignStats), so the
+/// [`CampaignStats`], so the
 /// hot loop performs no steady-state allocation. Results are
 /// bit-identical to the materializing per-replication path.
 #[must_use]
@@ -160,6 +223,66 @@ pub fn measure_configuration_adaptive(
         &MeasurementsCollector,
         |acc, _replications| acc.indicators.precision(target.response, target.level),
     )
+}
+
+/// The fault-tolerant form of [`measure_configuration_with`]: measures
+/// one configuration under a [`RunPolicy`] — replications run
+/// unwind-caught, failures are retried per policy and otherwise
+/// recorded, non-finite campaign statistics are rejected as invalid
+/// output, and the policy's budget (replication cap, deadline,
+/// cancellation) truncates at round boundaries. Returns
+/// [`PartialMeasurements`] over whatever completed; every surviving
+/// replication is bit-identical to the fault-free run, and with no
+/// faults and an unlimited budget the measurements are bit-identical
+/// to [`measure_configuration_with`].
+#[must_use]
+pub fn measure_configuration_budgeted(
+    network: &ScadaNetwork,
+    threat: &ThreatModel,
+    config: CampaignConfig,
+    plan: &ReplicationPlan,
+    executor: Executor,
+    policy: &RunPolicy,
+) -> PartialMeasurements {
+    let sim = CampaignSimulator::new(network, threat.clone(), config);
+    PartialMeasurements::from_run(executor.run_ws_checked(
+        plan,
+        || sim.workspace(),
+        |ws, rep| sim.run_into(ws, rep.seed),
+        &MeasurementsCollector,
+        policy,
+        CampaignStats::is_finite,
+    ))
+}
+
+/// The fault-tolerant form of [`measure_configuration_adaptive`]:
+/// adaptive rounds under a [`RunPolicy`]. The returned
+/// `budget_outcome` distinguishes the target being met
+/// ([`BudgetOutcome::PrecisionMet`]), the rule's own replication cap
+/// ([`BudgetOutcome::RuleCapped`]), and external truncation; a
+/// truncated run's measurements are bit-identical to the fixed plan of
+/// the rounds it completed.
+#[must_use]
+pub fn measure_configuration_adaptive_budgeted(
+    network: &ScadaNetwork,
+    threat: &ThreatModel,
+    config: CampaignConfig,
+    plan: &ReplicationPlan,
+    executor: Executor,
+    target: &PrecisionTarget,
+    policy: &RunPolicy,
+) -> PartialMeasurements {
+    let sim = CampaignSimulator::new(network, threat.clone(), config);
+    PartialMeasurements::from_run(executor.run_adaptive_ws_checked(
+        plan,
+        &target.rule,
+        || sim.workspace(),
+        |ws, rep| sim.run_into(ws, rep.seed),
+        &MeasurementsCollector,
+        |acc, _replications| acc.indicators.precision(target.response, target.level),
+        policy,
+        CampaignStats::is_finite,
+    ))
 }
 
 /// The [`Precision`] achieved by a finished adaptive run, as a relative
@@ -293,6 +416,91 @@ mod tests {
         );
         let achieved = achieved_relative_half_width(&run).expect("precision was computed");
         assert!(achieved <= 0.05, "achieved {achieved} > target");
+    }
+
+    #[test]
+    fn budgeted_measurement_matches_plain_when_unconstrained() {
+        let net = scope_network();
+        let threat = ThreatModel::stuxnet_like();
+        let config = CampaignConfig::default();
+        let plan = campaign_plan(3, 6, 0xB0B);
+        let plain = measure_configuration_with(&net, &threat, config, &plan, Executor::serial());
+        let run = measure_configuration_budgeted(
+            &net,
+            &threat,
+            config,
+            &plan,
+            Executor::serial(),
+            &RunPolicy::new(),
+        );
+        assert!(!run.is_degraded());
+        assert_eq!(run.budget_outcome, BudgetOutcome::Completed);
+        assert_eq!(run.completed, 18);
+        let m = run.measurements.expect("all replications completed");
+        assert_eq!(
+            m.summary.p_success.to_bits(),
+            plain.summary.p_success.to_bits()
+        );
+        assert_eq!(m.batch_p_success, plain.batch_p_success);
+        assert_eq!(m.batch_compromised, plain.batch_compromised);
+    }
+
+    #[test]
+    fn budget_truncated_measurement_is_bit_identical_to_shorter_plan() {
+        use crate::exec::Budget;
+        let net = scope_network();
+        let threat = ThreatModel::stuxnet_like();
+        let config = CampaignConfig::default();
+        let plan = campaign_plan(4, 5, 0x7A7);
+        let policy = RunPolicy::new().with_budget(Budget::unlimited().with_max_replications(10));
+        let run = measure_configuration_budgeted(
+            &net,
+            &threat,
+            config,
+            &plan,
+            Executor::default(),
+            &policy,
+        );
+        assert_eq!(run.budget_outcome, BudgetOutcome::ReplicationBudget);
+        assert!(run.is_degraded());
+        assert_eq!(run.completed, 10);
+        let fixed = measure_configuration_with(
+            &net,
+            &threat,
+            config,
+            &plan.with_batches(2),
+            Executor::default(),
+        );
+        let m = run.measurements.expect("two rounds completed");
+        assert_eq!(
+            m.summary.p_success.to_bits(),
+            fixed.summary.p_success.to_bits()
+        );
+        assert_eq!(m.batch_p_success, fixed.batch_p_success);
+    }
+
+    #[test]
+    fn try_with_level_rejects_degenerate_levels() {
+        let target = PrecisionTarget::p_success(0.05, 10, 100);
+        assert!(target.try_with_level(0.99).is_ok());
+        assert!(matches!(
+            target.try_with_level(0.0),
+            Err(PipelineError::InvalidLevel(_))
+        ));
+        assert!(matches!(
+            target.try_with_level(1.0),
+            Err(PipelineError::InvalidLevel(_))
+        ));
+        assert!(matches!(
+            target.try_with_level(f64::NAN),
+            Err(PipelineError::InvalidLevel(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "(0,1)")]
+    fn with_level_still_panics_on_bad_level() {
+        let _ = PrecisionTarget::p_success(0.05, 10, 100).with_level(2.0);
     }
 
     #[test]

@@ -126,6 +126,10 @@ impl<E> Calendar<E> {
             Some(s) => s,
             None => {
                 self.generations.push(0);
+                // Invariant: slot indices are u32 by type; more than
+                // 2^32 − 1 live slots would exhaust memory long before
+                // this conversion could fail.
+                #[allow(clippy::disallowed_methods)]
                 u32::try_from(self.generations.len() - 1).expect("slot count fits in u32")
             }
         };

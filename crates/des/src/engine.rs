@@ -217,6 +217,9 @@ impl<M: Model> Engine<M> {
                     return RunOutcome::Horizon;
                 }
             }
+            // Invariant: `peek_time` just returned `Some`, and nothing
+            // between the peek and this pop touches the calendar.
+            #[allow(clippy::disallowed_methods)]
             let (time, event) = self.calendar.pop().expect("peeked event exists");
             debug_assert!(time >= self.now, "calendar produced a past event");
             self.now = time;

@@ -34,11 +34,30 @@
 //!   `run`/`collect`/`run_adaptive` *are* the workspace path with a unit
 //!   workspace — so workspace, serial and parallel runs of the same plan
 //!   all stay bit-identical.
+//! * **Fault tolerance** — every replication executes unwind-caught. On
+//!   the strict paths (`run*`/`collect`) a panic still propagates, so
+//!   legacy behavior is unchanged; on the budgeted paths
+//!   ([`Executor::run_ws_budgeted`] / [`Executor::run_ws_checked`] and
+//!   their adaptive twins) a failed replication is *recorded* as a
+//!   [`ReplicationFailure`] (index, seed, attempt count, cause) instead
+//!   of poisoning the batch, optionally retried from its own seed by a
+//!   [`RetryPolicy`], and the run returns a [`PartialRun`]: the merged
+//!   accumulators over every replication that did complete. Because
+//!   seeds are a pure function of `(master_seed, namespace ^ index)`,
+//!   surviving replications are bit-identical to a fault-free run, and a
+//!   run truncated by a [`Budget`] (replication cap, wall-clock
+//!   deadline, or a cooperative [`CancelToken`], all checked at round
+//!   boundaries) after *N* rounds is bit-identical to the fixed plan of
+//!   *N* rounds over the completed indices.
 
 use crate::rng::{derive_seed, StreamId};
 use rayon::prelude::*;
+use std::any::Any;
 use std::ops::Range;
-use std::sync::Mutex;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 /// The default stream namespace for replication seeds (shared with the
 /// historical `ReplicationRunner` schedule so existing experiments keep
@@ -54,6 +73,49 @@ pub struct Replication {
     pub seed: u64,
 }
 
+/// A structurally invalid [`ReplicationPlan`] or [`StopRule`]
+/// configuration, reported by the `try_*` constructors.
+///
+/// The panicking constructors (`ReplicationPlan::new`,
+/// `StopRule::relative`, …) delegate to the `try_*` forms and panic with
+/// exactly these messages, so callers that validate user input get typed
+/// errors while internal call sites with proven-valid arguments keep
+/// their terse form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanError {
+    /// `batches` or `batch_size` was zero.
+    EmptyPlan,
+    /// `batches × batch_size` does not fit in `u32`.
+    ReplicationOverflow,
+    /// A relative half-width target that is NaN, infinite, zero or
+    /// negative.
+    NonPositiveTarget,
+    /// Replication bounds with `min > max` or a zero cap.
+    InvalidBounds,
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::EmptyPlan => {
+                write!(
+                    f,
+                    "non-empty batch plan required (batches and batch size must be positive)"
+                )
+            }
+            PlanError::ReplicationOverflow => write!(f, "replication count overflows u32"),
+            PlanError::NonPositiveTarget => {
+                write!(f, "relative half-width target must be finite and positive")
+            }
+            PlanError::InvalidBounds => {
+                write!(f, "replication bounds must satisfy 0 < min <= max")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
 /// Describes a replicated experiment: how many replications, how they
 /// group into batches (the ANOVA replicate unit and the adaptive round
 /// size), and how each replication's seed derives from the master seed.
@@ -66,27 +128,35 @@ pub struct ReplicationPlan {
 }
 
 impl ReplicationPlan {
+    /// Creates a plan of `batches × batch_size` replications, rejecting
+    /// empty and overflowing shapes with a typed error.
+    pub fn try_new(batches: u32, batch_size: u32, master_seed: u64) -> Result<Self, PlanError> {
+        if batches == 0 || batch_size == 0 {
+            return Err(PlanError::EmptyPlan);
+        }
+        if batches.checked_mul(batch_size).is_none() {
+            return Err(PlanError::ReplicationOverflow);
+        }
+        Ok(ReplicationPlan {
+            batches,
+            batch_size,
+            master_seed,
+            namespace: DEFAULT_STREAM_NAMESPACE,
+        })
+    }
+
     /// Creates a plan of `batches × batch_size` replications.
     ///
     /// # Panics
     ///
     /// Panics if `batches` or `batch_size` is zero, or if the total
-    /// replication count overflows `u32`.
+    /// replication count overflows `u32`. Use
+    /// [`ReplicationPlan::try_new`] to validate untrusted configuration.
     #[must_use]
     pub fn new(batches: u32, batch_size: u32, master_seed: u64) -> Self {
-        assert!(
-            batches > 0 && batch_size > 0,
-            "non-empty batch plan required"
-        );
-        assert!(
-            batches.checked_mul(batch_size).is_some(),
-            "replication count overflows u32"
-        );
-        ReplicationPlan {
-            batches,
-            batch_size,
-            master_seed,
-            namespace: DEFAULT_STREAM_NAMESPACE,
+        match ReplicationPlan::try_new(batches, batch_size, master_seed) {
+            Ok(plan) => plan,
+            Err(err) => panic!("{err}"),
         }
     }
 
@@ -98,6 +168,11 @@ impl ReplicationPlan {
     #[must_use]
     pub fn flat(replications: u32, master_seed: u64) -> Self {
         ReplicationPlan::new(1, replications, master_seed)
+    }
+
+    /// The validating form of [`ReplicationPlan::flat`].
+    pub fn try_flat(replications: u32, master_seed: u64) -> Result<Self, PlanError> {
+        ReplicationPlan::try_new(1, replications, master_seed)
     }
 
     /// Replaces the stream namespace seeds are derived under. Call sites
@@ -377,30 +452,43 @@ pub struct StopRule {
 }
 
 impl StopRule {
+    /// A relative-precision rule, rejecting non-finite or non-positive
+    /// targets and inverted or empty replication bounds with a typed
+    /// error.
+    pub fn try_relative(
+        relative_half_width: f64,
+        min_replications: u32,
+        max_replications: u32,
+    ) -> Result<Self, PlanError> {
+        if !(relative_half_width.is_finite() && relative_half_width > 0.0) {
+            return Err(PlanError::NonPositiveTarget);
+        }
+        if min_replications > max_replications || max_replications == 0 {
+            return Err(PlanError::InvalidBounds);
+        }
+        Ok(StopRule {
+            relative_half_width,
+            min_replications,
+            max_replications,
+        })
+    }
+
     /// A relative-precision rule.
     ///
     /// # Panics
     ///
     /// Panics unless `relative_half_width` is finite and positive and
-    /// `min_replications ≤ max_replications` with a non-zero cap.
+    /// `min_replications ≤ max_replications` with a non-zero cap. Use
+    /// [`StopRule::try_relative`] to validate untrusted configuration.
     #[must_use]
     pub fn relative(
         relative_half_width: f64,
         min_replications: u32,
         max_replications: u32,
     ) -> Self {
-        assert!(
-            relative_half_width.is_finite() && relative_half_width > 0.0,
-            "relative half-width target must be finite and positive"
-        );
-        assert!(
-            min_replications <= max_replications && max_replications > 0,
-            "replication bounds must satisfy 0 < min <= max"
-        );
-        StopRule {
-            relative_half_width,
-            min_replications,
-            max_replications,
+        match StopRule::try_relative(relative_half_width, min_replications, max_replications) {
+            Ok(rule) => rule,
+            Err(err) => panic!("{err}"),
         }
     }
 
@@ -430,6 +518,526 @@ pub struct AdaptiveRun<O> {
     /// The monitored response's precision at the final check, if the
     /// monitor could compute one.
     pub precision: Option<Precision>,
+}
+
+/// A cooperative cancellation flag shared between a run and whoever may
+/// want to stop it (another thread, a signal handler, a serving layer's
+/// admission controller).
+///
+/// Cancellation is *cooperative*: the executor checks the token at
+/// round (batch) boundaries, finishes the round in flight, and returns
+/// the merged accumulators so far as a [`PartialRun`] — replications
+/// are never killed mid-trajectory, so everything already folded stays
+/// bit-identical to an uncancelled run of the same length.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// Caps how much work a run may perform: a replication ceiling, a
+/// wall-clock deadline, a cancellation token — any combination, all
+/// enforced at round (batch) boundaries.
+///
+/// A budget never truncates *inside* a round: before starting round
+/// `r`, the executor asks whether the `(r + 1) × batch_size`-th
+/// replication is still affordable and whether the deadline or token
+/// has tripped. The replication cap is therefore strict (rounded *down*
+/// to whole rounds, so a cap below one round executes zero rounds), and
+/// a budget-truncated run is always bit-identical to the fixed plan of
+/// the rounds it completed.
+#[derive(Debug, Clone, Default)]
+pub struct Budget {
+    max_replications: Option<u32>,
+    deadline: Option<Duration>,
+    cancel: Option<CancelToken>,
+}
+
+impl Budget {
+    /// A budget that never stops a run — the strict paths' implicit
+    /// policy.
+    #[must_use]
+    pub const fn unlimited() -> Self {
+        Budget {
+            max_replications: None,
+            deadline: None,
+            cancel: None,
+        }
+    }
+
+    /// Caps the run at `cap` replications (floored to whole rounds).
+    #[must_use]
+    pub const fn with_max_replications(mut self, cap: u32) -> Self {
+        self.max_replications = Some(cap);
+        self
+    }
+
+    /// Stops the run at the first round boundary at or past `deadline`
+    /// from the moment the run started.
+    #[must_use]
+    pub const fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a cancellation token, checked at round boundaries.
+    #[must_use]
+    pub fn with_cancel(mut self, token: &CancelToken) -> Self {
+        self.cancel = Some(token.clone());
+        self
+    }
+
+    /// Whether this budget can never stop a run.
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        self.max_replications.is_none() && self.deadline.is_none() && self.cancel.is_none()
+    }
+
+    /// Why work must stop *before* executing a unit that would bring the
+    /// completed-replication total to `replications_after_next`, or
+    /// `None` if the budget still affords it. `started` is the instant
+    /// the run began (deadline checks are relative to it). Checks are
+    /// ordered cancellation → deadline → replication cap, so a run
+    /// reports the most externally urgent reason.
+    #[must_use]
+    pub fn stop_reason(
+        &self,
+        started: Instant,
+        replications_after_next: u32,
+    ) -> Option<BudgetOutcome> {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Some(BudgetOutcome::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if started.elapsed() >= deadline {
+                return Some(BudgetOutcome::DeadlineExpired);
+            }
+        }
+        if let Some(cap) = self.max_replications {
+            if replications_after_next > cap {
+                return Some(BudgetOutcome::ReplicationBudget);
+            }
+        }
+        None
+    }
+}
+
+/// Why a run ended. Carried by [`PartialRun::budget_outcome`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetOutcome {
+    /// A fixed plan ran every round.
+    Completed,
+    /// An adaptive run met its precision target.
+    PrecisionMet,
+    /// An adaptive run reached its [`StopRule`] replication cap without
+    /// meeting the target — the rule's own honest stopping point, not a
+    /// truncation.
+    RuleCapped,
+    /// The [`Budget`] replication ceiling cut the run short.
+    ReplicationBudget,
+    /// The wall-clock deadline expired.
+    DeadlineExpired,
+    /// The [`CancelToken`] was triggered.
+    Cancelled,
+}
+
+impl BudgetOutcome {
+    /// Whether the run was cut short by an external budget rather than
+    /// finishing on its own terms (plan exhausted, precision met, or
+    /// rule cap reached).
+    #[must_use]
+    pub const fn is_truncation(&self) -> bool {
+        matches!(
+            self,
+            BudgetOutcome::ReplicationBudget
+                | BudgetOutcome::DeadlineExpired
+                | BudgetOutcome::Cancelled
+        )
+    }
+}
+
+impl std::fmt::Display for BudgetOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let label = match self {
+            BudgetOutcome::Completed => "completed",
+            BudgetOutcome::PrecisionMet => "precision met",
+            BudgetOutcome::RuleCapped => "rule cap",
+            BudgetOutcome::ReplicationBudget => "replication budget",
+            BudgetOutcome::DeadlineExpired => "deadline expired",
+            BudgetOutcome::Cancelled => "cancelled",
+        };
+        f.write_str(label)
+    }
+}
+
+/// How retry attempts re-derive a failed replication's seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reseed {
+    /// Every attempt re-runs the replication's own plan seed — the
+    /// right policy for transient *environmental* faults, and the one
+    /// that makes a successful retry bit-identical to a fault-free run
+    /// (same seed → same draw schedule → same trajectory).
+    SameSeed,
+    /// Attempt `k > 0` derives `derive_seed(base, salt ^ k)` — an escape
+    /// hatch for faults that are *deterministic in the seed* (a
+    /// trajectory that always trips the same bug), trading bit-identity
+    /// for availability. The salt keeps retry streams disjoint from
+    /// every plan namespace.
+    AttemptSalt(u64),
+}
+
+/// Bounded, deterministic re-execution of failed replications.
+///
+/// Retries run *inline* in the worker that owns the replication, before
+/// its slot in the fold, so the fold shape — and therefore serial ≡
+/// parallel bit-identity — is untouched no matter how many attempts a
+/// replication needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    max_attempts: u32,
+    reseed: Reseed,
+}
+
+impl RetryPolicy {
+    /// No retries: one attempt per replication.
+    #[must_use]
+    pub const fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            reseed: Reseed::SameSeed,
+        }
+    }
+
+    /// Up to `retries` re-attempts after the first failure, each from
+    /// the replication's own seed ([`Reseed::SameSeed`]).
+    #[must_use]
+    pub const fn retries(retries: u32) -> Self {
+        RetryPolicy {
+            max_attempts: retries.saturating_add(1),
+            reseed: Reseed::SameSeed,
+        }
+    }
+
+    /// Switches re-attempts to [`Reseed::AttemptSalt`] with `salt`.
+    #[must_use]
+    pub const fn with_reseed_salt(mut self, salt: u64) -> Self {
+        self.reseed = Reseed::AttemptSalt(salt);
+        self
+    }
+
+    /// Total attempts allowed per replication (first run included);
+    /// always at least one.
+    #[must_use]
+    pub const fn max_attempts(&self) -> u32 {
+        self.max_attempts
+    }
+
+    /// The reseeding policy for attempts after the first.
+    #[must_use]
+    pub const fn reseed(&self) -> Reseed {
+        self.reseed
+    }
+
+    /// The seed attempt `attempt` (zero-based) runs under, given the
+    /// replication's plan seed.
+    #[must_use]
+    pub fn seed_for_attempt(&self, base_seed: u64, attempt: u32) -> u64 {
+        if attempt == 0 {
+            return base_seed;
+        }
+        match self.reseed {
+            Reseed::SameSeed => base_seed,
+            Reseed::AttemptSalt(salt) => {
+                derive_seed(base_seed, StreamId(salt ^ u64::from(attempt)))
+            }
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+/// Everything a budgeted run needs to know about *how* to be resilient:
+/// the retry policy for failed replications and the budget bounding the
+/// whole run. The default policy (no retries, unlimited budget) makes
+/// [`Executor::run_ws_budgeted`] behave like [`Executor::run_ws`]
+/// except that failures degrade the result instead of panicking.
+#[derive(Debug, Clone, Default)]
+pub struct RunPolicy {
+    /// Re-execution policy for failed replications.
+    pub retry: RetryPolicy,
+    /// Work bounds checked at round boundaries.
+    pub budget: Budget,
+}
+
+impl RunPolicy {
+    /// No retries, unlimited budget.
+    #[must_use]
+    pub const fn new() -> Self {
+        RunPolicy {
+            retry: RetryPolicy::none(),
+            budget: Budget::unlimited(),
+        }
+    }
+
+    /// Replaces the retry policy.
+    #[must_use]
+    pub const fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Replaces the budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+}
+
+/// Why a replication failed its final attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureCause {
+    /// The task panicked; the message is the stringified payload.
+    Panicked(String),
+    /// The task returned, but the run's validator rejected the output
+    /// (e.g. a non-finite reward).
+    InvalidOutput,
+}
+
+impl std::fmt::Display for FailureCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureCause::Panicked(message) => write!(f, "panicked: {message}"),
+            FailureCause::InvalidOutput => write!(f, "output rejected by validator"),
+        }
+    }
+}
+
+/// One replication that exhausted its attempts without producing an
+/// accepted output. The seed recorded is the *first* attempt's (the
+/// plan seed), so a failure is always re-runnable in isolation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicationFailure {
+    /// Replication index in the plan.
+    pub index: u32,
+    /// The plan seed of the replication (attempt 0).
+    pub seed: u64,
+    /// Attempts consumed (≥ 1).
+    pub attempts: u32,
+    /// What went wrong on the last attempt.
+    pub cause: FailureCause,
+}
+
+impl std::fmt::Display for ReplicationFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "replication {} (seed {:#018x}) failed after {} attempt(s): {}",
+            self.index, self.seed, self.attempts, self.cause
+        )
+    }
+}
+
+/// The gracefully degraded result of a budgeted run: whatever the
+/// collector folded over the replications that completed, plus an
+/// honest account of what did not.
+///
+/// Two invariants make a partial result trustworthy:
+///
+/// * **Survivor bit-identity** — seeds are pure functions of the index,
+///   so every completed replication's contribution is bit-identical to
+///   the same replication in a fault-free run.
+/// * **Truncation bit-identity** — budgets only stop at round
+///   boundaries, so a run truncated after `rounds` rounds with no
+///   failures has `output` bit-identical to the fixed plan
+///   `plan.with_batches(rounds)`.
+#[derive(Debug, Clone)]
+pub struct PartialRun<O> {
+    /// The collector's output over completed replications, or `None` if
+    /// nothing completed (zero affordable rounds, or every replication
+    /// failed).
+    pub output: Option<O>,
+    /// The effective fixed plan of the rounds actually executed
+    /// (`rounds` batches; the base plan when `rounds` is zero).
+    pub plan: ReplicationPlan,
+    /// Batch-sized rounds executed.
+    pub rounds: u32,
+    /// Replications attempted (`rounds × batch_size`).
+    pub attempted: u32,
+    /// Replications that produced an accepted output.
+    pub completed: u32,
+    /// Replications that exhausted their attempts, in replication
+    /// order (deterministic: the order is part of the fold shape).
+    pub failed: Vec<ReplicationFailure>,
+    /// Why the run ended.
+    pub budget_outcome: BudgetOutcome,
+    /// The monitored response's precision at the last check (adaptive
+    /// runs only).
+    pub precision: Option<Precision>,
+}
+
+impl<O> PartialRun<O> {
+    /// Whether the result is degraded: some replications failed, or an
+    /// external budget truncated the run.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        !self.failed.is_empty() || self.budget_outcome.is_truncation()
+    }
+
+    /// The output, if any replication completed.
+    #[must_use]
+    pub fn output(&self) -> Option<&O> {
+        self.output.as_ref()
+    }
+}
+
+/// The validator that accepts every output — the policy of the plain
+/// budgeted paths, where only panics count as failures.
+pub fn accept_all<T>(_value: &T) -> bool {
+    true
+}
+
+/// Internal failure record of one replication's attempt loop: the
+/// public failure plus, for strict paths, the original panic payload so
+/// `resume_unwind` preserves it exactly. Boxed so the hot `Result` stays
+/// one pointer wide on the error side.
+struct TaskError {
+    failure: ReplicationFailure,
+    payload: Option<Box<dyn Any + Send>>,
+}
+
+/// Runs one replication through its bounded attempt loop: catch the
+/// unwind, validate the output, retry per policy. The workspace is
+/// checked out *inside* the catch, so a panicking replication's
+/// workspace is dropped mid-unwind and never recycled half-mutated; a
+/// retry checks out (or lazily creates) a fresh one.
+fn attempt_replication<W, T, I, F, V>(
+    plan: &ReplicationPlan,
+    index: u32,
+    pool: &WorkspacePool<'_, W, I>,
+    task: &F,
+    validate: &V,
+    retry: &RetryPolicy,
+) -> Result<T, Box<TaskError>>
+where
+    W: Send,
+    I: Fn() -> W + Sync,
+    F: Fn(&mut W, Replication) -> T + Sync + Send,
+    V: Fn(&T) -> bool + Sync,
+{
+    let base_seed = plan.seed_for(index);
+    let mut last: Option<Box<TaskError>> = None;
+    for attempt in 0..retry.max_attempts() {
+        let rep = Replication {
+            index,
+            seed: retry.seed_for_attempt(base_seed, attempt),
+        };
+        // AssertUnwindSafe: on Err every value the closure touched (the
+        // checked-out workspace, the task's locals) is dropped during
+        // the unwind — nothing partially-mutated is observed afterwards.
+        match catch_unwind(AssertUnwindSafe(|| pool.with(|ws| task(ws, rep)))) {
+            Ok(value) if validate(&value) => return Ok(value),
+            Ok(_) => {
+                last = Some(Box::new(TaskError {
+                    failure: ReplicationFailure {
+                        index,
+                        seed: base_seed,
+                        attempts: attempt + 1,
+                        cause: FailureCause::InvalidOutput,
+                    },
+                    payload: None,
+                }));
+            }
+            Err(payload) => {
+                last = Some(Box::new(TaskError {
+                    failure: ReplicationFailure {
+                        index,
+                        seed: base_seed,
+                        attempts: attempt + 1,
+                        cause: FailureCause::Panicked(crate::faults::panic_message(
+                            payload.as_ref(),
+                        )),
+                    },
+                    payload: Some(payload),
+                }));
+            }
+        }
+    }
+    match last {
+        Some(err) => Err(err),
+        None => unreachable!("RetryPolicy guarantees at least one attempt"),
+    }
+}
+
+/// Assembles a [`PartialRun`] from a finished round loop. `finish` is
+/// only invoked when at least one replication completed, so collectors
+/// keep their "non-empty fold" invariant even under total failure.
+#[allow(clippy::too_many_arguments)]
+fn finish_partial<T, C: Collector<T>>(
+    plan: &ReplicationPlan,
+    collector: &C,
+    acc: C::Accum,
+    rounds: u32,
+    completed: u32,
+    failed: Vec<ReplicationFailure>,
+    budget_outcome: BudgetOutcome,
+    precision: Option<Precision>,
+) -> PartialRun<C::Output> {
+    let effective = if rounds > 0 {
+        plan.with_batches(rounds)
+    } else {
+        *plan
+    };
+    let output = (completed > 0).then(|| collector.finish(&effective, acc));
+    PartialRun {
+        output,
+        plan: effective,
+        rounds,
+        attempted: rounds * plan.batch_size(),
+        completed,
+        failed,
+        budget_outcome,
+        precision,
+    }
+}
+
+/// Strict paths re-raise the first failure exactly as if it had never
+/// been caught; budgeted paths record it and move on.
+// The Box keeps the per-replication `Result` one word wide on the hot
+// success path; this cold sink consumes it as-is.
+#[allow(clippy::boxed_local)]
+fn record_or_propagate(err: Box<TaskError>, strict: bool, failed: &mut Vec<ReplicationFailure>) {
+    if strict {
+        match err.payload {
+            Some(payload) => resume_unwind(payload),
+            None => panic!("{}", err.failure),
+        }
+    }
+    failed.push(err.failure);
 }
 
 /// Runs the replications of a [`ReplicationPlan`].
@@ -486,18 +1094,27 @@ impl Executor {
     /// Executes one batch-sized round (`round` is the batch index) and
     /// folds its ordered outputs into a fresh accumulator. A serial
     /// round folds each output as it is produced; a parallel round
-    /// materializes the round's outputs (the only buffered vector, so
+    /// materializes the round's outcomes (the only buffered vector, so
     /// peak memory is O(batch_size) regardless of how many rounds run)
     /// and folds them in replication order — the accumulate order is
     /// identical either way. Every replication borrows a workspace from
-    /// `pool` for the duration of its task.
-    fn round_accum<W, T, I, F, C>(
+    /// `pool` for the duration of each attempt, runs unwind-caught, and
+    /// is retried per `retry`; failures either re-raise (`strict`) or
+    /// are recorded in `failed` in replication order, so the fold shape
+    /// is fixed even under faults.
+    #[allow(clippy::too_many_arguments)]
+    fn round_accum<W, T, I, F, C, V>(
         &self,
         plan: &ReplicationPlan,
         round: u32,
         pool: &WorkspacePool<'_, W, I>,
         task: &F,
         collector: &C,
+        validate: &V,
+        retry: &RetryPolicy,
+        strict: bool,
+        completed: &mut u32,
+        failed: &mut Vec<ReplicationFailure>,
     ) -> C::Accum
     where
         W: Send,
@@ -505,6 +1122,7 @@ impl Executor {
         I: Fn() -> W + Sync,
         F: Fn(&mut W, Replication) -> T + Sync + Send,
         C: Collector<T>,
+        V: Fn(&T) -> bool + Sync,
     {
         let start = round * plan.batch_size();
         let indices = start..start + plan.batch_size();
@@ -512,48 +1130,176 @@ impl Executor {
         match self.mode {
             ExecMode::Serial => {
                 for i in indices {
-                    let rep = plan.replication(i);
-                    let value = pool.with(|ws| task(ws, rep));
-                    collector.accumulate(plan, &mut acc, rep, value);
+                    match attempt_replication(plan, i, pool, task, validate, retry) {
+                        Ok(value) => {
+                            collector.accumulate(plan, &mut acc, plan.replication(i), value);
+                            *completed += 1;
+                        }
+                        Err(err) => record_or_propagate(err, strict, failed),
+                    }
                 }
             }
             ExecMode::Parallel => {
-                let values: Vec<T> = indices
+                let outcomes: Vec<Result<T, Box<TaskError>>> = indices
                     .into_par_iter()
-                    .map(|i| pool.with(|ws| task(ws, plan.replication(i))))
+                    .map(|i| attempt_replication(plan, i, pool, task, validate, retry))
                     .collect();
-                for (offset, value) in values.into_iter().enumerate() {
+                for (offset, outcome) in outcomes.into_iter().enumerate() {
                     let rep = plan.replication(start + offset as u32);
-                    collector.accumulate(plan, &mut acc, rep, value);
+                    match outcome {
+                        Ok(value) => {
+                            collector.accumulate(plan, &mut acc, rep, value);
+                            *completed += 1;
+                        }
+                        Err(err) => record_or_propagate(err, strict, failed),
+                    }
                 }
             }
         }
         acc
     }
 
-    /// Folds rounds `0..rounds` of `plan` into one accumulator, reusing
-    /// the workspaces in `pool` across rounds.
-    fn fold_rounds<W, T, I, F, C>(
+    /// The fixed-plan driver behind both the strict and the budgeted
+    /// workspace paths.
+    #[allow(clippy::too_many_arguments)]
+    fn run_fixed_ft<W, T, I, F, C, V>(
         &self,
         plan: &ReplicationPlan,
-        rounds: u32,
-        pool: &WorkspacePool<'_, W, I>,
-        task: &F,
+        init: I,
+        task: F,
         collector: &C,
-    ) -> C::Accum
+        policy: &RunPolicy,
+        validate: V,
+        strict: bool,
+    ) -> PartialRun<C::Output>
     where
         W: Send,
         T: Send,
         I: Fn() -> W + Sync,
         F: Fn(&mut W, Replication) -> T + Sync + Send,
         C: Collector<T>,
+        V: Fn(&T) -> bool + Sync,
     {
+        let pool = WorkspacePool::new(&init);
+        let started = Instant::now();
         let mut acc = collector.empty();
-        for round in 0..rounds {
-            let partial = self.round_accum(plan, round, pool, task, collector);
+        let mut failed = Vec::new();
+        let mut completed = 0u32;
+        let mut rounds = 0u32;
+        let mut budget_outcome = BudgetOutcome::Completed;
+        while rounds < plan.batches() {
+            if let Some(stop) = policy
+                .budget
+                .stop_reason(started, (rounds + 1) * plan.batch_size())
+            {
+                budget_outcome = stop;
+                break;
+            }
+            let partial = self.round_accum(
+                plan,
+                rounds,
+                &pool,
+                &task,
+                collector,
+                &validate,
+                &policy.retry,
+                strict,
+                &mut completed,
+                &mut failed,
+            );
             collector.merge(&mut acc, partial);
+            rounds += 1;
         }
-        acc
+        finish_partial(
+            plan,
+            collector,
+            acc,
+            rounds,
+            completed,
+            failed,
+            budget_outcome,
+            None,
+        )
+    }
+
+    /// The adaptive driver behind both the strict and the budgeted
+    /// adaptive workspace paths.
+    #[allow(clippy::too_many_arguments)]
+    fn run_adaptive_ft<W, T, I, F, C, M, V>(
+        &self,
+        plan: &ReplicationPlan,
+        rule: &StopRule,
+        init: I,
+        task: F,
+        collector: &C,
+        monitor: M,
+        policy: &RunPolicy,
+        validate: V,
+        strict: bool,
+    ) -> PartialRun<C::Output>
+    where
+        W: Send,
+        T: Send,
+        I: Fn() -> W + Sync,
+        F: Fn(&mut W, Replication) -> T + Sync + Send,
+        C: Collector<T>,
+        M: Fn(&C::Accum, u32) -> Option<Precision>,
+        V: Fn(&T) -> bool + Sync,
+    {
+        let pool = WorkspacePool::new(&init);
+        let started = Instant::now();
+        let batch = plan.batch_size();
+        let max_rounds = (rule.max_replications / batch).max(1);
+        let min_rounds = rule.min_replications.div_ceil(batch).clamp(1, max_rounds);
+        let mut acc = collector.empty();
+        let mut failed = Vec::new();
+        let mut completed = 0u32;
+        let mut rounds = 0u32;
+        let mut precision = None;
+        let mut budget_outcome = BudgetOutcome::RuleCapped;
+        while rounds < max_rounds {
+            if let Some(stop) = policy
+                .budget
+                .stop_reason(started, (rounds + 1).saturating_mul(batch))
+            {
+                budget_outcome = stop;
+                break;
+            }
+            let partial = self.round_accum(
+                plan,
+                rounds,
+                &pool,
+                &task,
+                collector,
+                &validate,
+                &policy.retry,
+                strict,
+                &mut completed,
+                &mut failed,
+            );
+            collector.merge(&mut acc, partial);
+            rounds += 1;
+            if rounds < min_rounds {
+                continue;
+            }
+            precision = monitor(&acc, completed);
+            if let Some(p) = &precision {
+                if rule.is_met(p) {
+                    budget_outcome = BudgetOutcome::PrecisionMet;
+                    break;
+                }
+            }
+        }
+        finish_partial(
+            plan,
+            collector,
+            acc,
+            rounds,
+            completed,
+            failed,
+            budget_outcome,
+            precision,
+        )
     }
 
     /// Runs every replication of `plan` through `task`, returning the
@@ -631,9 +1377,75 @@ impl Executor {
         F: Fn(&mut W, Replication) -> T + Sync + Send,
         C: Collector<T>,
     {
-        let pool = WorkspacePool::new(&init);
-        let acc = self.fold_rounds(plan, plan.batches(), &pool, &task, collector);
-        collector.finish(plan, acc)
+        let run = self.run_fixed_ft(
+            plan,
+            init,
+            task,
+            collector,
+            &RunPolicy::new(),
+            accept_all::<T>,
+            true,
+        );
+        match run.output {
+            Some(output) => output,
+            // Strict mode re-raises the first failure and the policy is
+            // unlimited, so every replication of the plan completed.
+            None => unreachable!("a strict unbudgeted run always completes"),
+        }
+    }
+
+    /// Runs `plan` under a [`RunPolicy`], isolating panics and bounding
+    /// work, and returns a gracefully degraded [`PartialRun`] instead
+    /// of propagating failures.
+    ///
+    /// Every replication executes unwind-caught: a panic (after the
+    /// policy's retries) becomes a [`ReplicationFailure`] and the fold
+    /// simply skips that slot, so every surviving replication's
+    /// contribution is bit-identical to the fault-free run. The
+    /// policy's [`Budget`] is checked at round boundaries; a truncated
+    /// run is bit-identical to the fixed plan of the rounds it
+    /// completed.
+    pub fn run_ws_budgeted<W, T, I, F, C>(
+        &self,
+        plan: &ReplicationPlan,
+        init: I,
+        task: F,
+        collector: &C,
+        policy: &RunPolicy,
+    ) -> PartialRun<C::Output>
+    where
+        W: Send,
+        T: Send,
+        I: Fn() -> W + Sync,
+        F: Fn(&mut W, Replication) -> T + Sync + Send,
+        C: Collector<T>,
+    {
+        self.run_fixed_ft(plan, init, task, collector, policy, accept_all::<T>, false)
+    }
+
+    /// [`Executor::run_ws_budgeted`] with an output validator: a
+    /// replication whose output `validate` rejects (e.g. a non-finite
+    /// reward) counts as failed — retried per policy, then recorded as
+    /// [`FailureCause::InvalidOutput`] — instead of silently corrupting
+    /// downstream aggregates.
+    pub fn run_ws_checked<W, T, I, F, C, V>(
+        &self,
+        plan: &ReplicationPlan,
+        init: I,
+        task: F,
+        collector: &C,
+        policy: &RunPolicy,
+        validate: V,
+    ) -> PartialRun<C::Output>
+    where
+        W: Send,
+        T: Send,
+        I: Fn() -> W + Sync,
+        F: Fn(&mut W, Replication) -> T + Sync + Send,
+        C: Collector<T>,
+        V: Fn(&T) -> bool + Sync,
+    {
+        self.run_fixed_ft(plan, init, task, collector, policy, validate, false)
     }
 
     /// Executes batch-sized rounds of `plan` until `rule` is satisfied
@@ -703,38 +1515,97 @@ impl Executor {
         C: Collector<T>,
         M: Fn(&C::Accum, u32) -> Option<Precision>,
     {
-        let pool = WorkspacePool::new(&init);
-        let batch = plan.batch_size();
-        let max_rounds = (rule.max_replications / batch).max(1);
-        let min_rounds = rule.min_replications.div_ceil(batch).clamp(1, max_rounds);
-        let mut acc = collector.empty();
-        let mut rounds = 0u32;
-        let mut precision = None;
-        let mut target_met = false;
-        while rounds < max_rounds {
-            let partial = self.round_accum(plan, rounds, &pool, &task, collector);
-            collector.merge(&mut acc, partial);
-            rounds += 1;
-            if rounds < min_rounds {
-                continue;
-            }
-            precision = monitor(&acc, rounds * batch);
-            if let Some(p) = &precision {
-                if rule.is_met(p) {
-                    target_met = true;
-                    break;
-                }
-            }
-        }
-        let effective = plan.with_batches(rounds);
+        let run = self.run_adaptive_ft(
+            plan,
+            rule,
+            init,
+            task,
+            collector,
+            monitor,
+            &RunPolicy::new(),
+            accept_all::<T>,
+            true,
+        );
+        let output = match run.output {
+            Some(output) => output,
+            // Strict mode re-raises failures and the rule executes at
+            // least one full round, so the fold is never empty.
+            None => unreachable!("a strict adaptive run always completes at least one round"),
+        };
         AdaptiveRun {
-            output: collector.finish(&effective, acc),
-            plan: effective,
-            rounds,
-            replications: rounds * batch,
-            target_met,
-            precision,
+            output,
+            plan: run.plan,
+            rounds: run.rounds,
+            replications: run.attempted,
+            target_met: run.budget_outcome == BudgetOutcome::PrecisionMet,
+            precision: run.precision,
         }
+    }
+
+    /// The budgeted twin of [`Executor::run_adaptive_ws`]: adaptive
+    /// rounds under a [`RunPolicy`], returning a [`PartialRun`] whose
+    /// `budget_outcome` distinguishes precision met, the rule's own
+    /// replication cap, and external truncation (budget, deadline,
+    /// cancellation). The monitor receives the *completed* replication
+    /// count, which under faults may be below `rounds × batch_size`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_adaptive_ws_budgeted<W, T, I, F, C, M>(
+        &self,
+        plan: &ReplicationPlan,
+        rule: &StopRule,
+        init: I,
+        task: F,
+        collector: &C,
+        monitor: M,
+        policy: &RunPolicy,
+    ) -> PartialRun<C::Output>
+    where
+        W: Send,
+        T: Send,
+        I: Fn() -> W + Sync,
+        F: Fn(&mut W, Replication) -> T + Sync + Send,
+        C: Collector<T>,
+        M: Fn(&C::Accum, u32) -> Option<Precision>,
+    {
+        self.run_adaptive_ft(
+            plan,
+            rule,
+            init,
+            task,
+            collector,
+            monitor,
+            policy,
+            accept_all::<T>,
+            false,
+        )
+    }
+
+    /// [`Executor::run_adaptive_ws_budgeted`] with an output validator
+    /// (see [`Executor::run_ws_checked`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_adaptive_ws_checked<W, T, I, F, C, M, V>(
+        &self,
+        plan: &ReplicationPlan,
+        rule: &StopRule,
+        init: I,
+        task: F,
+        collector: &C,
+        monitor: M,
+        policy: &RunPolicy,
+        validate: V,
+    ) -> PartialRun<C::Output>
+    where
+        W: Send,
+        T: Send,
+        I: Fn() -> W + Sync,
+        F: Fn(&mut W, Replication) -> T + Sync + Send,
+        C: Collector<T>,
+        M: Fn(&C::Accum, u32) -> Option<Precision>,
+        V: Fn(&T) -> bool + Sync,
+    {
+        self.run_adaptive_ft(
+            plan, rule, init, task, collector, monitor, policy, validate, false,
+        )
     }
 }
 
@@ -774,10 +1645,20 @@ impl<'i, W, I: Fn() -> W> WorkspacePool<'i, W, I> {
             let mut ws = (self.init)();
             return f(&mut ws);
         }
-        let checked_out = self.free.lock().expect("workspace pool poisoned").pop();
+        // A poisoned free list only means some thread panicked while
+        // *pushing or popping* (the lock is never held across a task);
+        // the workspaces inside are intact, so keep serving them.
+        let checked_out = self
+            .free
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop();
         let mut ws = checked_out.unwrap_or_else(|| (self.init)());
         let out = f(&mut ws);
-        self.free.lock().expect("workspace pool poisoned").push(ws);
+        self.free
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(ws);
         out
     }
 }
@@ -1094,5 +1975,376 @@ mod tests {
     #[should_panic(expected = "finite and positive")]
     fn stop_rule_rejects_zero_target() {
         let _ = StopRule::relative(0.0, 1, 10);
+    }
+
+    #[test]
+    fn try_constructors_return_typed_errors() {
+        assert_eq!(ReplicationPlan::try_new(0, 5, 1), Err(PlanError::EmptyPlan));
+        assert_eq!(ReplicationPlan::try_new(5, 0, 1), Err(PlanError::EmptyPlan));
+        assert_eq!(
+            ReplicationPlan::try_new(u32::MAX, 2, 1),
+            Err(PlanError::ReplicationOverflow)
+        );
+        assert_eq!(ReplicationPlan::try_flat(0, 1), Err(PlanError::EmptyPlan));
+        assert!(ReplicationPlan::try_new(4, 25, 9).is_ok());
+        assert_eq!(
+            StopRule::try_relative(f64::NAN, 1, 10).unwrap_err(),
+            PlanError::NonPositiveTarget
+        );
+        assert_eq!(
+            StopRule::try_relative(-0.1, 1, 10).unwrap_err(),
+            PlanError::NonPositiveTarget
+        );
+        assert_eq!(
+            StopRule::try_relative(0.05, 10, 5).unwrap_err(),
+            PlanError::InvalidBounds
+        );
+        assert_eq!(
+            StopRule::try_relative(0.05, 0, 0).unwrap_err(),
+            PlanError::InvalidBounds
+        );
+        assert!(StopRule::try_relative(0.05, 1, 10).is_ok());
+    }
+
+    #[test]
+    fn budgeted_run_isolates_panics_and_keeps_survivors() {
+        crate::faults::silence_injected_panics();
+        let plan = ReplicationPlan::new(4, 8, 11);
+        let clean: Vec<u64> = Executor::serial().run(&plan, |rep| rep.seed % 1000);
+        for exec in [Executor::serial(), Executor::parallel()] {
+            let run = exec.run_ws_budgeted(
+                &plan,
+                || (),
+                |(): &mut (), rep| {
+                    if rep.index % 7 == 3 {
+                        std::panic::panic_any(crate::faults::InjectedPanic { index: rep.index });
+                    }
+                    rep.seed % 1000
+                },
+                &VecCollector,
+                &RunPolicy::new(),
+            );
+            assert_eq!(run.budget_outcome, BudgetOutcome::Completed);
+            assert!(run.is_degraded());
+            assert_eq!(run.attempted, 32);
+            let expected_failures: Vec<u32> = (0..32).filter(|i| i % 7 == 3).collect();
+            assert_eq!(
+                run.failed.iter().map(|f| f.index).collect::<Vec<_>>(),
+                expected_failures
+            );
+            for failure in &run.failed {
+                assert_eq!(failure.seed, plan.seed_for(failure.index));
+                assert_eq!(failure.attempts, 1);
+                assert!(matches!(failure.cause, FailureCause::Panicked(_)));
+            }
+            assert_eq!(run.completed, 32 - run.failed.len() as u32);
+            let survivors: Vec<u64> = clean
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i % 7 != 3)
+                .map(|(_, v)| *v)
+                .collect();
+            assert_eq!(run.output, Some(survivors));
+        }
+    }
+
+    #[test]
+    fn validator_rejection_is_recorded_as_invalid_output() {
+        let plan = ReplicationPlan::flat(10, 3);
+        let run = Executor::serial().run_ws_checked(
+            &plan,
+            || (),
+            |(): &mut (), rep| if rep.index == 4 { f64::NAN } else { 1.0 },
+            &MeanCollector,
+            &RunPolicy::new(),
+            |value: &f64| value.is_finite(),
+        );
+        assert_eq!(run.completed, 9);
+        assert_eq!(run.failed.len(), 1);
+        assert_eq!(run.failed[0].index, 4);
+        assert_eq!(run.failed[0].cause, FailureCause::InvalidOutput);
+        assert_eq!(run.output, Some(1.0));
+    }
+
+    #[test]
+    fn same_seed_retry_erases_transient_faults() {
+        crate::faults::silence_injected_panics();
+        let plan = ReplicationPlan::new(2, 10, 77);
+        let task = |rep: Replication| {
+            let mut rng = RngStream::new(rep.seed, StreamId(5));
+            rng.uniform()
+        };
+        let clean: Vec<f64> = Executor::serial().run(&plan, task);
+        let faults = crate::faults::FaultPlan::none(plan.total())
+            .with_fault(2, crate::faults::FaultKind::Panic)
+            .with_fault(13, crate::faults::FaultKind::Panic)
+            .transient(1);
+        for exec in [Executor::serial(), Executor::parallel()] {
+            faults.reset();
+            let policy = RunPolicy::new().with_retry(RetryPolicy::retries(2));
+            let run = exec.run_ws_budgeted(
+                &plan,
+                || (),
+                faults.wrap(|(): &mut (), rep| task(rep), |v| v),
+                &VecCollector,
+                &policy,
+            );
+            assert!(
+                run.failed.is_empty(),
+                "transient faults must be retried away"
+            );
+            assert_eq!(run.completed, plan.total());
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(
+                bits(run.output.as_ref().unwrap()),
+                bits(&clean),
+                "same-seed retry must reproduce the original draw schedule"
+            );
+            assert!(!run.is_degraded());
+        }
+    }
+
+    #[test]
+    fn attempt_salt_reseeds_only_retries() {
+        let retry = RetryPolicy::retries(3).with_reseed_salt(0xBEEF);
+        assert_eq!(
+            retry.seed_for_attempt(42, 0),
+            42,
+            "first attempt keeps the plan seed"
+        );
+        let second = retry.seed_for_attempt(42, 1);
+        assert_ne!(second, 42);
+        assert_eq!(second, derive_seed(42, StreamId(0xBEEF ^ 1)));
+        assert_ne!(retry.seed_for_attempt(42, 2), second);
+        // SameSeed never drifts.
+        let same = RetryPolicy::retries(3);
+        assert_eq!(same.seed_for_attempt(42, 2), 42);
+    }
+
+    #[test]
+    fn replication_budget_truncates_to_whole_rounds_bit_identically() {
+        let plan = ReplicationPlan::new(6, 5, 123);
+        let task = |rep: Replication| {
+            let mut rng = RngStream::new(rep.seed, StreamId(9));
+            rng.uniform()
+        };
+        for exec in [Executor::serial(), Executor::parallel()] {
+            // A 17-replication budget affords exactly 3 rounds of 5.
+            let policy =
+                RunPolicy::new().with_budget(Budget::unlimited().with_max_replications(17));
+            let run = exec.run_ws_budgeted(
+                &plan,
+                || (),
+                |(): &mut (), rep| task(rep),
+                &VecCollector,
+                &policy,
+            );
+            assert_eq!(run.budget_outcome, BudgetOutcome::ReplicationBudget);
+            assert_eq!(run.rounds, 3);
+            assert_eq!(run.completed, 15);
+            assert_eq!(run.plan.batches(), 3);
+            assert!(run.is_degraded());
+            let fixed: Vec<f64> = exec.run(&plan.with_batches(3), task);
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(run.output.as_ref().unwrap()), bits(&fixed));
+        }
+    }
+
+    #[test]
+    fn budget_below_one_round_yields_empty_partial() {
+        let plan = ReplicationPlan::new(4, 10, 0);
+        let policy = RunPolicy::new().with_budget(Budget::unlimited().with_max_replications(9));
+        let run = Executor::serial().run_ws_budgeted(
+            &plan,
+            || (),
+            |(): &mut (), rep| rep.index,
+            &VecCollector,
+            &policy,
+        );
+        assert_eq!(run.rounds, 0);
+        assert_eq!(run.completed, 0);
+        assert!(run.output.is_none());
+        assert_eq!(run.budget_outcome, BudgetOutcome::ReplicationBudget);
+    }
+
+    #[test]
+    fn cancellation_stops_at_the_next_round_boundary() {
+        let plan = ReplicationPlan::new(10, 4, 5);
+        let token = CancelToken::new();
+        // Pre-cancelled: no round starts.
+        token.cancel();
+        let policy = RunPolicy::new().with_budget(Budget::unlimited().with_cancel(&token));
+        let run = Executor::serial().run_ws_budgeted(
+            &plan,
+            || (),
+            |(): &mut (), rep| rep.index,
+            &VecCollector,
+            &policy,
+        );
+        assert_eq!(run.rounds, 0);
+        assert_eq!(run.budget_outcome, BudgetOutcome::Cancelled);
+        // Cancelled from inside the second round: that round finishes,
+        // then the run stops — 2 whole rounds, bit-identical.
+        let token = CancelToken::new();
+        let cancel_from_task = token.clone();
+        let policy = RunPolicy::new().with_budget(Budget::unlimited().with_cancel(&token));
+        let run = Executor::serial().run_ws_budgeted(
+            &plan,
+            || (),
+            move |(): &mut (), rep| {
+                if rep.index == 5 {
+                    cancel_from_task.cancel();
+                }
+                rep.index
+            },
+            &VecCollector,
+            &policy,
+        );
+        assert_eq!(run.budget_outcome, BudgetOutcome::Cancelled);
+        assert_eq!(run.rounds, 2);
+        assert_eq!(run.output, Some((0..8).collect::<Vec<_>>()));
+    }
+
+    #[test]
+    fn deadline_expiry_returns_partial_results() {
+        let plan = ReplicationPlan::new(50, 2, 7);
+        let policy = RunPolicy::new()
+            .with_budget(Budget::unlimited().with_deadline(Duration::from_micros(200)));
+        let run = Executor::serial().run_ws_budgeted(
+            &plan,
+            || (),
+            |(): &mut (), rep| {
+                std::thread::sleep(Duration::from_micros(150));
+                rep.index
+            },
+            &VecCollector,
+            &policy,
+        );
+        assert_eq!(run.budget_outcome, BudgetOutcome::DeadlineExpired);
+        assert!(run.rounds < 50, "deadline must truncate the run");
+        // Whatever completed is the exact prefix.
+        let n = run.completed;
+        assert_eq!(run.output, Some((0..n).collect::<Vec<_>>()));
+    }
+
+    #[test]
+    fn adaptive_budgeted_truncation_matches_fixed_plan() {
+        let base = ReplicationPlan::new(1, 10, 99);
+        let rule = StopRule::relative(1e-9, 10, 100);
+        let task = |rep: Replication| {
+            let mut rng = RngStream::new(rep.seed, StreamId(2));
+            rng.uniform()
+        };
+        for exec in [Executor::serial(), Executor::parallel()] {
+            let policy =
+                RunPolicy::new().with_budget(Budget::unlimited().with_max_replications(30));
+            let run = exec.run_adaptive_ws_budgeted(
+                &base,
+                &rule,
+                || (),
+                |(): &mut (), rep| task(rep),
+                &MeanCollector,
+                |_, _| None,
+                &policy,
+            );
+            assert_eq!(run.budget_outcome, BudgetOutcome::ReplicationBudget);
+            assert_eq!(run.rounds, 3);
+            let fixed = exec.collect(&base.with_batches(3), task, &MeanCollector);
+            assert_eq!(run.output.unwrap().to_bits(), fixed.to_bits());
+        }
+    }
+
+    #[test]
+    fn adaptive_budgeted_outcomes_distinguish_rule_cap_and_target() {
+        let base = ReplicationPlan::new(1, 5, 3);
+        let task = |_: Replication| 1.0f64;
+        // Precision met.
+        let met = Executor::serial().run_adaptive_ws_budgeted(
+            &base,
+            &StopRule::relative(0.05, 5, 100),
+            || (),
+            |(): &mut (), rep| task(rep),
+            &MeanCollector,
+            |acc, _| {
+                Some(Precision {
+                    estimate: acc.sum / acc.n as f64,
+                    half_width: 0.0,
+                })
+            },
+            &RunPolicy::new(),
+        );
+        assert_eq!(met.budget_outcome, BudgetOutcome::PrecisionMet);
+        assert!(!met.is_degraded());
+        // Rule cap without meeting the target: honest, not degraded.
+        let capped = Executor::serial().run_adaptive_ws_budgeted(
+            &base,
+            &StopRule::relative(1e-12, 5, 20),
+            || (),
+            |(): &mut (), rep| task(rep),
+            &MeanCollector,
+            |_, _| None,
+            &RunPolicy::new(),
+        );
+        assert_eq!(capped.budget_outcome, BudgetOutcome::RuleCapped);
+        assert_eq!(capped.rounds, 4);
+        assert!(!capped.is_degraded());
+    }
+
+    #[test]
+    fn total_failure_yields_no_output_but_full_failure_record() {
+        crate::faults::silence_injected_panics();
+        let plan = ReplicationPlan::flat(6, 1);
+        let run = Executor::serial().run_ws_budgeted(
+            &plan,
+            || (),
+            |(): &mut (), rep| -> u32 {
+                std::panic::panic_any(crate::faults::InjectedPanic { index: rep.index })
+            },
+            &VecCollector,
+            &RunPolicy::new(),
+        );
+        assert!(run.output.is_none());
+        assert_eq!(run.completed, 0);
+        assert_eq!(run.failed.len(), 6);
+        assert_eq!(run.budget_outcome, BudgetOutcome::Completed);
+    }
+
+    #[test]
+    #[should_panic(expected = "strict panic passes through")]
+    fn strict_run_ws_still_propagates_panics() {
+        let plan = ReplicationPlan::flat(4, 1);
+        let _: Vec<u32> = Executor::serial().run_ws(
+            &plan,
+            || (),
+            |(): &mut (), rep| {
+                if rep.index == 2 {
+                    panic!("strict panic passes through");
+                }
+                rep.index
+            },
+            &VecCollector,
+        );
+    }
+
+    #[test]
+    fn budget_stop_reason_orders_cancel_deadline_cap() {
+        let token = CancelToken::new();
+        let budget = Budget::unlimited()
+            .with_max_replications(10)
+            .with_deadline(Duration::from_secs(3600))
+            .with_cancel(&token);
+        let started = Instant::now();
+        assert_eq!(budget.stop_reason(started, 10), None);
+        assert_eq!(
+            budget.stop_reason(started, 11),
+            Some(BudgetOutcome::ReplicationBudget)
+        );
+        token.cancel();
+        assert_eq!(
+            budget.stop_reason(started, 5),
+            Some(BudgetOutcome::Cancelled)
+        );
+        assert!(Budget::unlimited().is_unlimited());
+        assert!(!budget.is_unlimited());
     }
 }

@@ -29,6 +29,15 @@
 //!   every replication). [`Executor::run_adaptive`] executes batch-sized
 //!   rounds until a [`StopRule`] precision target is met. Every
 //!   replication loop in the workspace goes through this one seam.
+//! * **Fault tolerance** — every replication executes unwind-caught; the
+//!   budgeted executor paths record failures ([`ReplicationFailure`]),
+//!   retry them deterministically from their own seeds ([`RetryPolicy`]),
+//!   bound work with a [`Budget`] (replication cap, wall-clock deadline,
+//!   cooperative [`CancelToken`]) and degrade gracefully to a
+//!   [`PartialRun`] over whatever completed — with surviving
+//!   replications bit-identical to a fault-free run. The [`faults`]
+//!   module provides the deterministic fault-injection harness that
+//!   proves those guarantees.
 //!
 //! ## Example
 //!
@@ -60,10 +69,13 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![cfg_attr(not(test), warn(clippy::disallowed_methods))]
+#![cfg_attr(test, allow(clippy::disallowed_methods))]
 
 pub mod calendar;
 pub mod engine;
 pub mod exec;
+pub mod faults;
 pub mod observe;
 pub mod replication;
 pub mod rng;
@@ -74,8 +86,11 @@ pub use calendar::{Calendar, EventToken};
 pub use engine::RunOutcome;
 pub use engine::{Context, Engine, Model};
 pub use exec::{
-    AdaptiveRun, Collector, ExecMode, Executor, Precision, Replication, ReplicationPlan, StopRule,
+    AdaptiveRun, Budget, BudgetOutcome, CancelToken, Collector, ExecMode, Executor, FailureCause,
+    PartialRun, PlanError, Precision, Replication, ReplicationFailure, ReplicationPlan, Reseed,
+    RetryPolicy, RunPolicy, StopRule,
 };
+pub use faults::{FaultKind, FaultPlan, InjectedPanic};
 pub use observe::{TimeWeighted, Welford};
 pub use replication::{ReplicationRunner, ReplicationSummary};
 pub use rng::{derive_seed, RngStream, StreamId};

@@ -126,6 +126,9 @@ impl Eq for SimTime {}
 // returns `None` for values built through the public API.
 impl Ord for SimTime {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Invariant: every public constructor rejects NaN, so
+        // `partial_cmp` is total over constructed values.
+        #[allow(clippy::disallowed_methods)]
         self.0
             .partial_cmp(&other.0)
             .expect("SimTime is never NaN by construction")

@@ -190,6 +190,15 @@ impl StreamingSummary {
                 what: "confidence level must be in (0,1)",
             });
         }
+        // Non-finite moments (a NaN or infinite observation slipped into
+        // the stream — e.g. a corrupted replication folded without the
+        // executor's validator) would otherwise silently produce a
+        // NaN-bounded interval that every comparison accepts.
+        if !self.mean.is_finite() || !self.m2.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                what: "streaming moments are not finite (non-finite observation in the stream)",
+            });
+        }
         let n = self.n as f64;
         let se = (self.sample_variance() / n).sqrt();
         let t = StudentT::new(n - 1.0)?;
@@ -355,6 +364,22 @@ mod tests {
         assert_eq!(s.sample_variance(), 0.0);
         assert_eq!(s.standard_error(), 0.0);
         assert!(s.mean_ci(0.95).is_err());
+    }
+
+    #[test]
+    fn non_finite_stream_is_rejected_by_mean_ci() {
+        let mut s = StreamingSummary::new();
+        s.push(1.0);
+        s.push(f64::NAN);
+        s.push(2.0);
+        assert!(matches!(
+            s.mean_ci(0.95),
+            Err(StatsError::InvalidParameter { .. })
+        ));
+        let mut inf = StreamingSummary::new();
+        inf.push(f64::INFINITY);
+        inf.push(1.0);
+        assert!(inf.mean_ci(0.95).is_err());
     }
 
     #[test]

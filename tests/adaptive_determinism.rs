@@ -4,6 +4,9 @@
 //! of N bit for bit, on every executor, at the measurement and pipeline
 //! levels.
 
+// Test code: the unwrap/expect ban (clippy.toml) applies to the
+// non-test library code of diversify-des/diversify-core.
+#![allow(clippy::disallowed_methods)]
 use diversify::attack::campaign::{CampaignConfig, ThreatModel};
 use diversify::core::exec::{campaign_plan, Executor};
 use diversify::core::pipeline::{Pipeline, PipelineConfig};

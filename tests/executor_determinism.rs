@@ -2,6 +2,9 @@
 //! never changes results, and the whole experiment suite runs end to end
 //! at quick scale.
 
+// Test code: the unwrap/expect ban (clippy.toml) applies to the
+// non-test library code of diversify-des/diversify-core.
+#![allow(clippy::disallowed_methods)]
 use diversify::attack::campaign::{CampaignConfig, CampaignSimulator, ThreatModel};
 use diversify::core::exec::{campaign_plan, ExecMode, Executor, ReplicationPlan};
 use diversify::core::pipeline::{Pipeline, PipelineConfig};

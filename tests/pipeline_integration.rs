@@ -1,6 +1,9 @@
 //! Cross-crate integration: the full three-step pipeline and the claims
 //! it must reproduce.
 
+// Test code: the unwrap/expect ban (clippy.toml) applies to the
+// non-test library code of diversify-des/diversify-core.
+#![allow(clippy::disallowed_methods)]
 use diversify::attack::campaign::{CampaignConfig, ThreatModel};
 use diversify::core::pipeline::{Pipeline, PipelineConfig};
 use diversify::core::runner::measure_configuration;

@@ -16,6 +16,9 @@
 //!   preserving probability, and explorer invariance to activity
 //!   declaration order.
 
+// Test code: the unwrap/expect ban (clippy.toml) applies to the
+// non-test library code of diversify-des/diversify-core.
+#![allow(clippy::disallowed_methods)]
 use diversify::attack::chain::{chain_success_probability, MachineChain};
 use diversify::attack::to_san::{compile_machine_chain, compile_stage_chain, StageParams};
 use diversify::san::{

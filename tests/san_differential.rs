@@ -6,6 +6,9 @@
 //! SAN. Both engines share RNG streams by construction; these tests pin
 //! that guarantee against regressions.
 
+// Test code: the unwrap/expect ban (clippy.toml) applies to the
+// non-test library code of diversify-des/diversify-core.
+#![allow(clippy::disallowed_methods)]
 use diversify::attack::campaign::ThreatModel;
 use diversify::attack::to_san::compile_network_campaign;
 use diversify::san::{

@@ -3,6 +3,9 @@
 //! merge splits, and adaptive executor runs truncated at N replications
 //! must be bit-identical to fixed plans of N.
 
+// Test code: the unwrap/expect ban (clippy.toml) applies to the
+// non-test library code of diversify-des/diversify-core.
+#![allow(clippy::disallowed_methods)]
 use diversify::des::exec::{Executor, MeanCollector, ReplicationPlan, StopRule};
 use diversify::des::{ReplicationRunner, RngStream, StreamId};
 use diversify::stats::{BernoulliCounter, StreamingSummary, Summary};

@@ -13,6 +13,9 @@
 //! [`CampaignWorkspace`], and the incremental SAN engine driven through
 //! a recycled [`SimState`].
 
+// Test code: the unwrap/expect ban (clippy.toml) applies to the
+// non-test library code of diversify-des/diversify-core.
+#![allow(clippy::disallowed_methods)]
 use diversify::attack::campaign::{
     CampaignConfig, CampaignSimulator, CampaignWorkspace, ThreatModel,
 };
@@ -184,6 +187,48 @@ fn san_incremental_engine_is_allocation_free_after_warmup() {
         "incremental SAN engine allocated {delta} times across {warm}-event warm passes"
     );
     assert_eq!(warm, again, "identical seeds must replay identically");
+}
+
+/// The hardened executor path (panic isolation + budget checks wrapped
+/// around every replication) keeps the steady state allocation-free:
+/// failure-path allocations (boxed error records, panic payloads) only
+/// happen when a replication actually fails, so a fault-free serial run
+/// through a warm workspace must not allocate per replication.
+#[test]
+fn hardened_executor_path_is_allocation_free_per_replication() {
+    let _guard = measured();
+    use diversify::des::exec::{Executor, MeanCollector, ReplicationPlan, RunPolicy};
+    let net = scope_network();
+    let sim = CampaignSimulator::new(&net, ThreatModel::stuxnet_like(), CampaignConfig::default());
+    let policy = RunPolicy::new();
+    let run = |reps: u32| -> u64 {
+        let plan = ReplicationPlan::new(reps, 10, 0x2EE0);
+        let before = allocations();
+        let part = Executor::serial().run_ws_budgeted(
+            &plan,
+            || sim.workspace(),
+            |ws, rep| {
+                let stats = sim.run_into(ws, rep.seed);
+                stats.final_compromised_ratio
+            },
+            &MeanCollector,
+            &policy,
+        );
+        assert!(!part.is_degraded());
+        black_box(part);
+        allocations() - before
+    };
+    // Warm-up sizes the workspace pool and any lazy runtime state.
+    let _ = run(2);
+    let small = run(4);
+    let large = run(8);
+    // Per-round overhead must be zero: doubling the rounds (and thus
+    // the budget checks and catch_unwind frames) adds no allocations
+    // beyond the fixed setup (pool + accumulator + failure Vec).
+    assert!(
+        large <= small + 4,
+        "hardened executor allocates per replication: {small} at 4 rounds, {large} at 8"
+    );
 }
 
 /// The Monte-Carlo transient solver reuses its simulator state and

@@ -8,6 +8,9 @@
 //! mean/min/max to stdout. No statistics beyond that — the goal is a
 //! regenerable timing record, not upstream criterion's analysis.
 
+// Vendored shim: exempt from the workspace unwrap/expect ban
+// (clippy.toml), which targets diversify-des/diversify-core.
+#![allow(clippy::disallowed_methods)]
 use std::time::{Duration, Instant};
 
 /// Times one benchmark target.

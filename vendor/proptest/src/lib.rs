@@ -8,6 +8,9 @@
 //! number; there is no shrinking. Case seeds are derived from the test
 //! name, so runs are reproducible.
 
+// Vendored shim: exempt from the workspace unwrap/expect ban
+// (clippy.toml), which targets diversify-des/diversify-core.
+#![allow(clippy::disallowed_methods)]
 use std::ops::{Range, RangeInclusive};
 
 /// Configuration for a `proptest!` block.
