@@ -392,6 +392,151 @@ fn note_rooted(
     }
 }
 
+/// Scalar tick-loop state of one campaign replication — everything the
+/// tick stepper mutates besides the workspace buffers. Snapshotting it
+/// (plus the sparse non-clean node states) is what makes a replication
+/// resumable mid-flight for the multilevel-splitting engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Progress {
+    /// Total nodes in the network.
+    nodes: usize,
+    /// Ticks simulated so far.
+    tick: u32,
+    deepest: AttackStage,
+    time_to_attack: Option<u32>,
+    time_to_detection: Option<u32>,
+    firewall_blocks: u32,
+    payload_failures: u32,
+    exfil_ticks: u32,
+    /// Nodes still Clean.
+    clean: usize,
+    /// PLCs Reprogrammed.
+    reprogrammed: usize,
+    /// Data-bearing nodes ≥ Rooted.
+    data_rooted: u32,
+    /// Detection ended the campaign (`detection_stops_attack`).
+    halted: bool,
+}
+
+impl Progress {
+    fn fresh(nodes: usize) -> Self {
+        Progress {
+            nodes,
+            tick: 0,
+            deepest: AttackStage::Initial,
+            time_to_attack: None,
+            time_to_detection: None,
+            firewall_blocks: 0,
+            payload_failures: 0,
+            exfil_ticks: 0,
+            clean: nodes,
+            reprogrammed: 0,
+            data_rooted: 0,
+            halted: false,
+        }
+    }
+
+    /// Nothing further can change: remediation halted the campaign, or
+    /// both terminal observables are already recorded.
+    fn done(&self) -> bool {
+        self.halted || (self.time_to_attack.is_some() && self.time_to_detection.is_some())
+    }
+
+    /// Current compromised ratio.
+    fn ratio(&self) -> f64 {
+        (self.nodes - self.clean) as f64 / self.nodes as f64
+    }
+
+    fn stats(&self, final_compromised_ratio: f64) -> CampaignStats {
+        CampaignStats {
+            time_to_attack: self.time_to_attack,
+            time_to_detection: self.time_to_detection,
+            final_compromised_ratio,
+            deepest_stage: self.deepest,
+            firewall_blocks: self.firewall_blocks,
+            payload_failures: self.payload_failures,
+        }
+    }
+}
+
+/// A monotone campaign milestone — the level boundaries of the
+/// multilevel-splitting estimator. Compromise states only advance
+/// (`Clean < Infected < Rooted < Reprogrammed`) and the deepest stage,
+/// non-clean count and reprogrammed count are monotone over ticks, so a
+/// crossed milestone stays crossed; that nesting is what makes
+/// fixed-effort splitting over these levels unbiased.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CampaignMilestone {
+    /// At least one node has reached root access.
+    Rooted,
+    /// At least this many nodes have left the Clean state.
+    SpreadAtLeast(usize),
+    /// At least one PLC payload was delivered (a PLC reprogrammed).
+    PayloadDelivered,
+    /// The campaign goal was achieved (Time-To-Attack recorded).
+    GoalReached,
+}
+
+impl CampaignMilestone {
+    fn reached(self, pr: &Progress) -> bool {
+        match self {
+            CampaignMilestone::Rooted => pr.deepest >= AttackStage::RootAccess,
+            CampaignMilestone::SpreadAtLeast(k) => pr.nodes - pr.clean >= k,
+            CampaignMilestone::PayloadDelivered => pr.reprogrammed > 0,
+            CampaignMilestone::GoalReached => pr.time_to_attack.is_some(),
+        }
+    }
+}
+
+/// A resumable between-ticks snapshot of one campaign replication: the
+/// scalar progress plus the sparse ascending list of non-clean node
+/// states. Restoring rebuilds the workspace's dense arrays and active
+/// sets deterministically, so a stage resumed from a checkpoint is a
+/// pure function of `(checkpoint, seed)` — independent of whatever the
+/// workspace held before.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignCheckpoint {
+    progress: Progress,
+    /// `(node index, state)` for every non-clean node, ascending.
+    states: Vec<(u32, NodeCompromise)>,
+}
+
+impl CampaignCheckpoint {
+    /// Whether the campaign goal was achieved by this point.
+    #[must_use]
+    pub fn succeeded(&self) -> bool {
+        self.progress.time_to_attack.is_some()
+    }
+
+    /// Ticks simulated up to this snapshot.
+    #[must_use]
+    pub fn tick(&self) -> u32 {
+        self.progress.tick
+    }
+
+    /// The scalar campaign statistics as of this snapshot. The
+    /// compromised ratio is the snapshot's current ratio (a resumed
+    /// segment's curve covers only that segment).
+    #[must_use]
+    pub fn stats(&self) -> CampaignStats {
+        self.progress.stats(self.progress.ratio())
+    }
+}
+
+/// The result of [`CampaignSimulator::run_stage`]: where the
+/// replication stopped, whether the milestone was crossed, and how many
+/// ticks the segment consumed (the splitting cost metric).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageRun {
+    /// Snapshot at segment exit (milestone crossing, goal, halt, or
+    /// horizon).
+    pub checkpoint: CampaignCheckpoint,
+    /// Whether the milestone was crossed before halt or horizon.
+    pub reached: bool,
+    /// Ticks simulated in this segment.
+    pub ticks: u32,
+}
+
 /// Merges two ascending, disjoint id slices into one ascending vector.
 fn merge_sorted(a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
     let mut out = Vec::with_capacity(a.len() + b.len());
@@ -540,11 +685,269 @@ impl<'n> CampaignSimulator<'n> {
     /// [`CampaignSimulator::run`].
     #[must_use]
     pub fn run_into(&self, ws: &mut CampaignWorkspace, seed: u64) -> CampaignStats {
+        let mut rng = RngStream::new(seed, StreamId(0xA77));
+        let n = self.network.node_count();
+        ws.reset(n);
+        let mut pr = Progress::fresh(n);
+        ws.ratio_curve.push(0.0);
+        while pr.tick < self.config.max_ticks && !pr.done() {
+            self.step_tick(ws, &mut pr, &mut rng);
+        }
+        pr.stats(ws.ratio_curve.last().copied().unwrap_or(0.0))
+    }
+
+    /// Advances one tick of the event-driven engine: entry seeding,
+    /// privilege escalation, lateral propagation, payload delivery, goal
+    /// evaluation, detection, and the per-tick ratio sample — exactly
+    /// the body of the historical `run_into` tick loop, draw for draw,
+    /// so the stepper stays bit-identical to
+    /// [`CampaignSimulator::run_reference`].
+    fn step_tick(&self, ws: &mut CampaignWorkspace, pr: &mut Progress, rng: &mut RngStream) {
         let net = self.network;
         let topo = self.topo;
         let cat = &self.threat.catalog;
-        let mut rng = RngStream::new(seed, StreamId(0xA77));
-        let n = net.node_count();
+        let n = pr.nodes;
+        let total_plcs = self.plc_ids.len().max(1);
+        pr.tick += 1;
+        let tick = pr.tick;
+        let CampaignWorkspace {
+            states,
+            compromised_nbrs,
+            ratio_curve,
+            infected,
+            frontier,
+            eligible,
+            dirty_states,
+            dirty_degrees,
+        } = ws;
+
+        // Stage: Initial → Activated (seed an entry node). The attacker
+        // seeds an entry-point node (USB stick in the office, per the
+        // Stuxnet dossier); entry succeeds against the entry node's OS.
+        if pr.clean == n {
+            if let Some(&entry) = self.entries.first() {
+                let p = cat.infection_probability(net.profile(entry));
+                if rng.bernoulli(p) {
+                    states[entry.index()] = NodeCompromise::Infected;
+                    pr.clean -= 1;
+                    infected.insert(entry.index());
+                    note_left_clean(
+                        topo,
+                        entry,
+                        states,
+                        compromised_nbrs,
+                        frontier,
+                        dirty_states,
+                        dirty_degrees,
+                    );
+                    pr.deepest = pr.deepest.max(AttackStage::Activated);
+                }
+            }
+        }
+
+        // Stage: privilege escalation on infected nodes. Cursor
+        // traversal visits each node Infected at stage entry once, in
+        // ascending id order — the dense scan's draw order. A node
+        // that escalates leaves the set (behind the cursor) and joins
+        // the lateral structures.
+        {
+            let mut cursor = 0;
+            while let Some(i) = infected.next_at_or_after(cursor) {
+                cursor = i + 1;
+                let id = NodeId::from_index(i);
+                if rng.bernoulli(cat.escalation_probability(net.profile(id))) {
+                    states[i] = NodeCompromise::Rooted;
+                    infected.remove(i);
+                    note_rooted(
+                        net,
+                        topo,
+                        &self.payload_p,
+                        id,
+                        states,
+                        compromised_nbrs,
+                        frontier,
+                        eligible,
+                        &mut pr.data_rooted,
+                    );
+                    pr.deepest = pr.deepest.max(AttackStage::RootAccess);
+                }
+            }
+        }
+
+        // Stage: lateral propagation from the frontier — rooted nodes
+        // that still have a clean neighbor. A source saturated by an
+        // earlier source this tick has already left the set, exactly
+        // as the dense scan's visit-time eligibility check skips it.
+        // When the last node leaves Clean every source saturates, so
+        // the frontier empties itself and the stage disappears.
+        if pr.clean > 0 {
+            let mut cursor = 0;
+            while let Some(s) = frontier.next_at_or_after(cursor) {
+                cursor = s + 1;
+                let src = NodeId::from_index(s);
+                let neighbors = topo.neighbors(src);
+                let src_dialect = net.profile(src).dialect;
+                for _ in 0..self.threat.attempts_per_tick {
+                    let dst = neighbors[rng.index(neighbors.len())];
+                    if states[dst.index()] != NodeCompromise::Clean {
+                        continue;
+                    }
+                    let dst_profile = net.profile(dst);
+                    // Zone crossings face the destination firewall.
+                    if net.crosses_zone(src, dst) {
+                        let pass = cat.firewall_pass_probability(dst_profile);
+                        if !rng.bernoulli(pass) {
+                            pr.firewall_blocks += 1;
+                            continue;
+                        }
+                    }
+                    // Propagation additionally requires speaking the
+                    // destination's wire dialect inside the field zone.
+                    let dialect_ok = src_dialect == dst_profile.dialect
+                        || !matches!(net.role(dst), NodeRole::Plc | NodeRole::FieldGateway);
+                    if !dialect_ok && !rng.bernoulli(0.05) {
+                        pr.payload_failures += 1;
+                        continue;
+                    }
+                    if rng.bernoulli(cat.infection_probability(dst_profile)) {
+                        states[dst.index()] = NodeCompromise::Infected;
+                        pr.clean -= 1;
+                        infected.insert(dst.index());
+                        note_left_clean(
+                            topo,
+                            dst,
+                            states,
+                            compromised_nbrs,
+                            frontier,
+                            dirty_states,
+                            dirty_degrees,
+                        );
+                        pr.deepest = pr.deepest.max(AttackStage::NetworkPropagation);
+                    }
+                }
+            }
+        }
+
+        // Stage: PLC payload delivery (sabotage threats only). The
+        // eligible set holds exactly the PLCs the dense scan would
+        // draw for: payload-capable, not yet reprogrammed, rooted
+        // self-or-neighbor. A PLC whose neighbor is reprogrammed
+        // mid-stage joins at its id — visited this tick iff the
+        // cursor has not passed it, matching the dense ascending scan.
+        {
+            let mut cursor = 0;
+            while let Some(pi) = eligible.next_at_or_after(cursor) {
+                cursor = pi + 1;
+                let plc = NodeId::from_index(pi);
+                if rng.bernoulli(self.payload_p[pi]) {
+                    let prev = states[pi];
+                    states[pi] = NodeCompromise::Reprogrammed;
+                    if prev == NodeCompromise::Clean {
+                        pr.clean -= 1;
+                        note_left_clean(
+                            topo,
+                            plc,
+                            states,
+                            compromised_nbrs,
+                            frontier,
+                            dirty_states,
+                            dirty_degrees,
+                        );
+                    } else if prev == NodeCompromise::Infected {
+                        infected.remove(pi);
+                    }
+                    eligible.remove(pi);
+                    pr.reprogrammed += 1;
+                    note_rooted(
+                        net,
+                        topo,
+                        &self.payload_p,
+                        plc,
+                        states,
+                        compromised_nbrs,
+                        frontier,
+                        eligible,
+                        &mut pr.data_rooted,
+                    );
+                    pr.deepest = pr.deepest.max(AttackStage::DeviceImpairment);
+                } else {
+                    pr.payload_failures += 1;
+                }
+            }
+        }
+
+        // Goal evaluation.
+        match self.threat.goal {
+            AttackGoal::ImpairDevices { fraction } => {
+                if pr.time_to_attack.is_none()
+                    && (pr.reprogrammed as f64 / total_plcs as f64) >= fraction
+                {
+                    pr.time_to_attack = Some(tick);
+                }
+            }
+            AttackGoal::Exfiltrate { ticks } => {
+                // `data_rooted` replaces the dense per-tick scan over
+                // the historian/engineering ids; roots are permanent,
+                // so a counter maintained at rooting time is exact.
+                if pr.data_rooted > 0 {
+                    pr.exfil_ticks += 1;
+                    if pr.time_to_attack.is_none() && pr.exfil_ticks >= ticks {
+                        pr.time_to_attack = Some(tick);
+                    }
+                }
+            }
+        }
+
+        // Detection (Time-To-Security-Failure). Only active intrusions
+        // can be noticed.
+        if pr.time_to_detection.is_none() && pr.clean < n {
+            let impairment_active = pr.reprogrammed > 0;
+            let p = cat.detection_probability(
+                &self.historian_profile,
+                &self.sensor_profile,
+                impairment_active,
+                self.threat.stealth,
+            );
+            if rng.bernoulli(p) {
+                pr.time_to_detection = Some(tick);
+                if self.config.detection_stops_attack {
+                    pr.halted = true;
+                    ratio_curve.push(pr.ratio());
+                    return;
+                }
+            }
+        }
+
+        ratio_curve.push(pr.ratio());
+    }
+
+    /// Snapshots the current replication state from `ws` and `pr`. The
+    /// sparse non-clean list comes from the workspace's dirty list
+    /// (each node that left Clean appears there exactly once), sorted
+    /// ascending so the checkpoint is canonical regardless of the order
+    /// nodes were compromised in.
+    fn capture(&self, ws: &CampaignWorkspace, pr: &Progress) -> CampaignCheckpoint {
+        let mut states: Vec<(u32, NodeCompromise)> = ws
+            .dirty_states
+            .iter()
+            .map(|&i| (i, ws.states[i as usize]))
+            .collect();
+        states.sort_unstable_by_key(|&(i, _)| i);
+        CampaignCheckpoint {
+            progress: *pr,
+            states,
+        }
+    }
+
+    /// Rebuilds the workspace from a checkpoint: dense states, the
+    /// compromised-neighbor counters, dirty lists, and the three active
+    /// sets, all derived deterministically from the sparse non-clean
+    /// list — the same invariants the incremental `note_left_clean` /
+    /// `note_rooted` bookkeeping maintains, so a resumed stepper
+    /// continues exactly where the checkpointed one stood.
+    fn restore(&self, ws: &mut CampaignWorkspace, cp: &CampaignCheckpoint) -> Progress {
+        let n = self.network.node_count();
+        debug_assert_eq!(cp.progress.nodes, n, "checkpoint from a different network");
         ws.reset(n);
         let CampaignWorkspace {
             states,
@@ -556,231 +959,84 @@ impl<'n> CampaignSimulator<'n> {
             dirty_states,
             dirty_degrees,
         } = ws;
-        let mut deepest = AttackStage::Initial;
-        let mut time_to_attack = None;
-        let mut time_to_detection = None;
-        let mut firewall_blocks = 0u32;
-        let mut payload_failures = 0u32;
-        let mut exfil_ticks = 0u32;
-
-        let total_plcs = self.plc_ids.len().max(1);
-        let mut clean = n; // nodes still Clean
-        let mut reprogrammed = 0usize; // PLCs Reprogrammed
-        let mut data_rooted = 0u32; // data-bearing nodes ≥ Rooted
-
-        ratio_curve.push(0.0);
-        'ticks: for tick in 1..=self.config.max_ticks {
-            // Stage: Initial → Activated (seed an entry node). The attacker
-            // seeds an entry-point node (USB stick in the office, per the
-            // Stuxnet dossier); entry succeeds against the entry node's OS.
-            if clean == n {
-                if let Some(&entry) = self.entries.first() {
-                    let p = cat.infection_probability(net.profile(entry));
-                    if rng.bernoulli(p) {
-                        states[entry.index()] = NodeCompromise::Infected;
-                        clean -= 1;
-                        infected.insert(entry.index());
-                        note_left_clean(
-                            topo,
-                            entry,
-                            states,
-                            compromised_nbrs,
-                            frontier,
-                            dirty_states,
-                            dirty_degrees,
-                        );
-                        deepest = deepest.max(AttackStage::Activated);
-                    }
+        for &(i, state) in &cp.states {
+            states[i as usize] = state;
+            dirty_states.push(i);
+        }
+        for &(i, _) in &cp.states {
+            for &nb in self.topo.neighbors(NodeId::from_index(i as usize)) {
+                let j = nb.index();
+                if compromised_nbrs[j] == 0 {
+                    dirty_degrees.push(j as u32);
                 }
-            }
-
-            // Stage: privilege escalation on infected nodes. Cursor
-            // traversal visits each node Infected at stage entry once, in
-            // ascending id order — the dense scan's draw order. A node
-            // that escalates leaves the set (behind the cursor) and joins
-            // the lateral structures.
-            {
-                let mut cursor = 0;
-                while let Some(i) = infected.next_at_or_after(cursor) {
-                    cursor = i + 1;
-                    let id = NodeId::from_index(i);
-                    if rng.bernoulli(cat.escalation_probability(net.profile(id))) {
-                        states[i] = NodeCompromise::Rooted;
-                        infected.remove(i);
-                        note_rooted(
-                            net,
-                            topo,
-                            &self.payload_p,
-                            id,
-                            states,
-                            compromised_nbrs,
-                            frontier,
-                            eligible,
-                            &mut data_rooted,
-                        );
-                        deepest = deepest.max(AttackStage::RootAccess);
-                    }
-                }
-            }
-
-            // Stage: lateral propagation from the frontier — rooted nodes
-            // that still have a clean neighbor. A source saturated by an
-            // earlier source this tick has already left the set, exactly
-            // as the dense scan's visit-time eligibility check skips it.
-            // When the last node leaves Clean every source saturates, so
-            // the frontier empties itself and the stage disappears.
-            if clean > 0 {
-                let mut cursor = 0;
-                while let Some(s) = frontier.next_at_or_after(cursor) {
-                    cursor = s + 1;
-                    let src = NodeId::from_index(s);
-                    let neighbors = topo.neighbors(src);
-                    let src_dialect = net.profile(src).dialect;
-                    for _ in 0..self.threat.attempts_per_tick {
-                        let dst = neighbors[rng.index(neighbors.len())];
-                        if states[dst.index()] != NodeCompromise::Clean {
-                            continue;
-                        }
-                        let dst_profile = net.profile(dst);
-                        // Zone crossings face the destination firewall.
-                        if net.crosses_zone(src, dst) {
-                            let pass = cat.firewall_pass_probability(dst_profile);
-                            if !rng.bernoulli(pass) {
-                                firewall_blocks += 1;
-                                continue;
-                            }
-                        }
-                        // Propagation additionally requires speaking the
-                        // destination's wire dialect inside the field zone.
-                        let dialect_ok = src_dialect == dst_profile.dialect
-                            || !matches!(net.role(dst), NodeRole::Plc | NodeRole::FieldGateway);
-                        if !dialect_ok && !rng.bernoulli(0.05) {
-                            payload_failures += 1;
-                            continue;
-                        }
-                        if rng.bernoulli(cat.infection_probability(dst_profile)) {
-                            states[dst.index()] = NodeCompromise::Infected;
-                            clean -= 1;
-                            infected.insert(dst.index());
-                            note_left_clean(
-                                topo,
-                                dst,
-                                states,
-                                compromised_nbrs,
-                                frontier,
-                                dirty_states,
-                                dirty_degrees,
-                            );
-                            deepest = deepest.max(AttackStage::NetworkPropagation);
-                        }
-                    }
-                }
-            }
-
-            // Stage: PLC payload delivery (sabotage threats only). The
-            // eligible set holds exactly the PLCs the dense scan would
-            // draw for: payload-capable, not yet reprogrammed, rooted
-            // self-or-neighbor. A PLC whose neighbor is reprogrammed
-            // mid-stage joins at its id — visited this tick iff the
-            // cursor has not passed it, matching the dense ascending scan.
-            {
-                let mut cursor = 0;
-                while let Some(pi) = eligible.next_at_or_after(cursor) {
-                    cursor = pi + 1;
-                    let plc = NodeId::from_index(pi);
-                    if rng.bernoulli(self.payload_p[pi]) {
-                        let prev = states[pi];
-                        states[pi] = NodeCompromise::Reprogrammed;
-                        if prev == NodeCompromise::Clean {
-                            clean -= 1;
-                            note_left_clean(
-                                topo,
-                                plc,
-                                states,
-                                compromised_nbrs,
-                                frontier,
-                                dirty_states,
-                                dirty_degrees,
-                            );
-                        } else if prev == NodeCompromise::Infected {
-                            infected.remove(pi);
-                        }
-                        eligible.remove(pi);
-                        reprogrammed += 1;
-                        note_rooted(
-                            net,
-                            topo,
-                            &self.payload_p,
-                            plc,
-                            states,
-                            compromised_nbrs,
-                            frontier,
-                            eligible,
-                            &mut data_rooted,
-                        );
-                        deepest = deepest.max(AttackStage::DeviceImpairment);
-                    } else {
-                        payload_failures += 1;
-                    }
-                }
-            }
-
-            // Goal evaluation.
-            match self.threat.goal {
-                AttackGoal::ImpairDevices { fraction } => {
-                    if time_to_attack.is_none()
-                        && (reprogrammed as f64 / total_plcs as f64) >= fraction
-                    {
-                        time_to_attack = Some(tick);
-                    }
-                }
-                AttackGoal::Exfiltrate { ticks } => {
-                    // `data_rooted` replaces the dense per-tick scan over
-                    // the historian/engineering ids; roots are permanent,
-                    // so a counter maintained at rooting time is exact.
-                    if data_rooted > 0 {
-                        exfil_ticks += 1;
-                        if time_to_attack.is_none() && exfil_ticks >= ticks {
-                            time_to_attack = Some(tick);
-                        }
-                    }
-                }
-            }
-
-            // Detection (Time-To-Security-Failure). Only active intrusions
-            // can be noticed.
-            if time_to_detection.is_none() && clean < n {
-                let impairment_active = reprogrammed > 0;
-                let p = cat.detection_probability(
-                    &self.historian_profile,
-                    &self.sensor_profile,
-                    impairment_active,
-                    self.threat.stealth,
-                );
-                if rng.bernoulli(p) {
-                    time_to_detection = Some(tick);
-                    if self.config.detection_stops_attack {
-                        ratio_curve.push((n - clean) as f64 / n as f64);
-                        break 'ticks;
-                    }
-                }
-            }
-
-            ratio_curve.push((n - clean) as f64 / n as f64);
-
-            // Early exit when nothing further can change.
-            if time_to_attack.is_some() && time_to_detection.is_some() {
-                break;
+                compromised_nbrs[j] += 1;
             }
         }
+        for &(i, state) in &cp.states {
+            let i = i as usize;
+            match state {
+                NodeCompromise::Clean => {}
+                NodeCompromise::Infected => {
+                    infected.insert(i);
+                }
+                NodeCompromise::Rooted | NodeCompromise::Reprogrammed => {
+                    let id = NodeId::from_index(i);
+                    if (compromised_nbrs[i] as usize) < self.topo.degree(id) {
+                        frontier.insert(i);
+                    }
+                    if self.payload_p[i] > 0.0 && state != NodeCompromise::Reprogrammed {
+                        eligible.insert(i);
+                    }
+                    for &nb in self.topo.neighbors(id) {
+                        let j = nb.index();
+                        if self.payload_p[j] > 0.0 && states[j] != NodeCompromise::Reprogrammed {
+                            eligible.insert(j);
+                        }
+                    }
+                }
+            }
+        }
+        ratio_curve.push(cp.progress.ratio());
+        cp.progress
+    }
 
-        CampaignStats {
-            time_to_attack,
-            time_to_detection,
-            final_compromised_ratio: ratio_curve.last().copied().unwrap_or(0.0),
-            deepest_stage: deepest,
-            firewall_blocks,
-            payload_failures,
+    /// Runs one replication segment until `milestone` is crossed (also
+    /// recognized when the starting checkpoint already crossed it), the
+    /// campaign can no longer change, or the tick horizon is reached —
+    /// the per-level task of the multilevel-splitting engine.
+    ///
+    /// `from: None` starts a fresh replication; `Some(checkpoint)`
+    /// resumes one. Each segment draws from a fresh
+    /// [`RngStream`] seeded with `seed`, so a resumed trajectory is a
+    /// pure function of `(checkpoint, seed)` — that is what lets
+    /// splitting re-seed survivor clones deterministically while
+    /// preserving serial ≡ parallel bit-identity.
+    #[must_use]
+    pub fn run_stage(
+        &self,
+        ws: &mut CampaignWorkspace,
+        from: Option<&CampaignCheckpoint>,
+        seed: u64,
+        milestone: CampaignMilestone,
+    ) -> StageRun {
+        let mut rng = RngStream::new(seed, StreamId(0xA77));
+        let mut pr = match from {
+            Some(cp) => self.restore(ws, cp),
+            None => {
+                let n = self.network.node_count();
+                ws.reset(n);
+                ws.ratio_curve.push(0.0);
+                Progress::fresh(n)
+            }
+        };
+        let start = pr.tick;
+        while !milestone.reached(&pr) && !pr.done() && pr.tick < self.config.max_ticks {
+            self.step_tick(ws, &mut pr, &mut rng);
+        }
+        StageRun {
+            reached: milestone.reached(&pr),
+            ticks: pr.tick - start,
+            checkpoint: self.capture(ws, &pr),
         }
     }
 
@@ -1000,6 +1256,36 @@ impl<'n> CampaignSimulator<'n> {
     #[must_use]
     pub fn run_plan(&self, plan: &ReplicationPlan, executor: Executor) -> Vec<CampaignOutcome> {
         executor.run(plan, |rep| self.run(rep.seed))
+    }
+
+    /// The default multilevel-splitting level schedule for this
+    /// simulator's threat: monotone milestones, each *implied by* the
+    /// campaign goal, ending in [`CampaignMilestone::GoalReached`] —
+    /// so the product of per-level conditional probabilities estimates
+    /// exactly P_SA. For sabotage goals the spread threshold derives
+    /// from the number of PLCs the goal fraction requires (those PLCs
+    /// are non-clean at goal time, as is the entry node, so the
+    /// milestone is always implied); espionage goals can be achieved
+    /// from a single engineering-workstation foothold, so no spread
+    /// level is safe to insert there.
+    #[must_use]
+    pub fn split_milestones(&self) -> Vec<CampaignMilestone> {
+        match self.threat.goal {
+            AttackGoal::ImpairDevices { fraction } => {
+                let total = self.plc_ids.len().max(1);
+                #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+                let required = ((fraction * total as f64).ceil() as usize).max(1);
+                vec![
+                    CampaignMilestone::Rooted,
+                    CampaignMilestone::SpreadAtLeast((required / 2).max(2)),
+                    CampaignMilestone::PayloadDelivered,
+                    CampaignMilestone::GoalReached,
+                ]
+            }
+            AttackGoal::Exfiltrate { .. } => {
+                vec![CampaignMilestone::Rooted, CampaignMilestone::GoalReached]
+            }
+        }
     }
 
     /// The fault-tolerant form of [`CampaignSimulator::run_plan`]: runs
@@ -1291,6 +1577,82 @@ mod tests {
         if let Some(ttd) = o.time_to_detection {
             assert!(o.compromised_ratio.len() as u32 <= ttd + 2);
         }
+    }
+
+    #[test]
+    fn run_stage_milestones_progress_and_compose() {
+        let net = scope_network();
+        let sim =
+            CampaignSimulator::new(&net, ThreatModel::stuxnet_like(), CampaignConfig::default());
+        let mut ws = sim.workspace();
+        let rooted = sim.run_stage(&mut ws, None, 11, CampaignMilestone::Rooted);
+        assert!(rooted.reached, "monoculture roots within a year");
+        let spread = sim.run_stage(
+            &mut ws,
+            Some(&rooted.checkpoint),
+            12,
+            CampaignMilestone::SpreadAtLeast(3),
+        );
+        assert!(spread.reached);
+        assert!(spread.checkpoint.tick() >= rooted.checkpoint.tick());
+        let goal = sim.run_stage(
+            &mut ws,
+            Some(&spread.checkpoint),
+            13,
+            CampaignMilestone::GoalReached,
+        );
+        assert!(goal.reached);
+        assert!(goal.checkpoint.succeeded());
+        let stats = goal.checkpoint.stats();
+        assert!(stats.time_to_attack.is_some());
+        assert_eq!(stats.deepest_stage, AttackStage::DeviceImpairment);
+    }
+
+    #[test]
+    fn run_stage_resume_is_workspace_history_independent() {
+        // A resumed segment must be a pure function of (checkpoint,
+        // seed): replaying it in a workspace polluted by unrelated
+        // replications yields the identical result.
+        let net = scope_network();
+        let sim =
+            CampaignSimulator::new(&net, ThreatModel::stuxnet_like(), CampaignConfig::default());
+        let mut fresh = sim.workspace();
+        let cp = sim
+            .run_stage(&mut fresh, None, 7, CampaignMilestone::SpreadAtLeast(2))
+            .checkpoint;
+        let clean_run = sim.run_stage(
+            &mut sim.workspace(),
+            Some(&cp),
+            99,
+            CampaignMilestone::GoalReached,
+        );
+        let mut dirty = sim.workspace();
+        let _ = sim.run_into(&mut dirty, 5555);
+        let _ = sim.run_stage(&mut dirty, None, 8, CampaignMilestone::PayloadDelivered);
+        let dirty_run = sim.run_stage(&mut dirty, Some(&cp), 99, CampaignMilestone::GoalReached);
+        assert_eq!(clean_run, dirty_run);
+    }
+
+    #[test]
+    fn run_stage_already_crossed_milestone_is_a_no_op() {
+        // Milestones are monotone, so resuming toward an
+        // already-crossed one consumes no ticks and echoes the
+        // checkpoint back (in canonical form).
+        let net = scope_network();
+        let sim =
+            CampaignSimulator::new(&net, ThreatModel::stuxnet_like(), CampaignConfig::default());
+        let mut ws = sim.workspace();
+        let spread = sim.run_stage(&mut ws, None, 3, CampaignMilestone::SpreadAtLeast(2));
+        assert!(spread.reached);
+        let again = sim.run_stage(
+            &mut ws,
+            Some(&spread.checkpoint),
+            12345,
+            CampaignMilestone::Rooted,
+        );
+        assert!(again.reached, "spread ≥ 2 implies a rooted node exists");
+        assert_eq!(again.ticks, 0);
+        assert_eq!(again.checkpoint, spread.checkpoint);
     }
 
     #[test]

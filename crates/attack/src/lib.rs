@@ -26,7 +26,11 @@
 //!   elimination;
 //! * [`to_san`] — compiles a stage progression into a
 //!   [`diversify_san::SanModel`] so the SAN solver can cross-check the
-//!   simulator (experiment R8).
+//!   simulator (experiment R8);
+//! * [`split`] — staged-task adapters ([`split::CampaignSplitTask`],
+//!   [`split::StageChainTask`]) that plug the campaign simulator and
+//!   the exponential stage chain into the multilevel-splitting
+//!   rare-event estimator (`diversify_des::splitting`).
 
 #![warn(missing_docs)]
 // The unwrap/expect ban (clippy.toml `disallowed-methods`) is the
@@ -39,12 +43,17 @@ pub mod campaign;
 pub mod chain;
 pub mod exploit;
 pub mod frontier;
+pub mod split;
 pub mod stage;
 pub mod to_san;
 pub mod tree;
 
-pub use campaign::{AttackGoal, CampaignConfig, CampaignOutcome, CampaignSimulator, ThreatModel};
+pub use campaign::{
+    AttackGoal, CampaignCheckpoint, CampaignConfig, CampaignMilestone, CampaignOutcome,
+    CampaignSimulator, StageRun, ThreatModel,
+};
 pub use chain::{chain_success_probability, simulate_chain, MachineChain};
 pub use exploit::ExploitCatalog;
+pub use split::{CampaignSplitTask, ChainState, StageChainTask};
 pub use stage::{AttackStage, NodeCompromise};
 pub use tree::{AttackTree, TreeNode};

@@ -8,10 +8,17 @@
 //! samples measure simulation only; the printed mean time divided by the
 //! events-per-iteration line gives the per-event cost.
 
+// Bench harness: the unwrap/expect ban (clippy.toml) is the library
+// discipline of diversify-des/diversify-core; a bench aborting on a
+// malformed workload is the right behavior.
+#![allow(clippy::disallowed_methods)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use diversify_attack::campaign::{
     CampaignConfig, CampaignSimulator, ThreatModel, CAMPAIGN_RUN_NAMESPACE,
 };
+use diversify_attack::split::StageChainTask;
+use diversify_attack::to_san::StageParams;
 use diversify_bench::{
     analytic_bench_model, analytic_throughput, campaign_alloc_reference_summary,
     campaign_workspace_summary, san_throughput_events, scope_campaign_san,
@@ -207,5 +214,50 @@ fn bench_fleet_scaling(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_engine, bench_fleet_scaling);
+/// Rare-event estimation cost: one multilevel-splitting pass over the
+/// all-exponential four-stage rare chain (P_SA ≈ 1e-7, the R11 design
+/// point) next to a brute-force batch of full-chain walks at a
+/// comparable tick count. The bench tracks the per-tick cost of the
+/// level machinery (checkpoint clone + survivor resample); the
+/// statistical efficiency claim itself lives in R11/BENCH_7.json.
+fn bench_rare_event_splitting(c: &mut Criterion) {
+    use diversify_des::splitting::Splitting;
+    let params = vec![
+        StageParams {
+            success_probability: 0.02,
+            attempt_rate_per_hour: 1.0,
+        };
+        4
+    ];
+    let task = StageChainTask::new(params, 2.0);
+    let mut g = c.benchmark_group("rare_event_splitting");
+    g.sample_size(10);
+    g.bench_function("splitting_population_500", |b| {
+        b.iter(|| {
+            black_box(
+                Splitting::try_new(500, 0x5EED)
+                    .expect("population > 0")
+                    .run(black_box(&task), &Executor::default())
+                    .expect("chain task has levels"),
+            )
+        })
+    });
+    g.bench_function("brute_force_walks_2000", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for seed in 0..2_000u64 {
+                hits += u64::from(task.walk(black_box(seed)).0);
+            }
+            black_box(hits)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine,
+    bench_fleet_scaling,
+    bench_rare_event_splitting
+);
 criterion_main!(benches);

@@ -500,6 +500,143 @@ pub fn r9_adaptive(scale: Scale) -> String {
     out
 }
 
+/// R11 — rare-event estimation: multilevel splitting vs brute-force
+/// Monte-Carlo on an all-exponential stage chain whose attack-success
+/// probability (≈ 1e-7) sits far below the reach of any plain
+/// replication budget, cross-checked against the exact CTMC
+/// first-passage value. The brute-force cost for the splitting run's
+/// achieved half-width is Wald-sized at the exact probability and
+/// priced in empirical ticks per walk, so the printed speedup compares
+/// equal-precision tick budgets. A campaign-milestone splitting
+/// measurement on the SCoPE plant rides along to record the
+/// end-to-end path.
+#[must_use]
+pub fn r11_rare_event(scale: Scale) -> String {
+    use diversify_attack::split::StageChainTask;
+    use diversify_core::runner::measure_configuration_splitting;
+    use diversify_des::splitting::Splitting;
+    use diversify_stats::product_proportion_ci;
+
+    let population = scale.reps(600, 4_000);
+    let params = vec![
+        StageParams {
+            success_probability: 0.02,
+            attempt_rate_per_hour: 1.0,
+        };
+        4
+    ];
+    let horizon = 2.0;
+
+    // The exact CTMC value — the oracle the estimate must bracket.
+    let model = compile_stage_chain(&params).expect("valid stage chain");
+    let success = success_place(&model);
+    let exact = solve(
+        &model,
+        &[RewardSpec::first_passage("tta", move |m| {
+            m.tokens(success) == 1
+        })],
+        Method::Analytic {
+            horizon: SimTime::from_secs(horizon),
+            tol: 1e-13,
+            max_states: 64,
+        },
+    )
+    .expect("stage chain is analytic-solvable")
+    .estimate("tta")
+    .expect("reward present")
+    .probability(0);
+
+    let task = StageChainTask::new(params, horizon);
+    let start = std::time::Instant::now();
+    let run = Splitting::try_new(population, 0x5EED_2013)
+        .expect("population > 0")
+        .run(&task, &Executor::default())
+        .expect("chain task has levels");
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let ci = product_proportion_ci(&run.conditionals(), 0.95).expect("executed levels");
+    let inside = ci.lower <= exact && exact <= ci.upper;
+
+    // Equal-precision brute-force cost: Wald replication count for the
+    // splitting run's relative half-width, priced at the empirical mean
+    // ticks per full-chain walk.
+    let sample = 2_000u64;
+    #[allow(clippy::cast_precision_loss)]
+    let ticks_per_walk =
+        (0..sample).map(|s| task.walk(0xAB ^ s).1).sum::<u64>() as f64 / sample as f64;
+    let rel_half = (ci.upper - ci.lower) / 2.0 / run.estimate.max(f64::MIN_POSITIVE);
+    let z = 1.96;
+    let brute_reps = z * z * (1.0 - exact) / (exact * rel_half * rel_half);
+    let brute_ticks = brute_reps * ticks_per_walk;
+    #[allow(clippy::cast_precision_loss)]
+    let speedup = brute_ticks / run.total_ticks as f64;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "stage chain: 4 stages, p=0.02, rate=1.0/h, horizon {horizon}h"
+    );
+    let _ = writeln!(out, "exact CTMC P_SA            = {exact:.4e}");
+    let _ = writeln!(
+        out,
+        "splitting estimate         = {:.4e}  (population {population}, {} levels)",
+        run.estimate,
+        run.levels.len()
+    );
+    let _ = writeln!(
+        out,
+        "splitting 95% CI           = [{:.4e}, {:.4e}]  exact inside: {}",
+        ci.lower,
+        ci.upper,
+        if inside { "yes" } else { "NO" }
+    );
+    let survivors = run
+        .levels
+        .iter()
+        .map(|l| l.survivors.to_string())
+        .collect::<Vec<_>>()
+        .join("/");
+    let _ = writeln!(
+        out,
+        "survivors per level        = {survivors}  ({} ticks, {wall_ms:.2} ms)",
+        run.total_ticks
+    );
+    let _ = writeln!(
+        out,
+        "equal-precision brute force = {brute_reps:.3e} reps ~ {brute_ticks:.3e} ticks"
+    );
+    let _ = writeln!(
+        out,
+        "splitting tick speedup      = {speedup:.0}x (>=20x required)"
+    );
+
+    // End-to-end campaign path: goal-implied milestones on SCoPE.
+    let net = ScopeSystem::build(&ScopeConfig::default())
+        .network()
+        .clone();
+    let campaign = measure_configuration_splitting(
+        &net,
+        &ThreatModel::stuxnet_like(),
+        CampaignConfig::default(),
+        scale.reps(200, 600),
+        0x5EED,
+        Executor::default(),
+        0.95,
+    )
+    .expect("valid splitting configuration");
+    let trace = campaign
+        .levels
+        .iter()
+        .map(|l| l.survivors.to_string())
+        .collect::<Vec<_>>()
+        .join("/");
+    let _ = writeln!(
+        out,
+        "campaign splitting (SCoPE)  = {:.3} in [{:.3}, {:.3}], survivors {trace}",
+        campaign.estimate, campaign.ci.lower, campaign.ci.upper
+    );
+    out
+}
+
 /// A cyclic three-queue SAN with `tokens` circulating customers — the
 /// configurable-size workload behind the `san_analytic_throughput`
 /// bench: `(tokens+1)(tokens+2)/2` tangible states, all exponential.
@@ -733,6 +870,7 @@ pub fn run_all(scale: Scale) -> Vec<(&'static str, String)> {
         ("R7 protocol-dialect ablation", r7_protocol(scale)),
         ("R8 formalism cross-check", r8_formalisms(scale)),
         ("R9 adaptive-precision replication", r9_adaptive(scale)),
+        ("R11 rare-event splitting", r11_rare_event(scale)),
     ]
 }
 
@@ -800,6 +938,21 @@ mod tests {
         let out = r7_protocol(Scale::Quick);
         assert!(out.contains("single-dialect"));
         assert!(out.contains("rotated-dialects"));
+    }
+
+    #[test]
+    fn r11_meets_the_rare_event_efficiency_bar() {
+        let out = r11_rare_event(Scale::Quick);
+        assert!(out.contains("exact inside: yes"), "{out}");
+        let speedup: f64 = out
+            .lines()
+            .find(|l| l.starts_with("splitting tick speedup"))
+            .and_then(|l| l.split('=').nth(1))
+            .and_then(|v| v.trim().split('x').next())
+            .and_then(|v| v.parse().ok())
+            .expect("speedup line present");
+        assert!(speedup >= 20.0, "tick speedup {speedup} below 20x\n{out}");
+        assert!(out.contains("campaign splitting (SCoPE)"), "{out}");
     }
 
     #[test]

@@ -89,12 +89,30 @@ impl IndicatorAccum {
 
     /// The current precision of `response` at confidence `level`, or
     /// `None` while the interval cannot be computed yet (e.g. fewer than
-    /// two observations for a t interval).
+    /// two observations for a t interval) — or while the estimate is
+    /// still an all-zero degenerate.
+    ///
+    /// The all-zero guard is deliberate: with zero successes the point
+    /// estimate is 0, so a *relative* half-width target is unjudgeable —
+    /// a degenerate interval must never let an adaptive run stop
+    /// "confident" at exactly the rare design points it cannot resolve.
+    /// Such runs keep going to their replication cap (and rare-event
+    /// splitting is the right tool past that).
     #[must_use]
     pub fn precision(&self, response: PrecisionResponse, level: f64) -> Option<Precision> {
         let ci = match response {
-            PrecisionResponse::PSuccess => self.success.ci(level).ok()?,
-            PrecisionResponse::CompromisedRatio => self.compromised.mean_ci(level).ok()?,
+            PrecisionResponse::PSuccess => {
+                if self.success.successes() == 0 {
+                    return None;
+                }
+                self.success.ci(level).ok()?
+            }
+            PrecisionResponse::CompromisedRatio => {
+                if self.compromised.is_empty() || self.compromised.mean() == 0.0 {
+                    return None;
+                }
+                self.compromised.mean_ci(level).ok()?
+            }
         };
         Some(Precision {
             estimate: ci.estimate,
@@ -321,6 +339,45 @@ mod tests {
         assert!(IndicatorAccum::new()
             .precision(PrecisionResponse::PSuccess, 0.95)
             .is_none());
+    }
+
+    #[test]
+    fn zero_success_accumulator_reports_no_precision() {
+        // Regression: many all-failure replications used to surface a
+        // degenerate interval a relative stop rule could accept; the
+        // accumulator must instead report "not judgeable yet" so
+        // adaptive runs continue to their cap.
+        let mut acc = IndicatorAccum::new();
+        for _ in 0..500 {
+            acc.push_stats(&CampaignStats {
+                time_to_attack: None,
+                time_to_detection: None,
+                final_compromised_ratio: 0.0,
+                deepest_stage: diversify_attack::stage::AttackStage::Initial,
+                firewall_blocks: 0,
+                payload_failures: 0,
+            });
+        }
+        assert!(acc.precision(PrecisionResponse::PSuccess, 0.95).is_none());
+        assert!(acc
+            .precision(PrecisionResponse::CompromisedRatio, 0.95)
+            .is_none());
+        // One success unlocks a judgeable interval again.
+        acc.push_stats(&CampaignStats {
+            time_to_attack: Some(7),
+            time_to_detection: None,
+            final_compromised_ratio: 0.25,
+            deepest_stage: diversify_attack::stage::AttackStage::DeviceImpairment,
+            firewall_blocks: 0,
+            payload_failures: 0,
+        });
+        let p = acc
+            .precision(PrecisionResponse::PSuccess, 0.95)
+            .expect("one success makes the interval judgeable");
+        assert!(p.estimate > 0.0 && p.half_width > 0.0);
+        assert!(acc
+            .precision(PrecisionResponse::CompromisedRatio, 0.95)
+            .is_some());
     }
 
     #[test]

@@ -23,7 +23,11 @@
 //! accumulators, so measurement can run under a fixed replication budget
 //! or adaptively until a precision target is met
 //! ([`runner::measure_configuration_adaptive`],
-//! [`PipelineConfig::precision`](pipeline::PipelineConfig::precision)).
+//! [`PipelineConfig::precision`](pipeline::PipelineConfig::precision)),
+//! or — for design points whose P_SA is too rare for plain Monte-Carlo —
+//! by multilevel splitting over campaign milestones
+//! ([`runner::measure_configuration_splitting`],
+//! [`PipelineConfig::rare_event`](pipeline::PipelineConfig::rare_event)).
 //!
 //! ## Quick start
 //!
@@ -54,9 +58,12 @@ pub use exec::{
 };
 pub use factors::{factor_profile, FactorLevel};
 pub use indicators::{IndicatorAccum, IndicatorSummary, PrecisionResponse};
-pub use pipeline::{CellHealth, DoeMeasurements, Pipeline, PipelineConfig, PipelineReport};
+pub use pipeline::{
+    CellHealth, DoeMeasurements, Pipeline, PipelineConfig, PipelineReport, RareEventTarget,
+};
 pub use runner::{
     measure_configuration, measure_configuration_adaptive, measure_configuration_adaptive_budgeted,
-    measure_configuration_budgeted, measure_configuration_with, AdaptiveMeasurements, Measurements,
-    PartialMeasurements, PrecisionTarget,
+    measure_configuration_budgeted, measure_configuration_splitting, measure_configuration_with,
+    AdaptiveMeasurements, Measurements, PartialMeasurements, PrecisionTarget,
+    SplittingMeasurements,
 };

@@ -5,11 +5,13 @@ use crate::exec::{
     campaign_plan, BudgetOutcome, Executor, Precision, ReplicationFailure, RunPolicy,
 };
 use crate::factors::{factor_profile, FactorLevel};
-use crate::report::{render_adaptive_table, render_health_table, render_measurement_table};
+use crate::report::{
+    render_adaptive_table, render_health_table, render_measurement_table, render_rare_event_table,
+};
 use crate::runner::{
     measure_configuration_adaptive, measure_configuration_adaptive_budgeted,
-    measure_configuration_budgeted, measure_configuration_with, Measurements, PartialMeasurements,
-    PrecisionTarget,
+    measure_configuration_budgeted, measure_configuration_splitting, measure_configuration_with,
+    Measurements, PartialMeasurements, PrecisionTarget, SplittingMeasurements,
 };
 use diversify_attack::campaign::{CampaignConfig, ThreatModel};
 use diversify_attack::to_san::{compile_stage_chain, success_place, StageParams};
@@ -55,6 +57,17 @@ pub struct PipelineConfig {
     /// allow two batches ([`Pipeline::doe_measurements`] panics on a
     /// tighter cap rather than silently exceeding it).
     pub precision: Option<PrecisionTarget>,
+    /// Opt-in rare-event estimation: when set, every design point is
+    /// *additionally* measured by fixed-effort multilevel splitting over
+    /// the campaign's goal-implied milestones
+    /// ([`measure_configuration_splitting`]) — the estimation mode for
+    /// design points whose P_SA is far below what the fixed or adaptive
+    /// Monte-Carlo budget can resolve. The report then carries a
+    /// per-run splitting estimate with its product-of-conditionals
+    /// confidence interval. The plain measurements are unchanged (the
+    /// splitting sweep draws from its own seed streams), so ANOVA
+    /// results are bit-identical with and without this option.
+    pub rare_event: Option<RareEventTarget>,
     /// Opt-in fault tolerance: when set, every design point is measured
     /// under this [`RunPolicy`] — panicking or invalid replications are
     /// isolated (and retried per the policy) instead of aborting the
@@ -81,7 +94,29 @@ impl Default for PipelineConfig {
             executor: Executor::default(),
             analytic_check: false,
             precision: None,
+            rare_event: None,
             resilience: None,
+        }
+    }
+}
+
+/// Settings of a rare-event splitting sweep
+/// ([`PipelineConfig::rare_event`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RareEventTarget {
+    /// Fixed per-level splitting population (replications launched
+    /// toward every milestone).
+    pub population: u32,
+    /// Confidence level of the product-of-conditionals interval, e.g.
+    /// `0.95`.
+    pub level: f64,
+}
+
+impl Default for RareEventTarget {
+    fn default() -> Self {
+        RareEventTarget {
+            population: 200,
+            level: 0.95,
         }
     }
 }
@@ -179,6 +214,9 @@ pub struct DoeMeasurements {
     /// Per-run adaptive-replication report, in design order — present
     /// exactly when [`PipelineConfig::precision`] was set.
     pub adaptive: Option<Vec<AdaptiveSweepPoint>>,
+    /// Per-run rare-event splitting estimates, in design order — present
+    /// exactly when [`PipelineConfig::rare_event`] was set.
+    pub rare_event: Option<Vec<SplittingMeasurements>>,
     /// Per-run fault-tolerance record, in design order — present exactly
     /// when [`PipelineConfig::resilience`] was set.
     pub health: Option<Vec<CellHealth>>,
@@ -256,6 +294,10 @@ impl fmt::Display for PipelineReport {
         if let Some(adaptive) = &self.doe.adaptive {
             writeln!(f)?;
             write!(f, "{}", render_adaptive_table(adaptive))?;
+        }
+        if let Some(rare) = &self.doe.rare_event {
+            writeln!(f)?;
+            write!(f, "{}", render_rare_event_table(rare))?;
         }
         if let Some(health) = &self.doe.health {
             writeln!(f)?;
@@ -383,6 +425,10 @@ impl Pipeline {
         let resilience = self.config.resilience.as_ref();
         let mut measurements = Vec::with_capacity(design.runs());
         let mut adaptive = target.map(|_| Vec::with_capacity(design.runs()));
+        let mut rare_event = self
+            .config
+            .rare_event
+            .map(|_| Vec::with_capacity(design.runs()));
         let mut health = resilience.map(|_| Vec::with_capacity(design.runs()));
         for (run_idx, row) in design.rows.iter().enumerate() {
             let levels: Vec<FactorLevel> =
@@ -447,11 +493,27 @@ impl Pipeline {
                     self.config.executor,
                 )),
             }
+            if let (Some(rare), Some(points)) = (self.config.rare_event, &mut rare_event) {
+                // The splitting sweep seeds from the design run's derived
+                // plan seed but draws through the splitting engine's own
+                // stream namespace, so it never correlates with (or
+                // perturbs) the plain measurements above.
+                points.push(measure_configuration_splitting(
+                    system.network(),
+                    &self.config.threat,
+                    self.config.campaign,
+                    rare.population,
+                    run_plan.master_seed(),
+                    self.config.executor,
+                    rare.level,
+                )?);
+            }
         }
         Ok(DoeMeasurements {
             design,
             measurements,
             adaptive,
+            rare_event,
             health,
         })
     }
@@ -763,6 +825,49 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("adaptive replication"));
         assert!(text.contains("halfwidth"));
+    }
+
+    #[test]
+    fn rare_event_sweep_reports_splitting_points_without_perturbing_measurements() {
+        let plain = Pipeline::new(tiny_config()).doe_measurements();
+        assert!(plain.rare_event.is_none());
+        let report = Pipeline::new(PipelineConfig {
+            rare_event: Some(RareEventTarget {
+                population: 64,
+                level: 0.95,
+            }),
+            ..tiny_config()
+        })
+        .run();
+        let rare = report.doe.rare_event.as_ref().expect("rare-event sweep");
+        assert_eq!(rare.len(), report.doe.measurements.len());
+        for p in rare {
+            assert!((0.0..=1.0).contains(&p.estimate));
+            assert!(p.ci.lower <= p.estimate && p.estimate <= p.ci.upper);
+            assert_eq!(p.population, 64);
+            assert!(!p.levels.is_empty());
+        }
+        // The splitting sweep must not perturb the plain measurements.
+        for (a, b) in plain.measurements.iter().zip(&report.doe.measurements) {
+            assert_eq!(a.batch_p_success, b.batch_p_success);
+            assert_eq!(a.summary.p_success.to_bits(), b.summary.p_success.to_bits());
+        }
+        let text = report.to_string();
+        assert!(text.contains("rare-event splitting"));
+    }
+
+    #[test]
+    fn rare_event_sweep_rejects_bad_target_with_typed_error() {
+        let err = Pipeline::new(PipelineConfig {
+            rare_event: Some(RareEventTarget {
+                population: 0,
+                level: 0.95,
+            }),
+            ..tiny_config()
+        })
+        .try_doe_measurements()
+        .expect_err("zero population");
+        assert!(matches!(err, PipelineError::Plan(_)));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Report rendering: aligned text tables and JSON artifacts.
 
 use crate::pipeline::{AdaptiveSweepPoint, CellHealth};
-use crate::runner::Measurements;
+use crate::runner::{Measurements, SplittingMeasurements};
 use diversify_doe::design::DesignMatrix;
 use serde::Serialize;
 use std::fmt::Write as _;
@@ -100,6 +100,35 @@ pub fn render_health_table(cells: &[CellHealth]) -> String {
             c.failures.len(),
             c.budget_outcome.to_string(),
             if c.is_degraded() { "DEGRADED" } else { "ok" }
+        );
+    }
+    out
+}
+
+/// Renders the rare-event report of a splitting-instrumented sweep: per
+/// design run, the multilevel-splitting P_SA estimate with its
+/// product-of-conditionals confidence interval, the survivor trace
+/// across levels, and the tick cost.
+#[must_use]
+pub fn render_rare_event_table(points: &[SplittingMeasurements]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "rare-event splitting (per design run):");
+    let _ = writeln!(
+        out,
+        "{:>3} {:>10} {:>10} {:>10} {:>18} {:>10}",
+        "run", "estimate", "ci-lower", "ci-upper", "survivors/level", "ticks"
+    );
+    for (i, p) in points.iter().enumerate() {
+        let trace = p
+            .levels
+            .iter()
+            .map(|l| l.survivors.to_string())
+            .collect::<Vec<_>>()
+            .join("/");
+        let _ = writeln!(
+            out,
+            "{i:>3} {:>10.3e} {:>10.3e} {:>10.3e} {trace:>18} {:>10}",
+            p.estimate, p.ci.lower, p.ci.upper, p.total_ticks
         );
     }
     out

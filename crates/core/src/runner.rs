@@ -9,8 +9,13 @@ use crate::exec::{
     Precision, ReplicationFailure, ReplicationPlan, RunPolicy, StopRule,
 };
 use crate::indicators::{IndicatorSummary, PrecisionResponse};
-use diversify_attack::campaign::{CampaignConfig, CampaignSimulator, CampaignStats, ThreatModel};
+use diversify_attack::campaign::{
+    CampaignConfig, CampaignMilestone, CampaignSimulator, CampaignStats, ThreatModel,
+};
+use diversify_attack::split::CampaignSplitTask;
+use diversify_des::splitting::{LevelSummary, Splitting};
 use diversify_scada::network::ScadaNetwork;
+use diversify_stats::{product_proportion_ci, ConfidenceInterval};
 
 /// Replication-level measurements of one configuration, batched so ANOVA
 /// has replicate groups with an error term.
@@ -285,6 +290,84 @@ pub fn measure_configuration_adaptive_budgeted(
     ))
 }
 
+/// A rare-event measurement of one configuration: the
+/// multilevel-splitting estimate of the attack-success probability with
+/// its product-of-conditionals confidence interval and the per-level
+/// cost record. Produced by [`measure_configuration_splitting`].
+#[derive(Debug, Clone)]
+pub struct SplittingMeasurements {
+    /// Product-of-conditionals estimate of P_SA (0 when a level dried
+    /// up).
+    pub estimate: f64,
+    /// Confidence interval over the executed levels
+    /// ([`product_proportion_ci`]). When the run dried up the interval
+    /// covers the executed prefix, which still bounds the full product
+    /// (unattempted conditionals are at most 1).
+    pub ci: ConfidenceInterval,
+    /// The milestone schedule (one entry per level).
+    pub milestones: Vec<CampaignMilestone>,
+    /// Per-level attempt/survivor/tick tallies, in level order.
+    pub levels: Vec<LevelSummary>,
+    /// Total campaign ticks simulated — the cost to compare against a
+    /// brute-force plan's tick count.
+    pub total_ticks: u64,
+    /// Fixed per-level population.
+    pub population: u32,
+}
+
+impl SplittingMeasurements {
+    /// Whether a level produced zero survivors (later levels skipped,
+    /// estimate 0).
+    #[must_use]
+    pub fn dried_up(&self) -> bool {
+        self.levels.last().is_some_and(|l| l.survivors == 0)
+    }
+}
+
+/// Measures one configuration's attack-success probability by
+/// fixed-effort multilevel splitting over the simulator's goal-implied
+/// campaign milestones — the estimation mode for *rare* design points,
+/// where `measure_configuration` would need millions of replications to
+/// see a single success.
+///
+/// `population` replications run per level; survivors of each milestone
+/// are checkpointed and resampled as the next level's starting states,
+/// with every clone's seed derived from the plan's `namespace ^ index`
+/// schedule, so the estimate is deterministic in `master_seed` and
+/// bit-identical on serial and parallel executors.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::InvalidLevel`] for a confidence level
+/// outside `(0, 1)`, [`PipelineError::Plan`] for a zero population, and
+/// [`PipelineError::Stats`] if the interval cannot be formed.
+pub fn measure_configuration_splitting(
+    network: &ScadaNetwork,
+    threat: &ThreatModel,
+    config: CampaignConfig,
+    population: u32,
+    master_seed: u64,
+    executor: Executor,
+    level: f64,
+) -> Result<SplittingMeasurements, PipelineError> {
+    if !(0.0 < level && level < 1.0) {
+        return Err(PipelineError::InvalidLevel(level));
+    }
+    let sim = CampaignSimulator::new(network, threat.clone(), config);
+    let task = CampaignSplitTask::with_default_milestones(&sim);
+    let milestones = task.milestones().to_vec();
+    let run = Splitting::try_new(population, master_seed)?.run(&task, &executor)?;
+    let ci = product_proportion_ci(&run.conditionals(), level)?;
+    Ok(SplittingMeasurements {
+        estimate: run.estimate,
+        ci,
+        milestones,
+        levels: run.levels,
+        total_ticks: run.total_ticks,
+        population: run.population,
+    })
+}
+
 /// The [`Precision`] achieved by a finished adaptive run, as a relative
 /// half-width (`None` when the monitor never produced an interval).
 #[must_use]
@@ -477,6 +560,78 @@ mod tests {
             fixed.summary.p_success.to_bits()
         );
         assert_eq!(m.batch_p_success, fixed.batch_p_success);
+    }
+
+    #[test]
+    fn splitting_measurement_brackets_plain_estimate_and_is_deterministic() {
+        let net = scope_network();
+        let threat = ThreatModel::stuxnet_like();
+        let config = CampaignConfig::default();
+        // Non-rare monoculture point: splitting must agree with the
+        // plain fixed-plan estimate within Monte-Carlo noise.
+        let plain = measure_configuration(&net, &threat, config, 10, 40, 0xACE);
+        let split = measure_configuration_splitting(
+            &net,
+            &threat,
+            config,
+            400,
+            0xACE,
+            Executor::serial(),
+            0.95,
+        )
+        .expect("valid configuration");
+        assert!(
+            (split.estimate - plain.summary.p_success).abs() < 0.1,
+            "splitting {} vs plain {}",
+            split.estimate,
+            plain.summary.p_success
+        );
+        assert_eq!(split.milestones.len(), split.levels.len());
+        assert!(split.ci.lower <= split.estimate && split.estimate <= split.ci.upper);
+        assert!(split.total_ticks > 0);
+
+        let parallel = measure_configuration_splitting(
+            &net,
+            &threat,
+            config,
+            400,
+            0xACE,
+            Executor::parallel(),
+            0.95,
+        )
+        .expect("valid configuration");
+        assert_eq!(split.estimate.to_bits(), parallel.estimate.to_bits());
+        assert_eq!(split.levels, parallel.levels);
+    }
+
+    #[test]
+    fn splitting_measurement_rejects_bad_configuration() {
+        let net = scope_network();
+        let threat = ThreatModel::stuxnet_like();
+        assert!(matches!(
+            measure_configuration_splitting(
+                &net,
+                &threat,
+                CampaignConfig::default(),
+                100,
+                1,
+                Executor::serial(),
+                1.5,
+            ),
+            Err(PipelineError::InvalidLevel(_))
+        ));
+        assert!(matches!(
+            measure_configuration_splitting(
+                &net,
+                &threat,
+                CampaignConfig::default(),
+                0,
+                1,
+                Executor::serial(),
+                0.95,
+            ),
+            Err(PipelineError::Plan(_))
+        ));
     }
 
     #[test]

@@ -29,6 +29,11 @@
 //!   every replication). [`Executor::run_adaptive`] executes batch-sized
 //!   rounds until a [`StopRule`] precision target is met. Every
 //!   replication loop in the workspace goes through this one seam.
+//! * **Rare events** — the [`splitting`] module: fixed-effort multilevel
+//!   splitting (RESTART) over the monotone levels of a [`StagedTask`],
+//!   estimating a rare probability as a product of per-level
+//!   conditionals with the executor's deterministic seed schedule and
+//!   serial ≡ parallel bit-identity intact.
 //! * **Fault tolerance** — every replication executes unwind-caught; the
 //!   budgeted executor paths record failures ([`ReplicationFailure`]),
 //!   retry them deterministically from their own seeds ([`RetryPolicy`]),
@@ -79,6 +84,7 @@ pub mod faults;
 pub mod observe;
 pub mod replication;
 pub mod rng;
+pub mod splitting;
 pub mod stop;
 pub mod time;
 
@@ -94,5 +100,8 @@ pub use faults::{FaultKind, FaultPlan, InjectedPanic};
 pub use observe::{TimeWeighted, Welford};
 pub use replication::{ReplicationRunner, ReplicationSummary};
 pub use rng::{derive_seed, RngStream, StreamId};
+pub use splitting::{
+    LevelRun, LevelSummary, Splitting, SplittingRun, StagedTask, SPLITTING_STREAM_NAMESPACE,
+};
 pub use stop::StopCondition;
 pub use time::SimTime;

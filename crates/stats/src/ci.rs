@@ -110,10 +110,138 @@ pub fn proportion_ci(
     let denom = 1.0 + z2 / n;
     let centre = (p + z2 / (2.0 * n)) / denom;
     let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+    // At the degenerate corners the Wilson bound is analytically exact
+    // (lower = 0 at 0/n, upper = 1 at n/n) but the float evaluation
+    // above can overshoot by an ulp or produce −0.0. Rare-event strata
+    // hit these corners on every run, so pin the exact endpoint and
+    // clamp the other bound so `0 ≤ lower ≤ estimate ≤ upper ≤ 1`
+    // holds exactly for every input.
+    let lower = if successes == 0 {
+        0.0
+    } else {
+        (centre - half).clamp(0.0, p)
+    };
+    let upper = if successes == trials {
+        1.0
+    } else {
+        (centre + half).clamp(p, 1.0)
+    };
     Ok(ConfidenceInterval {
         estimate: p,
-        lower: (centre - half).max(0.0),
-        upper: (centre + half).min(1.0),
+        lower,
+        upper,
+        level,
+    })
+}
+
+/// Confidence interval for a product of independent binomial
+/// proportions — the estimator shape of multilevel splitting, where the
+/// rare-event probability is the product of per-level conditional
+/// success fractions `Π kℓ/nℓ`.
+///
+/// When every level is interior (`0 < kℓ < nℓ`) the interval comes from
+/// the delta method on the log scale: `Var(log p̂ℓ) ≈ (1 − p̂ℓ)/(nℓ p̂ℓ)`
+/// summed over levels, exponentiated back. When any level sits on a
+/// degenerate corner (zero or full successes — where the log-scale
+/// variance is undefined) the interval falls back to a conservative
+/// product of per-level Wilson bounds at the Šidák-adjusted confidence
+/// `level^(1/L)`, which remains a valid simultaneous bound and keeps a
+/// finite, non-trivial upper bound even when the point estimate is 0.
+///
+/// The returned interval always satisfies
+/// `0 ≤ lower ≤ estimate ≤ upper ≤ 1`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] when `levels` is empty or
+/// any level has zero trials, and [`StatsError::InvalidParameter`] when
+/// a level has `successes > trials` or the confidence level is outside
+/// `(0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use diversify_stats::product_proportion_ci;
+/// // Three splitting levels, each ~1/10: P ≈ 1e-3.
+/// let ci = product_proportion_ci(&[(10, 100), (9, 100), (11, 100)], 0.95).unwrap();
+/// assert!(ci.contains(ci.estimate));
+/// assert!(ci.lower > 0.0 && ci.upper < 1.0);
+/// ```
+pub fn product_proportion_ci(
+    levels: &[(u64, u64)],
+    level: f64,
+) -> Result<ConfidenceInterval, StatsError> {
+    if levels.is_empty() {
+        return Err(StatsError::InsufficientData {
+            needed: "at least one level",
+        });
+    }
+    if !(0.0 < level && level < 1.0) {
+        return Err(StatsError::InvalidParameter {
+            what: "confidence level must be in (0,1)",
+        });
+    }
+    for &(successes, trials) in levels {
+        if trials == 0 {
+            return Err(StatsError::InsufficientData {
+                needed: "at least one trial per level",
+            });
+        }
+        if successes > trials {
+            return Err(StatsError::InvalidParameter {
+                what: "successes cannot exceed trials",
+            });
+        }
+    }
+    let estimate = levels
+        .iter()
+        .map(|&(k, n)| k as f64 / n as f64)
+        .product::<f64>();
+    let interior = levels.iter().all(|&(k, n)| 0 < k && k < n);
+    if interior {
+        // Delta method on the log scale: log P̂ = Σ log p̂ℓ with
+        // independent levels, so the variances add.
+        let log_p = levels
+            .iter()
+            .map(|&(k, n)| (k as f64 / n as f64).ln())
+            .sum::<f64>();
+        let var_log = levels
+            .iter()
+            .map(|&(k, n)| {
+                let p = k as f64 / n as f64;
+                (1.0 - p) / (n as f64 * p)
+            })
+            .sum::<f64>();
+        let z = Normal::standard().quantile(0.5 + level / 2.0);
+        let half = z * var_log.sqrt();
+        let lower = (log_p - half).exp().clamp(0.0, estimate);
+        let upper = (log_p + half).exp().clamp(estimate, 1.0);
+        return Ok(ConfidenceInterval {
+            estimate,
+            lower,
+            upper,
+            level,
+        });
+    }
+    // Degenerate corner on at least one level: product of per-level
+    // Wilson bounds at the Šidák-adjusted confidence level^(1/L). The
+    // per-level bounds bracket the per-level proportions simultaneously
+    // with probability ≥ level, and the product over [0, 1]-valued
+    // factors is monotone, so the product of bounds brackets the product
+    // of proportions. The per-level endpoint pinning in
+    // [`proportion_ci`] makes lower ≤ estimate ≤ upper exact here.
+    let per_level = level.powf(1.0 / levels.len() as f64);
+    let mut lower = 1.0;
+    let mut upper = 1.0;
+    for &(k, n) in levels {
+        let ci = proportion_ci(k, n, per_level)?;
+        lower *= ci.lower;
+        upper *= ci.upper;
+    }
+    Ok(ConfidenceInterval {
+        estimate,
+        lower: lower.clamp(0.0, estimate),
+        upper: upper.clamp(estimate, 1.0),
         level,
     })
 }
@@ -167,6 +295,87 @@ mod tests {
         let one = proportion_ci(20, 20, 0.95).unwrap();
         assert!(one.lower < 1.0);
         assert!(one.upper <= 1.0);
+    }
+
+    #[test]
+    fn proportion_ci_degenerate_endpoints_are_exact() {
+        // Regression: the float evaluation of the Wilson bound at 0/n
+        // and n/n corners could overshoot the analytic endpoint by an
+        // ulp (or yield −0.0). The corners must now be pinned exactly.
+        for trials in [1u64, 2, 7, 20, 100, 10_000] {
+            for level in [0.5, 0.9, 0.95, 0.99, 0.999] {
+                let zero = proportion_ci(0, trials, level).unwrap();
+                assert_eq!(zero.lower.to_bits(), 0.0f64.to_bits(), "no -0.0 lower");
+                assert_eq!(zero.estimate, 0.0);
+                assert!(zero.upper > 0.0 && zero.upper <= 1.0);
+                let full = proportion_ci(trials, trials, level).unwrap();
+                assert_eq!(full.upper.to_bits(), 1.0f64.to_bits());
+                assert_eq!(full.estimate, 1.0);
+                assert!(full.lower < 1.0 && full.lower >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn proportion_ci_orders_bounds_around_estimate() {
+        // 0 ≤ lower ≤ estimate ≤ upper ≤ 1 exactly, for every corner
+        // and interior count.
+        for trials in [1u64, 3, 11, 50] {
+            for successes in 0..=trials {
+                let ci = proportion_ci(successes, trials, 0.95).unwrap();
+                assert!(ci.lower >= 0.0, "{successes}/{trials}");
+                assert!(ci.lower <= ci.estimate, "{successes}/{trials}");
+                assert!(ci.estimate <= ci.upper, "{successes}/{trials}");
+                assert!(ci.upper <= 1.0, "{successes}/{trials}");
+            }
+        }
+    }
+
+    #[test]
+    fn product_ci_single_level_is_consistent_with_delta_method() {
+        // One interior level: the product CI is the log-scale delta
+        // interval around k/n, which must cover the point estimate and
+        // stay inside the unit interval.
+        let ci = product_proportion_ci(&[(30, 100)], 0.95).unwrap();
+        assert!((ci.estimate - 0.3).abs() < 1e-12);
+        assert!(ci.lower > 0.0 && ci.lower < 0.3);
+        assert!(ci.upper > 0.3 && ci.upper < 1.0);
+    }
+
+    #[test]
+    fn product_ci_multiplies_levels() {
+        let ci = product_proportion_ci(&[(10, 100), (10, 100), (10, 100)], 0.95).unwrap();
+        assert!((ci.estimate - 1e-3).abs() < 1e-15);
+        assert!(ci.contains(1e-3));
+        assert!(ci.lower > 0.0 && ci.upper < 1.0);
+        assert!(ci.lower <= ci.estimate && ci.estimate <= ci.upper);
+    }
+
+    #[test]
+    fn product_ci_zero_success_level_keeps_valid_bounds() {
+        // A dried-up level: estimate 0, lower 0, and a finite positive
+        // upper bound from the Šidák-adjusted Wilson product.
+        let ci = product_proportion_ci(&[(10, 100), (0, 100)], 0.95).unwrap();
+        assert_eq!(ci.estimate, 0.0);
+        assert_eq!(ci.lower.to_bits(), 0.0f64.to_bits());
+        assert!(ci.upper > 0.0 && ci.upper < 1.0);
+    }
+
+    #[test]
+    fn product_ci_full_success_levels_pin_upper() {
+        let ci = product_proportion_ci(&[(5, 5), (5, 5)], 0.95).unwrap();
+        assert_eq!(ci.estimate, 1.0);
+        assert_eq!(ci.upper.to_bits(), 1.0f64.to_bits());
+        assert!(ci.lower < 1.0 && ci.lower >= 0.0);
+    }
+
+    #[test]
+    fn product_ci_validation() {
+        assert!(product_proportion_ci(&[], 0.95).is_err());
+        assert!(product_proportion_ci(&[(1, 0)], 0.95).is_err());
+        assert!(product_proportion_ci(&[(3, 2)], 0.95).is_err());
+        assert!(product_proportion_ci(&[(1, 2)], 1.0).is_err());
+        assert!(product_proportion_ci(&[(1, 2)], 0.0).is_err());
     }
 
     #[test]

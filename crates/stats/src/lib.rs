@@ -11,7 +11,8 @@
 //! * [`dist`] — normal, Student-t, F and chi-square distributions with
 //!   CDFs and quantile functions;
 //! * [`describe`] — descriptive statistics and quantile estimation;
-//! * [`ci`] — confidence intervals (t-based and Wilson proportion);
+//! * [`ci`] — confidence intervals (t-based, Wilson proportion, and the
+//!   product-of-proportions interval behind multilevel splitting);
 //! * [`anova`] — one-way ANOVA and n-way ANOVA for two-level factorial
 //!   designs, with variance-explained allocation per factor;
 //! * [`effect`] — effect sizes (Cohen's d, eta squared);
@@ -56,7 +57,7 @@ pub mod stream;
 
 pub use anova::{factorial_two_level, one_way, AnovaRow, AnovaTable, FactorialAnova};
 pub use bootstrap::{bootstrap_ci, bootstrap_ci_sorted};
-pub use ci::{mean_ci, proportion_ci, ConfidenceInterval};
+pub use ci::{mean_ci, product_proportion_ci, proportion_ci, ConfidenceInterval};
 pub use describe::Summary;
 pub use dist::{ChiSquared, Distribution, FisherF, Normal, StudentT};
 pub use effect::{cohens_d, eta_squared};

@@ -421,6 +421,86 @@ mod tests {
     }
 
     #[test]
+    fn merge_with_empty_is_bit_identical() {
+        // Regression (splitting levels legitimately produce empty
+        // strata): merging an empty summary in either direction must be
+        // an exact no-op — bit-identical count/mean/M2/min/max, with no
+        // ±inf sentinel from the empty side leaking into min/max and no
+        // NaN from an `inf.min(x)`-style propagation.
+        let a: StreamingSummary = [-3.5, 0.25, 7.125].into_iter().collect();
+        let mut forward = a;
+        forward.merge(&StreamingSummary::new());
+        assert_eq!(forward.count(), a.count());
+        assert_eq!(forward.mean().to_bits(), a.mean().to_bits());
+        assert_eq!(forward.m2().to_bits(), a.m2().to_bits());
+        assert_eq!(forward.min().to_bits(), a.min().to_bits());
+        assert_eq!(forward.max().to_bits(), a.max().to_bits());
+        let mut backward = StreamingSummary::new();
+        backward.merge(&a);
+        assert_eq!(backward.count(), a.count());
+        assert_eq!(backward.mean().to_bits(), a.mean().to_bits());
+        assert_eq!(backward.m2().to_bits(), a.m2().to_bits());
+        assert_eq!(backward.min().to_bits(), a.min().to_bits());
+        assert_eq!(backward.max().to_bits(), a.max().to_bits());
+        assert!(!backward.min().is_nan() && !backward.max().is_nan());
+    }
+
+    #[test]
+    fn merge_of_two_empties_stays_empty() {
+        let mut e = StreamingSummary::new();
+        e.merge(&StreamingSummary::new());
+        assert!(e.is_empty());
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.min(), f64::INFINITY);
+        assert_eq!(e.max(), f64::NEG_INFINITY);
+        assert!(!e.mean().is_nan() && !e.m2().is_nan());
+    }
+
+    #[test]
+    fn mean_ci_on_empty_and_singleton_is_typed_error() {
+        // Regression: an empty or singleton summary must yield a typed
+        // error, never a non-finite interval.
+        let empty = StreamingSummary::new();
+        assert!(matches!(
+            empty.mean_ci(0.95),
+            Err(StatsError::InsufficientData { .. })
+        ));
+        let mut one = StreamingSummary::new();
+        one.push(4.0);
+        assert!(matches!(
+            one.mean_ci(0.95),
+            Err(StatsError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn bernoulli_merge_with_empty_is_identity() {
+        let a: BernoulliCounter = [true, false, true].into_iter().collect();
+        let mut b = a;
+        b.merge(&BernoulliCounter::new());
+        assert_eq!(a, b);
+        let mut c = BernoulliCounter::new();
+        c.merge(&a);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn bernoulli_ci_degenerate_counts_stay_ordered() {
+        // The counter delegates to `proportion_ci`, so the pinned
+        // Wilson endpoints must surface here too.
+        let zeros: BernoulliCounter = [false; 12].into_iter().collect();
+        let ci = zeros.ci(0.95).unwrap();
+        assert_eq!(ci.estimate, 0.0);
+        assert_eq!(ci.lower.to_bits(), 0.0f64.to_bits());
+        assert!(ci.upper > 0.0 && ci.upper <= 1.0);
+        let ones: BernoulliCounter = [true; 12].into_iter().collect();
+        let ci = ones.ci(0.95).unwrap();
+        assert_eq!(ci.estimate, 1.0);
+        assert_eq!(ci.upper.to_bits(), 1.0f64.to_bits());
+        assert!(ci.lower >= 0.0 && ci.lower < 1.0);
+    }
+
+    #[test]
     fn moment_ci_matches_slice_ci() {
         let xs = [9.0, 10.0, 10.0, 11.0, 10.5, 9.5];
         let from_slice = crate::ci::mean_ci(&xs, 0.95).unwrap();
