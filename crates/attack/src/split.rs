@@ -22,7 +22,8 @@
 //! `(checkpoint, seed)`).
 
 use crate::campaign::{
-    CampaignCheckpoint, CampaignMilestone, CampaignSimulator, CampaignWorkspace,
+    BatchedCampaignWorkspace, CampaignCheckpoint, CampaignMilestone, CampaignSimulator,
+    MilestonePlacement,
 };
 use crate::to_san::StageParams;
 use diversify_des::splitting::{LevelRun, StagedTask};
@@ -74,6 +75,24 @@ impl<'s, 'n> CampaignSplitTask<'s, 'n> {
         CampaignSplitTask::new(sim, milestones)
     }
 
+    /// Wraps `sim` with an adaptively placed schedule
+    /// ([`CampaignSimulator::split_milestones_piloted`]): a pilot batch
+    /// estimates survivor fractions and tunes the spread threshold,
+    /// falling back to the fixed schedule with a recorded reason when
+    /// it cannot. Returns the task together with the placement record.
+    #[must_use]
+    pub fn with_piloted_milestones(
+        sim: &'s CampaignSimulator<'n>,
+        pilot_population: u32,
+        master_seed: u64,
+    ) -> (Self, MilestonePlacement) {
+        let piloted = sim.split_milestones_piloted(pilot_population, master_seed);
+        (
+            CampaignSplitTask::new(sim, piloted.milestones),
+            piloted.placement,
+        )
+    }
+
     /// The milestone schedule (one entry per splitting level).
     #[must_use]
     pub fn milestones(&self) -> &[CampaignMilestone] {
@@ -83,29 +102,49 @@ impl<'s, 'n> CampaignSplitTask<'s, 'n> {
 
 impl StagedTask for CampaignSplitTask<'_, '_> {
     type State = CampaignCheckpoint;
-    type Workspace = CampaignWorkspace;
+    type Workspace = BatchedCampaignWorkspace;
 
     fn levels(&self) -> usize {
         self.milestones.len()
     }
 
-    fn workspace(&self) -> CampaignWorkspace {
-        self.sim.workspace()
+    fn workspace(&self) -> BatchedCampaignWorkspace {
+        self.sim.batched_workspace()
     }
 
     fn run_level(
         &self,
-        ws: &mut CampaignWorkspace,
+        ws: &mut BatchedCampaignWorkspace,
         level: usize,
         from: Option<&CampaignCheckpoint>,
         seed: u64,
     ) -> LevelRun<CampaignCheckpoint> {
-        let run = self.sim.run_stage(ws, from, seed, self.milestones[level]);
+        let run = self
+            .sim
+            .run_stage(ws.scalar_lane(), from, seed, self.milestones[level]);
         LevelRun {
             state: run.checkpoint,
             reached: run.reached,
             ticks: u64::from(run.ticks),
         }
+    }
+
+    fn run_level_batch(
+        &self,
+        ws: &mut BatchedCampaignWorkspace,
+        level: usize,
+        froms: &[Option<&CampaignCheckpoint>],
+        seeds: &[u64],
+        out: &mut Vec<LevelRun<CampaignCheckpoint>>,
+    ) {
+        let mut runs = Vec::with_capacity(seeds.len());
+        self.sim
+            .run_stage_batch(ws, froms, seeds, self.milestones[level], &mut runs);
+        out.extend(runs.into_iter().map(|run| LevelRun {
+            state: run.checkpoint,
+            reached: run.reached,
+            ticks: u64::from(run.ticks),
+        }));
     }
 }
 
@@ -343,6 +382,48 @@ mod tests {
         assert_eq!(serial.estimate.to_bits(), parallel.estimate.to_bits());
         assert_eq!(serial.levels, parallel.levels);
         assert_eq!(serial.total_ticks, parallel.total_ticks);
+    }
+
+    #[test]
+    fn campaign_split_via_lockstep_matches_scalar() {
+        let net = scope_network();
+        let sim =
+            CampaignSimulator::new(&net, ThreatModel::stuxnet_like(), CampaignConfig::default());
+        let task = CampaignSplitTask::with_default_milestones(&sim);
+        let scalar = Splitting::try_new(96, 0xD1CE)
+            .unwrap()
+            .run(&task, &Executor::serial())
+            .unwrap();
+        for lanes in [4usize, 17] {
+            let sched = Splitting::try_new(96, 0xD1CE).unwrap().with_lockstep(lanes);
+            for exec in [Executor::serial(), Executor::parallel()] {
+                let run = sched.run(&task, &exec).unwrap();
+                assert_eq!(run, scalar, "{lanes} lanes");
+            }
+        }
+    }
+
+    #[test]
+    fn piloted_task_keeps_goal_reached_terminal() {
+        let net = scope_network();
+        let sim =
+            CampaignSimulator::new(&net, ThreatModel::stuxnet_like(), CampaignConfig::default());
+        let (task, placement) = CampaignSplitTask::with_piloted_milestones(&sim, 32, 0x517);
+        assert_eq!(
+            task.milestones().last(),
+            Some(&CampaignMilestone::GoalReached)
+        );
+        assert!(matches!(
+            placement,
+            crate::campaign::MilestonePlacement::Piloted { .. }
+        ));
+        // The piloted schedule still estimates the same probability.
+        let run = Splitting::try_new(256, 0xD1CE)
+            .unwrap()
+            .with_lockstep(8)
+            .run(&task, &Executor::serial())
+            .unwrap();
+        assert!(run.estimate > 0.0 && run.estimate <= 1.0);
     }
 
     #[test]

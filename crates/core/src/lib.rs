@@ -51,6 +51,7 @@ pub mod pipeline;
 pub mod report;
 pub mod runner;
 
+pub use diversify_attack::campaign::MilestonePlacement;
 pub use error::PipelineError;
 pub use exec::{
     AdaptiveRun, Budget, BudgetOutcome, CancelToken, Collector, ExecMode, Executor, PartialRun,
@@ -63,7 +64,7 @@ pub use pipeline::{
 };
 pub use runner::{
     measure_configuration, measure_configuration_adaptive, measure_configuration_adaptive_budgeted,
-    measure_configuration_budgeted, measure_configuration_splitting, measure_configuration_with,
-    AdaptiveMeasurements, Measurements, PartialMeasurements, PrecisionTarget,
-    SplittingMeasurements,
+    measure_configuration_budgeted, measure_configuration_splitting,
+    measure_configuration_splitting_adaptive, measure_configuration_with, AdaptiveMeasurements,
+    Measurements, PartialMeasurements, PrecisionTarget, SplittingMeasurements,
 };

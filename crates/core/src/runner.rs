@@ -10,7 +10,8 @@ use crate::exec::{
 };
 use crate::indicators::{IndicatorSummary, PrecisionResponse};
 use diversify_attack::campaign::{
-    CampaignConfig, CampaignMilestone, CampaignSimulator, CampaignStats, ThreatModel,
+    CampaignConfig, CampaignMilestone, CampaignSimulator, CampaignStats, MilestonePlacement,
+    ThreatModel,
 };
 use diversify_attack::split::CampaignSplitTask;
 use diversify_des::splitting::{LevelSummary, Splitting};
@@ -313,6 +314,10 @@ pub struct SplittingMeasurements {
     pub total_ticks: u64,
     /// Fixed per-level population.
     pub population: u32,
+    /// How the spread milestone was placed: `None` for the fixed default
+    /// schedule, `Some` when [`measure_configuration_splitting_adaptive`]
+    /// ran a pilot (either a piloted threshold or a recorded fallback).
+    pub placement: Option<MilestonePlacement>,
 }
 
 impl SplittingMeasurements {
@@ -365,6 +370,60 @@ pub fn measure_configuration_splitting(
         levels: run.levels,
         total_ticks: run.total_ticks,
         population: run.population,
+        placement: None,
+    })
+}
+
+/// Like [`measure_configuration_splitting`], but places the spread
+/// milestone adaptively from a lockstep pilot and runs every level
+/// population through the batched lockstep executor path.
+///
+/// A pilot of `pilot_population` trajectories estimates the conditional
+/// survivor fractions past `Rooted` and places the `SpreadAtLeast`
+/// threshold to equalize conditional passage probabilities (falling
+/// back to the fixed heuristic with a recorded reason when the pilot is
+/// uninformative — see [`MilestonePlacement`]). Levels then execute
+/// `lockstep_lanes` replications per tick over SoA lane state; a lane
+/// count of 1 is the scalar path. Both knobs are pure cost/placement
+/// choices: for a given milestone schedule the estimate is bit-identical
+/// across lane counts and executors.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::InvalidLevel`] for a confidence level
+/// outside `(0, 1)`, [`PipelineError::Plan`] for a zero population, and
+/// [`PipelineError::Stats`] if the interval cannot be formed.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_configuration_splitting_adaptive(
+    network: &ScadaNetwork,
+    threat: &ThreatModel,
+    config: CampaignConfig,
+    population: u32,
+    master_seed: u64,
+    executor: Executor,
+    level: f64,
+    pilot_population: u32,
+    lockstep_lanes: usize,
+) -> Result<SplittingMeasurements, PipelineError> {
+    if !(0.0 < level && level < 1.0) {
+        return Err(PipelineError::InvalidLevel(level));
+    }
+    let sim = CampaignSimulator::new(network, threat.clone(), config);
+    let (task, placement) =
+        CampaignSplitTask::with_piloted_milestones(&sim, pilot_population, master_seed);
+    let milestones = task.milestones().to_vec();
+    let run = Splitting::try_new(population, master_seed)?
+        .with_lockstep(lockstep_lanes.max(1))
+        .run(&task, &executor)?;
+    let ci = product_proportion_ci(&run.conditionals(), level)?;
+    Ok(SplittingMeasurements {
+        estimate: run.estimate,
+        ci,
+        milestones,
+        levels: run.levels,
+        total_ticks: run.total_ticks,
+        population: run.population,
+        placement: Some(placement),
     })
 }
 
@@ -631,6 +690,65 @@ mod tests {
                 0.95,
             ),
             Err(PipelineError::Plan(_))
+        ));
+    }
+
+    #[test]
+    fn adaptive_splitting_pilots_placement_and_stays_deterministic() {
+        let net = scope_network();
+        let threat = ThreatModel::stuxnet_like();
+        let config = CampaignConfig {
+            max_ticks: 48,
+            detection_stops_attack: true,
+        };
+        let run = |executor, lanes| {
+            measure_configuration_splitting_adaptive(
+                &net, &threat, config, 256, 0xADA7, executor, 0.95, 64, lanes,
+            )
+            .expect("valid configuration")
+        };
+
+        let serial = run(Executor::serial(), 8);
+        assert!(matches!(
+            serial.placement,
+            Some(MilestonePlacement::Piloted { .. } | MilestonePlacement::FixedFallback { .. })
+        ));
+        assert_eq!(serial.milestones.len(), serial.levels.len());
+        assert_eq!(
+            serial.milestones.last(),
+            Some(&CampaignMilestone::GoalReached)
+        );
+        assert!(serial.ci.lower <= serial.estimate && serial.estimate <= serial.ci.upper);
+
+        // Lane count and executor are pure cost knobs: the estimate,
+        // level record, and placement are bit-identical across them.
+        let parallel = run(Executor::parallel(), 8);
+        assert_eq!(serial.estimate.to_bits(), parallel.estimate.to_bits());
+        assert_eq!(serial.levels, parallel.levels);
+        assert_eq!(serial.placement, parallel.placement);
+
+        let scalar_lanes = run(Executor::serial(), 1);
+        assert_eq!(serial.estimate.to_bits(), scalar_lanes.estimate.to_bits());
+        assert_eq!(serial.levels, scalar_lanes.levels);
+        assert_eq!(serial.milestones, scalar_lanes.milestones);
+    }
+
+    #[test]
+    fn adaptive_splitting_rejects_bad_level() {
+        let net = scope_network();
+        assert!(matches!(
+            measure_configuration_splitting_adaptive(
+                &net,
+                &ThreatModel::stuxnet_like(),
+                CampaignConfig::default(),
+                64,
+                1,
+                Executor::serial(),
+                0.0,
+                16,
+                4,
+            ),
+            Err(PipelineError::InvalidLevel(_))
         ));
     }
 

@@ -1,0 +1,86 @@
+//! Interleaved scalar-vs-lockstep throughput probe.
+//!
+//! ```text
+//! cargo run --release --example lockstep_probe [trials]
+//! ```
+//!
+//! Criterion times the scalar and lockstep campaign paths in separate
+//! blocks, so on a shared 1-core runner the block-to-block drift can
+//! exceed the effect being measured. This probe interleaves them — each
+//! trial runs the same seed schedule once through `run_into` and once
+//! through `run_batch_into`, back to back — and reports the min-of-N
+//! wall per path, the same noise-immune technique the experiments
+//! binary's `--harden-guard` uses. Both paths produce bit-identical
+//! per-seed stats (`tests/lockstep_differential.rs`), so the ratio is
+//! pure execution cost. The numbers recorded in `BENCH_8.json` come
+//! from this probe.
+
+use std::time::Instant;
+
+use diversify::attack::campaign::{CampaignConfig, CampaignSimulator, ThreatModel};
+use diversify::scada::fleet::{FleetConfig, FleetSystem};
+use diversify::scada::scope::{ScopeConfig, ScopeSystem};
+
+fn main() {
+    let trials: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25);
+    let campaign = CampaignConfig {
+        max_ticks: 24 * 30,
+        detection_stops_attack: false,
+    };
+    let scope_net = ScopeSystem::build(&ScopeConfig::default())
+        .network()
+        .clone();
+    let fleet = FleetSystem::build(&FleetConfig::sized(10_000, 0x5CA1E));
+    // Lane width per workload mirrors benches/engine.rs: SCoPE lanes
+    // are tiny so the whole schedule is one wide batch; a fleet
+    // campaign compromises ~half the plant, so each lane's per-tick
+    // working set is ~100 KB and 2-lane groups keep the round-robin
+    // L2-resident (wider groups measurably thrash).
+    let workloads: [(&str, &diversify::scada::network::ScadaNetwork, u64, usize); 2] = [
+        ("scope", &scope_net, 64, 64),
+        ("fleet_10000", fleet.network(), 16, 2),
+    ];
+    println!("lockstep probe: min of {trials} interleaved trials per workload\n");
+    for (label, net, reps, lanes) in workloads {
+        let sim = CampaignSimulator::new(net, ThreatModel::stuxnet_like(), campaign);
+        let seeds: Vec<u64> = (0..reps).map(|i| 0x10C5u64.wrapping_mul(i + 1)).collect();
+        let mut scalar_ws = sim.workspace();
+        let mut batched_ws = sim.batched_workspace();
+        // Warm both paths so lane buffers and curves are sized.
+        for &seed in &seeds {
+            std::hint::black_box(sim.run_into(&mut scalar_ws, seed));
+        }
+        for chunk in seeds.chunks(lanes) {
+            std::hint::black_box(sim.run_batch_into(&mut batched_ws, chunk));
+        }
+        let mut scalar_min = f64::INFINITY;
+        let mut lockstep_min = f64::INFINITY;
+        for _ in 0..trials {
+            let t = Instant::now();
+            for &seed in &seeds {
+                std::hint::black_box(sim.run_into(&mut scalar_ws, seed));
+            }
+            scalar_min = scalar_min.min(t.elapsed().as_secs_f64() * 1e6);
+            let t = Instant::now();
+            for chunk in seeds.chunks(lanes) {
+                std::hint::black_box(sim.run_batch_into(&mut batched_ws, chunk));
+            }
+            lockstep_min = lockstep_min.min(t.elapsed().as_secs_f64() * 1e6);
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let per_rep = reps as f64;
+        println!(
+            "{label}: {} nodes, {reps} replications, {lanes} lanes\n  \
+             scalar   {scalar_min:9.1} us ({:7.2} us/rep)\n  \
+             lockstep {lockstep_min:9.1} us ({:7.2} us/rep)\n  \
+             speedup  {:9.3}x\n",
+            net.node_count(),
+            scalar_min / per_rep,
+            lockstep_min / per_rep,
+            scalar_min / lockstep_min
+        );
+    }
+}

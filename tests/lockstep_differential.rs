@@ -1,0 +1,188 @@
+//! Differential oracle for the batched lockstep replication path.
+//!
+//! The PR 9 tentpole added a K-lane lockstep executor path: a batch of
+//! campaign replications advances one tick at a time over lane-major
+//! SoA state, with per-node probability tables filled once per batch.
+//! The scalar `run_into` path is the semantic oracle: for every
+//! network, threat model, seed and batch width, each lockstep lane
+//! must be **bit-identical** to the scalar run of its seed — same
+//! stats, same per-tick ratio curve. This suite checks that over the
+//! hand-built SCoPE network, randomized generated fleets (property
+//! test), the `run_ws_lockstep` executor seam (serial ≡ parallel ≡
+//! scalar, including remainder lanes), and the multilevel-splitting
+//! estimator routed through the lockstep path.
+
+// Tests may unwrap/expect: a panic is the failure signal.
+#![allow(clippy::disallowed_methods)]
+
+use diversify::attack::campaign::{
+    CampaignBatchTask, CampaignConfig, CampaignSimulator, CampaignStats, ThreatModel,
+    CAMPAIGN_RUN_NAMESPACE,
+};
+use diversify::attack::split::CampaignSplitTask;
+use diversify::des::exec::{Executor, ReplicationPlan, VecCollector};
+use diversify::scada::fleet::{FleetConfig, FleetSystem};
+use diversify::scada::network::ScadaNetwork;
+use diversify::scada::scope::{ScopeConfig, ScopeSystem};
+use diversify_des::splitting::Splitting;
+use proptest::prelude::*;
+
+fn scope_network() -> ScadaNetwork {
+    ScopeSystem::build(&ScopeConfig::default())
+        .network()
+        .clone()
+}
+
+fn threat_for(kind: u8) -> ThreatModel {
+    match kind % 3 {
+        0 => ThreatModel::stuxnet_like(),
+        1 => ThreatModel::duqu_like(),
+        _ => ThreatModel::flame_like(),
+    }
+}
+
+/// Asserts every lockstep lane ≡ its scalar replication for one
+/// (network, threat, config) triple: `seeds` runs as one batch of
+/// width `seeds.len()`, and each lane's stats and ratio curve must be
+/// bit-identical to the scalar `run_into` of the same seed.
+fn assert_lanes_match_scalar(
+    net: &ScadaNetwork,
+    threat: ThreatModel,
+    config: CampaignConfig,
+    seeds: &[u64],
+) {
+    let sim = CampaignSimulator::new(net, threat, config);
+    let mut batched = sim.batched_workspace();
+    let stats = sim.run_batch_into(&mut batched, seeds).to_vec();
+    assert_eq!(stats.len(), seeds.len());
+
+    let mut scalar_ws = sim.workspace();
+    for (lane, &seed) in seeds.iter().enumerate() {
+        let scalar = sim.run_into(&mut scalar_ws, seed);
+        assert_eq!(
+            stats[lane], scalar,
+            "stats diverge at lane {lane} seed {seed}"
+        );
+        assert_eq!(
+            batched.lane(lane).ratio_curve(),
+            scalar_ws.ratio_curve(),
+            "ratio curve diverges at lane {lane} seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn lockstep_lanes_match_scalar_on_scope_network() {
+    let net = scope_network();
+    let seeds: Vec<u64> = (0..24).map(|i| 0xD15C_u64.wrapping_mul(i + 1)).collect();
+    for threat in [
+        ThreatModel::stuxnet_like(),
+        ThreatModel::duqu_like(),
+        ThreatModel::flame_like(),
+    ] {
+        // Full batch, a narrow batch, and a single-lane batch.
+        assert_lanes_match_scalar(&net, threat.clone(), CampaignConfig::default(), &seeds);
+        assert_lanes_match_scalar(&net, threat.clone(), CampaignConfig::default(), &seeds[..5]);
+        assert_lanes_match_scalar(&net, threat, CampaignConfig::default(), &seeds[..1]);
+    }
+}
+
+#[test]
+fn lockstep_executor_is_invariant_across_modes_and_widths() {
+    let net = scope_network();
+    let sim = CampaignSimulator::new(&net, ThreatModel::stuxnet_like(), CampaignConfig::default());
+    // 3 batches of 17 replications: every width below except 1 and 17
+    // leaves a remainder group that must degrade to the scalar path.
+    let plan = ReplicationPlan::new(3, 17, 0x10C5).with_namespace(CAMPAIGN_RUN_NAMESPACE);
+    let scalar: Vec<CampaignStats> = Executor::serial().run_ws(
+        &plan,
+        || sim.workspace(),
+        |ws, rep| sim.run_into(ws, rep.seed),
+        &VecCollector,
+    );
+    let task = CampaignBatchTask::new(&sim);
+    for lanes in [1usize, 2, 4, 8, 16, 17, 32] {
+        for executor in [Executor::serial(), Executor::parallel()] {
+            let lockstep: Vec<CampaignStats> =
+                executor.run_ws_lockstep(&plan, &task, lanes, &VecCollector);
+            assert_eq!(
+                lockstep, scalar,
+                "diverged at {lanes} lanes on {executor:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn splitting_via_lockstep_matches_scalar_levels() {
+    let net = scope_network();
+    let config = CampaignConfig {
+        max_ticks: 48,
+        detection_stops_attack: true,
+    };
+    let sim = CampaignSimulator::new(&net, ThreatModel::stuxnet_like(), config);
+    let task = CampaignSplitTask::with_default_milestones(&sim);
+    let scalar = Splitting::try_new(200, 0x5EED)
+        .expect("positive population")
+        .run(&task, &Executor::serial())
+        .expect("splitting run succeeds");
+    for lanes in [7usize, 64] {
+        for executor in [Executor::serial(), Executor::parallel()] {
+            let lockstep = Splitting::try_new(200, 0x5EED)
+                .expect("positive population")
+                .with_lockstep(lanes)
+                .run(&task, &executor)
+                .expect("splitting run succeeds");
+            assert_eq!(
+                scalar.estimate.to_bits(),
+                lockstep.estimate.to_bits(),
+                "estimate diverged at {lanes} lanes on {executor:?}"
+            );
+            assert_eq!(scalar.levels, lockstep.levels);
+            assert_eq!(scalar.total_ticks, lockstep.total_ticks);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Lockstep ≡ scalar per lane on randomized plant families: fleet
+    /// shape, threat model, batch width (1..=12, so single-lane and
+    /// wide batches both occur) and the seed schedule all vary.
+    #[test]
+    fn lockstep_lanes_match_scalar_on_random_fleets(
+        plants in 1usize..4,
+        substations in 1usize..6,
+        plcs in 1usize..6,
+        offices in 1usize..4,
+        fleet_seed in any::<u64>(),
+        threat_kind in 0u8..3,
+        seed_base in any::<u64>(),
+        width in 1usize..13,
+        detection_stops_attack in any::<bool>(),
+    ) {
+        let config = FleetConfig {
+            plants,
+            substations_per_plant: substations,
+            plcs_per_substation: plcs,
+            offices_per_plant: offices,
+            seed: fleet_seed,
+            ..FleetConfig::default()
+        };
+        let fleet = FleetSystem::build(&config);
+        let campaign = CampaignConfig {
+            max_ticks: 24 * 10,
+            detection_stops_attack,
+        };
+        let seeds: Vec<u64> = (0..width as u64)
+            .map(|i| seed_base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+            .collect();
+        assert_lanes_match_scalar(
+            fleet.network(),
+            threat_for(threat_kind),
+            campaign,
+            &seeds,
+        );
+    }
+}

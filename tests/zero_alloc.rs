@@ -124,6 +124,35 @@ fn lazily_sized_workspace_stops_allocating_once_warm() {
     assert_eq!(allocations() - before, 0);
 }
 
+/// The lockstep batch loop: after one warm-up batch sizes the lanes,
+/// the probability tables and the SoA RNG blocks, re-running batches of
+/// the same width through the same [`BatchedCampaignWorkspace`] must
+/// not allocate — per-batch cost is table refill plus lane stepping,
+/// all over reused capacity.
+#[test]
+fn lockstep_batches_are_allocation_free_after_warmup() {
+    use diversify::attack::campaign::BatchedCampaignWorkspace;
+    let _guard = measured();
+    let net = scope_network();
+    let seeds: Vec<u64> = (0..16).map(|i| 0xBA7C ^ (i * 0x9E37)).collect();
+    for threat in [ThreatModel::stuxnet_like(), ThreatModel::duqu_like()] {
+        let sim = CampaignSimulator::new(&net, threat, CampaignConfig::default());
+        let mut ws = BatchedCampaignWorkspace::new();
+        black_box(sim.run_batch_into(&mut ws, &seeds));
+        let before = allocations();
+        for _ in 0..4 {
+            black_box(sim.run_batch_into(&mut ws, &seeds));
+        }
+        let delta = allocations() - before;
+        assert_eq!(
+            delta,
+            0,
+            "lockstep loop allocated {delta} times across 4 warm batches of {}",
+            seeds.len()
+        );
+    }
+}
+
 /// The frontier engine at fleet scale: on a generated 10^4-node plant
 /// family, replications through a warm workspace stay allocation-free —
 /// the sparse reset and the hierarchical-bitset frontier never touch
