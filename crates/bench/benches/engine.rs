@@ -308,11 +308,49 @@ fn bench_rare_event_splitting(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_indicator_service(c: &mut Criterion) {
+    use diversify_attack::campaign::ThreatModel as Threat;
+    use diversify_serve::service::{IndicatorRequest, IndicatorService, ServiceOptions};
+
+    let request = IndicatorRequest::fixed(
+        ScopeConfig::default(),
+        Threat::stuxnet_like(),
+        CampaignConfig::default(),
+        4,
+        25,
+        0x5E27E,
+    );
+    let mut g = c.benchmark_group("service_request_throughput");
+    g.sample_size(10);
+    // Cold: a fresh service per iteration, so every request shards and
+    // executes all 100 replications over the loopback workers.
+    g.bench_function("service_request_cold", |b| {
+        b.iter(|| {
+            let service = IndicatorService::in_process(2, ServiceOptions::default());
+            black_box(service.request(black_box(&request)))
+        })
+    });
+    // Memoized: one service, the cell computed once up front; each
+    // iteration is a content-addressed replay with zero replications.
+    let service = IndicatorService::in_process(2, ServiceOptions::default());
+    let warm = service.request(&request);
+    assert!(!warm.degraded);
+    g.bench_function("service_request_memoized", |b| {
+        b.iter(|| {
+            let response = service.request(black_box(&request));
+            assert!(response.from_cache);
+            black_box(response)
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_engine,
     bench_fleet_scaling,
     bench_lockstep,
-    bench_rare_event_splitting
+    bench_rare_event_splitting,
+    bench_indicator_service
 );
 criterion_main!(benches);

@@ -637,6 +637,64 @@ pub fn r11_rare_event(scale: Scale) -> String {
     out
 }
 
+/// R12 — the sharded indicator service: cold request vs memoized
+/// replay, with the bit-identity check against a local unsharded run.
+#[must_use]
+pub fn r12_indicator_service(scale: Scale) -> String {
+    use diversify_serve::service::{IndicatorRequest, IndicatorService, ServiceOptions};
+
+    let batches = scale.reps(4, 16);
+    let batch_size = scale.reps(5, 25);
+    let request = IndicatorRequest::fixed(
+        ScopeConfig::default(),
+        ThreatModel::stuxnet_like(),
+        CampaignConfig::default(),
+        batches,
+        batch_size,
+        0x5E27E,
+    );
+
+    let service = IndicatorService::in_process(2, ServiceOptions::default());
+    let start = std::time::Instant::now();
+    let cold = service.request(&request);
+    let cold_ms = start.elapsed().as_secs_f64() * 1e3;
+    let start = std::time::Instant::now();
+    let replay = service.request(&request);
+    let replay_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let net = ScopeSystem::build(&ScopeConfig::default())
+        .network()
+        .clone();
+    let sim = CampaignSimulator::new(&net, ThreatModel::stuxnet_like(), CampaignConfig::default());
+    let local = Executor::default().run_ws(
+        &campaign_plan(batches, batch_size, 0x5E27E),
+        || sim.workspace(),
+        |ws, rep| sim.run_into(ws, rep.seed),
+        &diversify_core::exec::MeasurementsCollector,
+    );
+    let served = cold.measurements.as_ref().expect("clean sweep");
+    let identical = served.batch_p_success == local.batch_p_success
+        && served.batch_compromised == local.batch_compromised;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "cold request     = {} replications over 2 workers, {cold_ms:.2} ms",
+        cold.new_replications
+    );
+    let _ = writeln!(
+        out,
+        "memoized replay  = {} replications (from_cache: {}), {replay_ms:.3} ms",
+        replay.new_replications, replay.from_cache
+    );
+    let _ = writeln!(
+        out,
+        "sharded == local = {identical} (P_SA {:.3}, compromised {:.3})",
+        served.summary.p_success, served.summary.mean_compromised_ratio
+    );
+    out
+}
+
 /// A cyclic three-queue SAN with `tokens` circulating customers — the
 /// configurable-size workload behind the `san_analytic_throughput`
 /// bench: `(tokens+1)(tokens+2)/2` tangible states, all exponential.
@@ -871,6 +929,7 @@ pub fn run_all(scale: Scale) -> Vec<(&'static str, String)> {
         ("R8 formalism cross-check", r8_formalisms(scale)),
         ("R9 adaptive-precision replication", r9_adaptive(scale)),
         ("R11 rare-event splitting", r11_rare_event(scale)),
+        ("R12 indicator service", r12_indicator_service(scale)),
     ]
 }
 

@@ -34,6 +34,7 @@ pub use diversify_des::faults::{FaultKind, FaultPlan, InjectedPanic};
 use crate::indicators::{IndicatorAccum, IndicatorSummary};
 use crate::runner::Measurements;
 use diversify_attack::campaign::CampaignStats;
+use serde::{Deserialize, Serialize};
 
 /// The stream namespace campaign measurement derives its per-replication
 /// seeds under. The original hand-rolled loop used *additive* stream ids
@@ -77,6 +78,58 @@ struct BatchAccum {
     count: u32,
     successes: u32,
     compromised_sum: f64,
+}
+
+/// One batch's wire-portable counters — the exported form of the
+/// accumulator's private per-batch state, so shard workers can ship
+/// batch-granular partial measurements and a coordinator can rebuild a
+/// [`MeasurementsAccum`] bit-exactly with
+/// [`MeasurementsAccum::from_parts`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchRecord {
+    /// Global batch index (a shard reports `plan.first_batch() + local`).
+    pub batch: u32,
+    /// Replications folded into the batch.
+    pub count: u32,
+    /// Successful campaigns in the batch.
+    pub successes: u32,
+    /// Sum of final compromised ratios over the batch.
+    pub compromised_sum: f64,
+}
+
+impl MeasurementsAccum {
+    /// The per-batch counters, in fold order.
+    pub fn batch_records(&self) -> impl Iterator<Item = BatchRecord> + '_ {
+        self.batches.iter().map(|b| BatchRecord {
+            batch: b.batch,
+            count: b.count,
+            successes: b.successes,
+            compromised_sum: b.compromised_sum,
+        })
+    }
+
+    /// Rebuilds an accumulator from transported parts. The caller owns
+    /// the fold contract: `records` must be in batch order and
+    /// `indicators` must cover exactly the replications the records
+    /// count — the serve coordinator guarantees both by folding shard
+    /// results in global batch order.
+    pub fn from_parts(
+        indicators: IndicatorAccum,
+        records: impl IntoIterator<Item = BatchRecord>,
+    ) -> Self {
+        MeasurementsAccum {
+            indicators,
+            batches: records
+                .into_iter()
+                .map(|r| BatchAccum {
+                    batch: r.batch,
+                    count: r.count,
+                    successes: r.successes,
+                    compromised_sum: r.compromised_sum,
+                })
+                .collect(),
+        }
+    }
 }
 
 /// A [`Collector`] streaming campaign outcomes into [`Measurements`]:

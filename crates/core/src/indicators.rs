@@ -12,9 +12,9 @@
 use diversify_attack::campaign::{CampaignOutcome, CampaignStats};
 use diversify_des::Precision;
 use diversify_stats::{
-    proportion_ci, BernoulliCounter, ConfidenceInterval, StatsError, StreamingSummary,
+    proportion_ci, BernoulliCounter, ConfidenceInterval, RawMoments, StatsError, StreamingSummary,
 };
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The indicator an adaptive run monitors for its precision target.
@@ -120,6 +120,39 @@ impl IndicatorAccum {
         })
     }
 
+    /// Exports the accumulator's full state as a wire-portable
+    /// [`IndicatorSnapshot`]. `IndicatorAccum::from_snapshot(&s)` is the
+    /// bit-exact inverse, so an accumulator can be built on one machine,
+    /// shipped, and merged on another as if it had been folded locally.
+    #[must_use]
+    pub fn snapshot(&self) -> IndicatorSnapshot {
+        IndicatorSnapshot {
+            success: CounterSnapshot::from_counter(&self.success),
+            detection: CounterSnapshot::from_counter(&self.detection),
+            tta: MomentsSnapshot::from_summary(&self.tta),
+            ttsf: MomentsSnapshot::from_summary(&self.ttsf),
+            compromised: MomentsSnapshot::from_summary(&self.compromised),
+        }
+    }
+
+    /// Rebuilds an accumulator from an exported snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] for counter states no
+    /// sequence of folds can produce (successes exceeding trials) — the
+    /// structural check a transport layer relies on to reject forged or
+    /// corrupted payloads before they poison a merge.
+    pub fn from_snapshot(snap: &IndicatorSnapshot) -> Result<IndicatorAccum, StatsError> {
+        Ok(IndicatorAccum {
+            success: snap.success.to_counter()?,
+            detection: snap.detection.to_counter()?,
+            tta: snap.tta.to_summary(),
+            ttsf: snap.ttsf.to_summary(),
+            compromised: snap.compromised.to_summary(),
+        })
+    }
+
     /// Closes the accumulator into an [`IndicatorSummary`].
     ///
     /// # Errors
@@ -149,6 +182,86 @@ impl IndicatorAccum {
             compromised: self.compromised,
         })
     }
+}
+
+/// Wire-portable state of a [`BernoulliCounter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Number of successes.
+    pub successes: u64,
+    /// Number of trials.
+    pub trials: u64,
+}
+
+impl CounterSnapshot {
+    fn from_counter(counter: &BernoulliCounter) -> Self {
+        CounterSnapshot {
+            successes: counter.successes(),
+            trials: counter.trials(),
+        }
+    }
+
+    fn to_counter(self) -> Result<BernoulliCounter, StatsError> {
+        BernoulliCounter::from_counts(self.successes, self.trials)
+    }
+}
+
+/// Wire-portable Welford state of a [`StreamingSummary`]. The `f64`
+/// fields round-trip bit-exactly through the serve crate's binary codec
+/// (which transports `f64::to_bits`), including the `±∞` min/max
+/// sentinels of an empty summary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MomentsSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Running mean.
+    pub mean: f64,
+    /// Summed squared deviation from the mean.
+    pub m2: f64,
+    /// Smallest observation (`+∞` when empty).
+    pub min: f64,
+    /// Largest observation (`-∞` when empty).
+    pub max: f64,
+}
+
+impl MomentsSnapshot {
+    fn from_summary(summary: &StreamingSummary) -> Self {
+        let raw = summary.to_raw();
+        MomentsSnapshot {
+            count: raw.count,
+            mean: raw.mean,
+            m2: raw.m2,
+            min: raw.min,
+            max: raw.max,
+        }
+    }
+
+    fn to_summary(self) -> StreamingSummary {
+        StreamingSummary::from_raw(RawMoments {
+            count: self.count,
+            mean: self.mean,
+            m2: self.m2,
+            min: self.min,
+            max: self.max,
+        })
+    }
+}
+
+/// The full exported state of an [`IndicatorAccum`] — the unit the serve
+/// crate ships from shard workers to the coordinator, and the payload a
+/// memo store persists between requests.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IndicatorSnapshot {
+    /// Success counter state.
+    pub success: CounterSnapshot,
+    /// Detection counter state.
+    pub detection: CounterSnapshot,
+    /// Time-To-Attack moments.
+    pub tta: MomentsSnapshot,
+    /// Time-To-Security-Failure moments.
+    pub ttsf: MomentsSnapshot,
+    /// Compromised-ratio moments.
+    pub compromised: MomentsSnapshot,
 }
 
 /// Aggregated security indicators for one system configuration.

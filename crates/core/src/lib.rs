@@ -43,6 +43,7 @@
 #![cfg_attr(not(test), warn(clippy::disallowed_methods))]
 #![cfg_attr(test, allow(clippy::disallowed_methods))]
 
+pub mod content;
 pub mod error;
 pub mod exec;
 pub mod factors;
@@ -51,6 +52,7 @@ pub mod pipeline;
 pub mod report;
 pub mod runner;
 
+pub use content::ContentKey;
 pub use diversify_attack::campaign::MilestonePlacement;
 pub use error::PipelineError;
 pub use exec::{

@@ -1,5 +1,6 @@
 //! The three-step pipeline — the paper's Figure 1 as an executable API.
 
+use crate::content::ContentKey;
 use crate::error::PipelineError;
 use crate::exec::{
     campaign_plan, BudgetOutcome, Executor, Precision, ReplicationFailure, RunPolicy,
@@ -22,6 +23,7 @@ use diversify_san::{solve as san_solve, Method, RewardSpec, TransientSolver};
 use diversify_scada::components::ComponentClass;
 use diversify_scada::scope::{ScopeConfig, ScopeSystem};
 use diversify_stats::anova::{factorial_two_level, EffectSpec, FactorialAnova};
+use std::collections::HashMap;
 use std::fmt;
 
 /// Configuration of a full pipeline run.
@@ -396,6 +398,31 @@ impl Pipeline {
         #[allow(clippy::disallowed_methods)]
         let (design, _words) = fractional_factorial(&labels, &[vec![0, 1, 2], vec![1, 2, 3]])
             .expect("built-in 2^(6-2) design is valid");
+        self.try_doe_measurements_with(design)
+    }
+
+    /// [`Pipeline::try_doe_measurements`] over a caller-supplied design
+    /// matrix (one coded ±1 level per component class per row) instead
+    /// of the built-in 2^(6−2) fractional factorial.
+    ///
+    /// Design points that decode to **identical plant configurations**
+    /// (same profile, threat and campaign — keyed by their
+    /// [`ContentKey`]) are simulated once and the measurements reused
+    /// for every duplicate, so a degenerate design — replicated rows, a
+    /// factor grid that collapses under aliasing — costs one simulation
+    /// per *distinct* cell. Duplicates share the first occurrence's
+    /// seed stream by construction, which is what "the same cell"
+    /// should mean: re-running it through a different stream would
+    /// re-measure the identical distribution at full price.
+    ///
+    /// # Errors
+    ///
+    /// As [`Pipeline::try_doe_measurements`], plus
+    /// [`PipelineError::EmptyDesignPoint`] semantics for budgeted runs.
+    pub fn try_doe_measurements_with(
+        &self,
+        design: DesignMatrix,
+    ) -> Result<DoeMeasurements, PipelineError> {
         // One base plan; every design point gets its own decorrelated
         // sub-plan derived from its run index. Replications inside a run
         // are scheduled by the configured executor.
@@ -423,19 +450,48 @@ impl Pipeline {
             None => None,
         };
         let resilience = self.config.resilience.as_ref();
-        let mut measurements = Vec::with_capacity(design.runs());
+        let mut measurements: Vec<Measurements> = Vec::with_capacity(design.runs());
         let mut adaptive = target.map(|_| Vec::with_capacity(design.runs()));
         let mut rare_event = self
             .config
             .rare_event
-            .map(|_| Vec::with_capacity(design.runs()));
-        let mut health = resilience.map(|_| Vec::with_capacity(design.runs()));
+            .map(|_| Vec::<SplittingMeasurements>::with_capacity(design.runs()));
+        let mut health = resilience.map(|_| Vec::<CellHealth>::with_capacity(design.runs()));
+        let mut seen: HashMap<ContentKey, usize> = HashMap::with_capacity(design.runs());
         for (run_idx, row) in design.rows.iter().enumerate() {
             let levels: Vec<FactorLevel> =
                 row.iter().map(|&l| FactorLevel::from_coded(l)).collect();
             let profile = factor_profile(&levels);
             let mut scope_cfg = self.config.scope.clone();
             scope_cfg.baseline_profile = profile;
+            // Deduplicate identical cells by content: two rows whose
+            // decoded configurations match measure the same population,
+            // so the first result is reused verbatim (bit-identical,
+            // zero extra replications). Indexing is safe: every earlier
+            // iteration pushed exactly one entry per active vector.
+            let key = ContentKey::of(&cell_content(
+                &scope_cfg,
+                &self.config.threat,
+                &self.config.campaign,
+            ));
+            if let Some(&first) = seen.get(&key) {
+                let repeat = measurements[first].clone();
+                measurements.push(repeat);
+                if let Some(points) = &mut adaptive {
+                    let repeat = points[first];
+                    points.push(repeat);
+                }
+                if let Some(cells) = &mut health {
+                    let repeat = cells[first].clone();
+                    cells.push(repeat);
+                }
+                if let Some(points) = &mut rare_event {
+                    let repeat = points[first].clone();
+                    points.push(repeat);
+                }
+                continue;
+            }
+            seen.insert(key, run_idx);
             let system = ScopeSystem::build(&scope_cfg);
             let run_plan = base_plan.derived(StreamId(run_idx as u64));
             match (&target, &mut adaptive, resilience) {
@@ -719,6 +775,24 @@ impl Pipeline {
     }
 }
 
+/// The content a design cell is addressed by: everything that
+/// determines its measured distribution — decoded plant configuration,
+/// threat, and campaign parameters. Seeds deliberately stay out of the
+/// key (two rows measuring the same population are duplicates no matter
+/// which stream each would have drawn).
+fn cell_content(
+    scope: &ScopeConfig,
+    threat: &ThreatModel,
+    campaign: &CampaignConfig,
+) -> serde::Value {
+    use serde::Serialize as _;
+    serde::Value::Array(vec![
+        scope.to_json_value(),
+        threat.to_json_value(),
+        campaign.to_json_value(),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -748,6 +822,37 @@ mod tests {
         assert!(text.contains("Step 1"));
         assert!(text.contains("Step 2"));
         assert!(text.contains("Step 3"));
+    }
+
+    #[test]
+    fn duplicate_design_points_reuse_the_first_cell() {
+        // A degenerate design: rows 0 and 2 decode to the same profile.
+        let labels: Vec<&str> = ComponentClass::ALL.iter().map(|c| c.label()).collect();
+        let dup_row = vec![1i8, -1, 1, -1, 1, -1];
+        let design = DesignMatrix {
+            factors: labels.iter().map(|l| l.to_string()).collect(),
+            rows: vec![dup_row.clone(), vec![-1, 1, -1, 1, -1, 1], dup_row.clone()],
+        };
+        let pipeline = Pipeline::new(tiny_config());
+        let doe = pipeline
+            .try_doe_measurements_with(design)
+            .expect("sweep succeeds");
+        assert_eq!(doe.measurements.len(), 3);
+        // The duplicate cell is the first occurrence, bit for bit —
+        // without dedup it would draw its own derived stream (row index
+        // 2) and differ. The distinct middle row must keep differing.
+        let json =
+            |m: &Measurements| serde_json::to_string(&m.summary).expect("summary serializes");
+        assert_eq!(json(&doe.measurements[0]), json(&doe.measurements[2]));
+        assert_eq!(
+            doe.measurements[0].batch_p_success,
+            doe.measurements[2].batch_p_success
+        );
+        assert_ne!(json(&doe.measurements[0]), json(&doe.measurements[1]));
+        // The built-in fractional factorial has 16 distinct cells, so
+        // dedup must leave the standard sweep untouched.
+        let full = pipeline.try_doe_measurements().expect("standard sweep");
+        assert_eq!(full.measurements.len(), 16);
     }
 
     #[test]

@@ -67,7 +67,10 @@ pub const DEFAULT_STREAM_NAMESPACE: u64 = 0x5EED_0000_0000_0000;
 /// One replication of a plan: its index and derived seed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Replication {
-    /// Replication index in `0..plan.total()`.
+    /// Replication index in `0..plan.total()`, local to the plan. For a
+    /// shard plan (see [`ReplicationPlan::with_first_batch`]) the seed
+    /// belongs to the *global* index
+    /// `plan.first_replication() + index`.
     pub index: u32,
     /// The seed this replication must use.
     pub seed: u64,
@@ -125,6 +128,10 @@ pub struct ReplicationPlan {
     batch_size: u32,
     master_seed: u64,
     namespace: u64,
+    /// Global index of the plan's first batch. Zero for a whole run; a
+    /// *shard* of a larger run sets it so seeds derive from global
+    /// replication indices (`first_batch × batch_size + local index`).
+    first_batch: u32,
 }
 
 impl ReplicationPlan {
@@ -142,6 +149,7 @@ impl ReplicationPlan {
             batch_size,
             master_seed,
             namespace: DEFAULT_STREAM_NAMESPACE,
+            first_batch: 0,
         })
     }
 
@@ -192,11 +200,72 @@ impl ReplicationPlan {
     ///
     /// # Panics
     ///
-    /// Panics if `batches` is zero or the total overflows `u32`.
+    /// Panics if `batches` is zero or the total (including the shard
+    /// offset, if any) overflows `u32`.
     #[must_use]
     pub fn with_batches(self, batches: u32) -> Self {
-        ReplicationPlan::new(batches, self.batch_size, self.master_seed)
-            .with_namespace(self.namespace)
+        let rebatched = ReplicationPlan::try_new(batches, self.batch_size, self.master_seed)
+            .and_then(|plan| {
+                plan.with_namespace(self.namespace)
+                    .try_with_first_batch(self.first_batch)
+            });
+        match rebatched {
+            Ok(plan) => plan,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Re-bases the plan as a **shard** of a larger run: its batches
+    /// cover global batch indices `first_batch..first_batch + batches`,
+    /// and every seed derives from the *global* replication index
+    /// (`first_batch × batch_size + local index`) under the same
+    /// `namespace ^ index` schedule. Replications of a whole run and of
+    /// any tiling of it into shards therefore draw identical seeds, so
+    /// shard results merged in global batch order are bit-identical to
+    /// the single-machine run — regardless of which executor, machine,
+    /// or retry attempt produced each shard.
+    ///
+    /// Rejects offsets whose last global replication index would
+    /// overflow `u32` with [`PlanError::ReplicationOverflow`].
+    pub fn try_with_first_batch(mut self, first_batch: u32) -> Result<Self, PlanError> {
+        match first_batch
+            .checked_add(self.batches)
+            .and_then(|end| end.checked_mul(self.batch_size))
+        {
+            Some(_) => {
+                self.first_batch = first_batch;
+                Ok(self)
+            }
+            None => Err(PlanError::ReplicationOverflow),
+        }
+    }
+
+    /// The panicking form of [`ReplicationPlan::try_with_first_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard's last global replication index overflows
+    /// `u32`.
+    #[must_use]
+    pub fn with_first_batch(self, first_batch: u32) -> Self {
+        match self.try_with_first_batch(first_batch) {
+            Ok(plan) => plan,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Global index of the plan's first batch (zero unless the plan is a
+    /// shard — see [`ReplicationPlan::with_first_batch`]).
+    #[must_use]
+    pub fn first_batch(&self) -> u32 {
+        self.first_batch
+    }
+
+    /// Global index of the plan's first replication
+    /// (`first_batch × batch_size`).
+    #[must_use]
+    pub fn first_replication(&self) -> u32 {
+        self.first_batch * self.batch_size
     }
 
     /// Derives a sub-plan whose master seed is drawn from this plan's
@@ -246,15 +315,18 @@ impl ReplicationPlan {
         index / self.batch_size
     }
 
-    /// The stream identifier of replication `index`.
+    /// The stream identifier of (local) replication `index` — derived
+    /// from the **global** index `first_replication() + index`, so a
+    /// shard draws exactly the streams the whole run would have drawn
+    /// at its position.
     #[must_use]
     pub fn stream_id(&self, index: u32) -> StreamId {
-        StreamId(self.namespace ^ u64::from(index))
+        StreamId(self.namespace ^ (u64::from(self.first_replication()) + u64::from(index)))
     }
 
     /// The seed of replication `index` — a pure function of
-    /// `(master_seed, namespace, index)`, independent of scheduling and
-    /// of the batch count.
+    /// `(master_seed, namespace, global index)`, independent of
+    /// scheduling and of the batch count.
     #[must_use]
     pub fn seed_for(&self, index: u32) -> u64 {
         derive_seed(self.master_seed, self.stream_id(index))
@@ -1904,6 +1976,49 @@ mod tests {
         for i in 0..base.total() {
             assert_eq!(base.seed_for(i), grown.seed_for(i));
         }
+    }
+
+    #[test]
+    fn shard_plans_keep_the_global_seed_schedule() {
+        let base = ReplicationPlan::new(6, 10, 77).with_namespace(0x4E_0000);
+        // Tile the run into three 2-batch shards.
+        for first in [0u32, 2, 4] {
+            let shard = base.with_batches(2).with_first_batch(first);
+            assert_eq!(shard.first_batch(), first);
+            assert_eq!(shard.first_replication(), first * 10);
+            for i in 0..shard.total() {
+                assert_eq!(shard.seed_for(i), base.seed_for(first * 10 + i));
+                assert_eq!(shard.stream_id(i), base.stream_id(first * 10 + i));
+            }
+        }
+        // Rebatching and deriving preserve the shard offset.
+        let shard = base.with_first_batch(4);
+        assert_eq!(shard.with_batches(1).first_batch(), 4);
+        assert_eq!(shard.derived(StreamId(3)).first_batch(), 4);
+    }
+
+    #[test]
+    fn sharded_runs_concatenate_to_the_whole_run() {
+        let base = ReplicationPlan::new(4, 8, 2024);
+        // Output depends on the seed alone — `rep.index` is shard-local.
+        let task = |rep: Replication| rep.seed.rotate_left((rep.seed % 13) as u32);
+        let whole = Executor::serial().run(&base, task);
+        let mut tiled = Vec::new();
+        for first in [0u32, 1, 2, 3] {
+            let shard = base.with_batches(1).with_first_batch(first);
+            tiled.extend(Executor::parallel().run(&shard, task));
+        }
+        assert_eq!(whole, tiled);
+    }
+
+    #[test]
+    fn shard_offset_overflow_is_rejected() {
+        let plan = ReplicationPlan::new(2, 1 << 16, 0);
+        assert_eq!(
+            plan.try_with_first_batch(u16::MAX as u32),
+            Err(PlanError::ReplicationOverflow)
+        );
+        assert!(plan.try_with_first_batch(1000).is_ok());
     }
 
     #[test]

@@ -19,9 +19,13 @@ use crate::network::{NodeId, NodeRole, ScadaNetwork, Zone};
 use crate::physics::{CoolingPlant, CracParams, RackParams};
 use crate::plc::{cooling_control_program, Plc};
 use diversify_des::{RngStream, StreamId};
+use serde::{Deserialize, Serialize};
 
 /// Configuration of the SCoPE-like system.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable so a plant configuration can cross a wire (the serve
+/// crate ships it to shard workers) and key content-addressed caches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScopeConfig {
     /// Number of server racks.
     pub racks: usize,

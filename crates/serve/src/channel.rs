@@ -1,0 +1,443 @@
+//! Transport abstraction between the coordinator and its workers.
+//!
+//! The service speaks framed byte messages (see [`crate::wire`]) over a
+//! minimal [`Channel`] trait with two implementations:
+//!
+//! * [`loopback_pair`] — a deterministic in-process queue pair, the
+//!   default transport and the test substrate. It can inject channel
+//!   faults from a [`FaultPlan`] keyed by send sequence number, mapping
+//!   the plan's replication-fault vocabulary onto transport failures:
+//!   `Panic` drops the connection, `CorruptOutput` flips a payload bit
+//!   in flight, `Slow` delays delivery.
+//! * [`TcpChannel`] — a length-prefixed framed stream over any
+//!   `TcpStream`-shaped socket, with incremental reads and typed
+//!   rejection of malformed frames.
+//!
+//! `recv_timeout` returns `Ok(None)` on timeout so supervision loops can
+//! interleave polling with heartbeat bookkeeping without treating
+//! silence as failure.
+
+use crate::wire::{self, WireError, HEADER_LEN};
+use diversify_des::faults::{FaultKind, FaultPlan};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Typed transport failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChannelError {
+    /// The peer is gone; no further messages will flow either way.
+    Closed,
+    /// The peer sent bytes that do not parse as a frame.
+    Wire(WireError),
+    /// The underlying socket failed.
+    Io(String),
+}
+
+impl std::fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChannelError::Closed => f.write_str("channel closed"),
+            ChannelError::Wire(e) => write!(f, "wire error: {e}"),
+            ChannelError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+impl From<WireError> for ChannelError {
+    fn from(e: WireError) -> Self {
+        ChannelError::Wire(e)
+    }
+}
+
+/// A bidirectional, message-oriented byte transport. Messages are
+/// complete frames (built by [`wire::encode_message`]); the transport
+/// preserves their boundaries.
+pub trait Channel: Send {
+    /// Sends one framed message.
+    fn send(&mut self, frame: &[u8]) -> Result<(), ChannelError>;
+
+    /// Waits up to `timeout` for one framed message. `Ok(None)` means
+    /// the deadline passed with nothing to read — not a failure.
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, ChannelError>;
+}
+
+/// One direction of a loopback link: a bounded-wait queue plus the
+/// closed flag, guarded by a mutex/condvar pair.
+#[derive(Debug, Default)]
+struct Direction {
+    state: Mutex<DirectionState>,
+    ready: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct DirectionState {
+    queue: VecDeque<Vec<u8>>,
+    closed: bool,
+}
+
+impl Direction {
+    fn push(&self, frame: Vec<u8>) -> Result<(), ChannelError> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.closed {
+            return Err(ChannelError::Closed);
+        }
+        state.queue.push_back(frame);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    fn pop(&self, timeout: Duration) -> Result<Option<Vec<u8>>, ChannelError> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(frame) = state.queue.pop_front() {
+                return Ok(Some(frame));
+            }
+            if state.closed {
+                return Err(ChannelError::Closed);
+            }
+            let (next, wait) = self
+                .ready
+                .wait_timeout(state, timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            state = next;
+            if wait.timed_out() && state.queue.is_empty() {
+                if state.closed {
+                    return Err(ChannelError::Closed);
+                }
+                return Ok(None);
+            }
+        }
+    }
+
+    fn close(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// One endpoint of an in-process loopback link.
+///
+/// Deterministic (FIFO per direction) and fault-injectable: a
+/// [`FaultPlan`] attached with [`LoopbackChannel::with_send_faults`]
+/// arms per-*send-sequence* transport faults on this endpoint.
+#[derive(Debug)]
+pub struct LoopbackChannel {
+    outgoing: Arc<Direction>,
+    incoming: Arc<Direction>,
+    faults: Option<Arc<FaultPlan>>,
+    sends: AtomicU32,
+}
+
+/// Creates a connected pair of loopback endpoints. Frames sent on one
+/// endpoint arrive, in order, at the other.
+#[must_use]
+pub fn loopback_pair() -> (LoopbackChannel, LoopbackChannel) {
+    let a_to_b = Arc::new(Direction::default());
+    let b_to_a = Arc::new(Direction::default());
+    (
+        LoopbackChannel {
+            outgoing: Arc::clone(&a_to_b),
+            incoming: Arc::clone(&b_to_a),
+            faults: None,
+            sends: AtomicU32::new(0),
+        },
+        LoopbackChannel {
+            outgoing: b_to_a,
+            incoming: a_to_b,
+            faults: None,
+            sends: AtomicU32::new(0),
+        },
+    )
+}
+
+impl LoopbackChannel {
+    /// Arms transport faults on this endpoint, keyed by send sequence
+    /// number: send `i` consults `plan.arm(i)`. `Panic` severs the link
+    /// in both directions (a dropped connection), `CorruptOutput` flips
+    /// one payload bit in the delivered copy, `Slow` delays delivery
+    /// in-line.
+    #[must_use]
+    pub fn with_send_faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+}
+
+impl Channel for LoopbackChannel {
+    fn send(&mut self, frame: &[u8]) -> Result<(), ChannelError> {
+        let seq = self.sends.fetch_add(1, Ordering::Relaxed);
+        let fault = self.faults.as_ref().and_then(|plan| plan.arm(seq));
+        let mut delivered = frame.to_vec();
+        match fault {
+            Some(FaultKind::Panic) => {
+                self.outgoing.close();
+                self.incoming.close();
+                return Err(ChannelError::Closed);
+            }
+            Some(FaultKind::CorruptOutput) => {
+                if let Some(byte) = delivered.last_mut() {
+                    *byte ^= 0x40;
+                }
+            }
+            Some(FaultKind::Slow { micros }) => {
+                std::thread::sleep(Duration::from_micros(u64::from(micros)));
+            }
+            None => {}
+        }
+        self.outgoing.push(delivered)
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, ChannelError> {
+        self.incoming.pop(timeout)
+    }
+}
+
+impl Drop for LoopbackChannel {
+    fn drop(&mut self) {
+        self.outgoing.close();
+        self.incoming.close();
+    }
+}
+
+/// A framed channel over a TCP socket. Frames are delimited by the wire
+/// header's declared payload length; partial reads accumulate in an
+/// internal buffer until a whole frame is present.
+#[derive(Debug)]
+pub struct TcpChannel {
+    stream: TcpStream,
+    buffer: Vec<u8>,
+}
+
+impl TcpChannel {
+    /// Wraps a connected socket.
+    #[must_use]
+    pub fn new(stream: TcpStream) -> Self {
+        TcpChannel {
+            stream,
+            buffer: Vec::new(),
+        }
+    }
+
+    /// Extracts the first complete frame from the buffer, if one is
+    /// fully present. Validates the header eagerly so garbage is
+    /// rejected as soon as it is seen rather than after a blocked read.
+    fn take_frame(&mut self) -> Result<Option<Vec<u8>>, ChannelError> {
+        if self.buffer.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let payload_len = wire::frame_payload_len(&self.buffer)?;
+        let total = HEADER_LEN + payload_len;
+        if self.buffer.len() < total {
+            return Ok(None);
+        }
+        let rest = self.buffer.split_off(total);
+        let frame = std::mem::replace(&mut self.buffer, rest);
+        Ok(Some(frame))
+    }
+}
+
+impl Channel for TcpChannel {
+    fn send(&mut self, frame: &[u8]) -> Result<(), ChannelError> {
+        self.stream
+            .write_all(frame)
+            .and_then(|()| self.stream.flush())
+            .map_err(|e| match e.kind() {
+                std::io::ErrorKind::BrokenPipe
+                | std::io::ErrorKind::ConnectionReset
+                | std::io::ErrorKind::ConnectionAborted => ChannelError::Closed,
+                _ => ChannelError::Io(e.to_string()),
+            })
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, ChannelError> {
+        if let Some(frame) = self.take_frame()? {
+            return Ok(Some(frame));
+        }
+        // `set_read_timeout(0)` is invalid; clamp to something tiny.
+        let timeout = timeout.max(Duration::from_millis(1));
+        self.stream
+            .set_read_timeout(Some(timeout))
+            .map_err(|e| ChannelError::Io(e.to_string()))?;
+        let mut chunk = [0u8; 4096];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    // EOF mid-frame is a truncated frame; EOF on a clean
+                    // boundary is an orderly close.
+                    if self.buffer.is_empty() {
+                        return Err(ChannelError::Closed);
+                    }
+                    return Err(ChannelError::Wire(WireError::Truncated));
+                }
+                Ok(n) => {
+                    self.buffer.extend_from_slice(&chunk[..n]);
+                    if let Some(frame) = self.take_frame()? {
+                        return Ok(Some(frame));
+                    }
+                    // Keep reading: more of this frame may already be
+                    // in the socket buffer.
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Ok(None);
+                }
+                Err(e) => return Err(ChannelError::Io(e.to_string())),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Value;
+    use std::net::TcpListener;
+
+    #[test]
+    fn loopback_delivers_in_order() {
+        let (mut a, mut b) = loopback_pair();
+        a.send(b"one").unwrap();
+        a.send(b"two").unwrap();
+        assert_eq!(
+            b.recv_timeout(Duration::from_millis(50)).unwrap().unwrap(),
+            b"one"
+        );
+        assert_eq!(
+            b.recv_timeout(Duration::from_millis(50)).unwrap().unwrap(),
+            b"two"
+        );
+        assert_eq!(b.recv_timeout(Duration::from_millis(5)).unwrap(), None);
+    }
+
+    #[test]
+    fn loopback_close_propagates() {
+        let (a, mut b) = loopback_pair();
+        drop(a);
+        assert_eq!(
+            b.recv_timeout(Duration::from_millis(50)),
+            Err(ChannelError::Closed)
+        );
+        assert_eq!(b.send(b"late"), Err(ChannelError::Closed));
+    }
+
+    #[test]
+    fn loopback_faults_follow_the_plan() {
+        let plan = Arc::new(
+            FaultPlan::none(8)
+                .with_fault(1, FaultKind::CorruptOutput)
+                .with_fault(2, FaultKind::Panic),
+        );
+        let (a, mut b) = loopback_pair();
+        let mut a = a.with_send_faults(plan);
+        let frame = wire::encode_message(&Value::String("ok".to_owned()));
+
+        a.send(&frame).unwrap();
+        let good = b.recv_timeout(Duration::from_millis(50)).unwrap().unwrap();
+        assert_eq!(
+            wire::decode_message::<Value>(&good).unwrap(),
+            Value::String("ok".to_owned())
+        );
+
+        a.send(&frame).unwrap();
+        let corrupt = b.recv_timeout(Duration::from_millis(50)).unwrap().unwrap();
+        assert_eq!(
+            wire::decode_message::<Value>(&corrupt),
+            Err(WireError::ChecksumMismatch)
+        );
+
+        assert_eq!(a.send(&frame), Err(ChannelError::Closed));
+        assert_eq!(
+            b.recv_timeout(Duration::from_millis(50)),
+            Err(ChannelError::Closed)
+        );
+    }
+
+    #[test]
+    fn tcp_channel_reassembles_split_frames() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+
+        let frame = wire::encode_message(&Value::Array(vec![
+            Value::String("split".to_owned()),
+            Value::Bool(true),
+        ]));
+        let mut tx = TcpChannel::new(client);
+        let mut rx = TcpChannel::new(server);
+
+        // Deliver the frame in two raw halves to force reassembly.
+        let (head, tail) = frame.split_at(frame.len() / 2);
+        tx.stream.write_all(head).unwrap();
+        tx.stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        tx.stream.write_all(tail).unwrap();
+        tx.stream.flush().unwrap();
+
+        let mut got = None;
+        for _ in 0..100 {
+            if let Some(f) = rx.recv_timeout(Duration::from_millis(20)).unwrap() {
+                got = Some(f);
+                break;
+            }
+        }
+        assert_eq!(got, Some(frame));
+    }
+
+    #[test]
+    fn tcp_channel_rejects_garbage_and_eof() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        let mut rx = TcpChannel::new(server);
+
+        client.write_all(b"NOTAFRAMEATALLXX").unwrap();
+        client.flush().unwrap();
+        let mut saw_bad_magic = false;
+        for _ in 0..100 {
+            match rx.recv_timeout(Duration::from_millis(20)) {
+                Err(ChannelError::Wire(WireError::BadMagic)) => {
+                    saw_bad_magic = true;
+                    break;
+                }
+                Ok(None) => continue,
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
+        assert!(saw_bad_magic);
+
+        // A frame header promising more payload than ever arrives, then
+        // EOF: typed truncation, not a hang or panic.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        let mut rx = TcpChannel::new(server);
+        let frame = wire::encode_message(&Value::String("cut short".to_owned()));
+        client.write_all(&frame[..frame.len() - 3]).unwrap();
+        client.flush().unwrap();
+        drop(client);
+        let mut saw_truncated = false;
+        for _ in 0..100 {
+            match rx.recv_timeout(Duration::from_millis(20)) {
+                Err(ChannelError::Wire(WireError::Truncated)) => {
+                    saw_truncated = true;
+                    break;
+                }
+                Ok(None) => continue,
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
+        assert!(saw_truncated);
+    }
+}

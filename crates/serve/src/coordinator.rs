@@ -1,0 +1,943 @@
+//! The coordinator: shard supervision, retry, and graceful degradation.
+//!
+//! A [`Coordinator`] owns one [`Channel`] per
+//! worker and deals [`ShardSpec`] leases over them. Supervision is
+//! lease-based: a running shard must heartbeat within
+//! [`SweepOptions::heartbeat_timeout`] or its worker is declared dead
+//! and the shard is re-dealt. Because every shard keeps its global
+//! `namespace ^ index` seed schedule (see
+//! [`ReplicationPlan::with_first_batch`]), a re-dealt shard recomputes
+//! bit-identical batches on any worker — merged results are executor-,
+//! placement-, and failure-history-invariant.
+//!
+//! Failure handling is graduated:
+//!
+//! 1. a shard that made *progress* (a clean prefix of full batches) has
+//!    the prefix accepted and only the remainder re-dealt, with its
+//!    attempt counter reset;
+//! 2. a shard that failed outright retries with capped exponential
+//!    backoff and deterministic reassignment;
+//! 3. a shard that exhausts [`SweepOptions::max_shard_attempts`] is
+//!    quarantined, and the sweep degrades to partial results plus a
+//!    per-shard health table — never a hang, never a poisoned merge.
+
+use crate::channel::Channel;
+use crate::protocol::{BatchSnapshot, FromWorker, ShardOutcome, ShardSpec, ToWorker};
+use crate::wire::{decode_message, encode_message};
+use diversify_attack::campaign::CampaignStats;
+use diversify_core::exec::{Collector, MeasurementsAccum, MeasurementsCollector};
+use diversify_core::indicators::IndicatorAccum;
+use diversify_des::exec::{CancelToken, ReplicationPlan};
+use diversify_stats::StatsError;
+use std::collections::{BTreeMap, VecDeque};
+use std::time::{Duration, Instant};
+
+/// Supervision tuning for one sweep.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// How long a leased shard may go silent before its worker is
+    /// declared dead. Generous by default: CI runners may have a
+    /// single core, so a busy worker thread can be starved for a while.
+    pub heartbeat_timeout: Duration,
+    /// Per-worker receive poll while supervising.
+    pub poll_timeout: Duration,
+    /// Failed attempts after which a shard is quarantined.
+    pub max_shard_attempts: u32,
+    /// First retry delay; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Ceiling on the retry delay.
+    pub backoff_cap: Duration,
+    /// How long to wait for in-flight shards to drain after a cancel
+    /// or deadline before declaring them lost.
+    pub drain_grace: Duration,
+    /// Wall-clock bound on the whole sweep.
+    pub deadline: Option<Duration>,
+    /// Cooperative cancel: when triggered, in-flight shards are told to
+    /// stop at their next batch boundary and the sweep winds down.
+    pub cancel: Option<CancelToken>,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            heartbeat_timeout: Duration::from_secs(5),
+            poll_timeout: Duration::from_millis(2),
+            max_shard_attempts: 3,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(500),
+            drain_grace: Duration::from_secs(2),
+            deadline: None,
+            cancel: None,
+        }
+    }
+}
+
+/// How a shard ended, in the sweep's health table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardState {
+    /// Every batch landed clean.
+    Completed,
+    /// The shard exhausted its attempts; `message` is the last failure.
+    Quarantined {
+        /// The final failure, stringified.
+        message: String,
+    },
+    /// The sweep was cancelled before the shard finished.
+    Cancelled,
+    /// The sweep deadline expired before the shard finished.
+    DeadlineExpired,
+}
+
+/// One row of the sweep's per-shard health table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardHealth {
+    /// The shard id.
+    pub shard: u32,
+    /// The design cell the shard belongs to.
+    pub cell: u32,
+    /// Failed attempts consumed (0 for a first-try success).
+    pub attempts: u32,
+    /// Terminal state.
+    pub state: ShardState,
+}
+
+/// The outcome of a sweep: every accepted batch plus the health table.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    batches: BTreeMap<(u32, u32), BatchSnapshot>,
+    /// Per-shard terminal states, in shard order.
+    pub health: Vec<ShardHealth>,
+    /// Whether the sweep was cancelled mid-flight.
+    pub cancelled: bool,
+    /// Whether the sweep deadline expired mid-flight.
+    pub deadline_expired: bool,
+}
+
+impl SweepReport {
+    /// Whether any shard failed to complete — the report's results are
+    /// partial and must not be memoized.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.health.iter().any(|h| h.state != ShardState::Completed)
+    }
+
+    /// The accepted batches of one design cell, in global batch order.
+    #[must_use]
+    pub fn cell_batches(&self, cell: u32) -> Vec<BatchSnapshot> {
+        self.batches
+            .range((cell, 0)..=(cell, u32::MAX))
+            .map(|(_, snap)| *snap)
+            .collect()
+    }
+
+    /// Merges one cell's accepted batches into
+    /// [`Measurements`](diversify_core::runner::Measurements),
+    /// reproducing the executor's fold shape (see [`merge_batches`]).
+    pub fn merge_cell(
+        &self,
+        cell: u32,
+    ) -> Result<Option<diversify_core::runner::Measurements>, StatsError> {
+        merge_batches(&self.cell_batches(cell))
+    }
+}
+
+/// Left-folds validated per-batch snapshots, in order, into the
+/// [`Measurements`](diversify_core::runner::Measurements) a local run
+/// would produce. This reproduces the executor's exact fold tree — one
+/// [`IndicatorAccum::merge`] per batch, batch contents pre-folded in
+/// replication order by the worker — so the result is bit-identical to
+/// an unsharded run of the same batches, wherever each batch actually
+/// ran. Returns `Ok(None)` for an empty batch list.
+pub fn merge_batches(
+    batches: &[BatchSnapshot],
+) -> Result<Option<diversify_core::runner::Measurements>, StatsError> {
+    let Some(first) = batches.first() else {
+        return Ok(None);
+    };
+    let mut indicators = IndicatorAccum::new();
+    let mut records = Vec::with_capacity(batches.len());
+    for snap in batches {
+        let batch_accum = IndicatorAccum::from_snapshot(&snap.indicators)?;
+        indicators.merge(&batch_accum);
+        records.push(snap.record);
+    }
+    let accum = MeasurementsAccum::from_parts(indicators, records);
+    // `finish` only reads the plan for a sanity bound on batch count;
+    // seeds do not matter here.
+    let plan = ReplicationPlan::try_new(batches.len() as u32, first.record.count.max(1), 0)
+        .map_err(|_| StatsError::InvalidParameter {
+            what: "batch list does not form a plan",
+        })?;
+    Ok(Some(Collector::<CampaignStats>::finish(
+        &MeasurementsCollector,
+        &plan,
+        accum,
+    )))
+}
+
+/// The longest clean prefix of `outcome.batches` consistent with
+/// `spec`: consecutive global batch ids from the shard's first batch,
+/// every batch full (its whole batch size folded — a partial batch
+/// would poison bit-identity), counters self-consistent, moments
+/// finite and rebuildable. Anything after the first violation is
+/// discarded; a violating *first* batch means zero progress.
+fn clean_prefix(spec: &ShardSpec, outcome: &ShardOutcome) -> usize {
+    let mut accepted = 0usize;
+    for snap in outcome.batches.iter().take(spec.plan.batches as usize) {
+        let expected = spec.plan.first_batch + accepted as u32;
+        let record = snap.record;
+        let full = record.batch == expected
+            && record.count == spec.plan.batch_size
+            && record.successes <= record.count
+            && record.compromised_sum.is_finite()
+            && snap.indicators.success.trials == u64::from(record.count)
+            && snap.indicators.compromised.count == u64::from(record.count)
+            && snap.indicators.compromised.mean.is_finite()
+            && snap.indicators.compromised.m2.is_finite()
+            && IndicatorAccum::from_snapshot(&snap.indicators).is_ok();
+        if !full {
+            break;
+        }
+        accepted += 1;
+    }
+    accepted
+}
+
+/// A shard waiting to run (again).
+#[derive(Debug)]
+struct Task {
+    spec: ShardSpec,
+    attempts: u32,
+    not_before: Instant,
+    last_error: String,
+}
+
+enum SlotState {
+    Idle,
+    Busy { task: Box<Task>, lease: Instant },
+    Dead,
+}
+
+struct WorkerSlot {
+    channel: Box<dyn Channel>,
+    state: SlotState,
+}
+
+/// Why a sweep is winding down early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WindDown {
+    Cancelled,
+    DeadlineExpired,
+}
+
+/// The sharded-sweep supervisor. See the module docs for the
+/// supervision model.
+pub struct Coordinator {
+    workers: Vec<WorkerSlot>,
+    options: SweepOptions,
+}
+
+impl Coordinator {
+    /// Builds a coordinator over one channel per worker.
+    #[must_use]
+    pub fn new(channels: Vec<Box<dyn Channel>>, options: SweepOptions) -> Self {
+        Coordinator {
+            workers: channels
+                .into_iter()
+                .map(|channel| WorkerSlot {
+                    channel,
+                    state: SlotState::Idle,
+                })
+                .collect(),
+            options,
+        }
+    }
+
+    /// Workers not yet declared dead.
+    #[must_use]
+    pub fn live_workers(&self) -> usize {
+        self.workers
+            .iter()
+            .filter(|w| !matches!(w.state, SlotState::Dead))
+            .count()
+    }
+
+    /// Tells every live worker to drain and exit. Called on drop too;
+    /// explicit calls just make shutdown observable.
+    pub fn shutdown(&mut self) {
+        let frame = encode_message(&ToWorker::Shutdown);
+        for slot in &mut self.workers {
+            if !matches!(slot.state, SlotState::Dead) {
+                let _ = slot.channel.send(&frame);
+            }
+        }
+    }
+
+    /// Runs `shards` to terminal states and reports. Shard ids must be
+    /// unique within the call. Always returns — every shard ends
+    /// `Completed`, `Quarantined`, `Cancelled`, or `DeadlineExpired`.
+    pub fn run_sweep(&mut self, shards: Vec<ShardSpec>) -> SweepReport {
+        let started = Instant::now();
+        let mut pending: VecDeque<Task> = shards
+            .into_iter()
+            .map(|spec| Task {
+                spec,
+                attempts: 0,
+                not_before: started,
+                last_error: String::new(),
+            })
+            .collect();
+        let mut batches: BTreeMap<(u32, u32), BatchSnapshot> = BTreeMap::new();
+        let mut health: BTreeMap<u32, ShardHealth> = BTreeMap::new();
+        let mut wind_down: Option<WindDown> = None;
+        let mut drain_deadline = started;
+
+        loop {
+            let now = Instant::now();
+
+            if wind_down.is_none() {
+                let cancelled = self
+                    .options
+                    .cancel
+                    .as_ref()
+                    .is_some_and(CancelToken::is_cancelled);
+                let expired = self
+                    .options
+                    .deadline
+                    .is_some_and(|d| now.duration_since(started) >= d);
+                if cancelled || expired {
+                    wind_down = Some(if cancelled {
+                        WindDown::Cancelled
+                    } else {
+                        WindDown::DeadlineExpired
+                    });
+                    drain_deadline = now + self.options.drain_grace;
+                    for slot in &mut self.workers {
+                        if let SlotState::Busy { task, .. } = &slot.state {
+                            let frame = encode_message(&ToWorker::Cancel {
+                                shard: task.spec.shard,
+                            });
+                            let _ = slot.channel.send(&frame);
+                        }
+                    }
+                }
+            }
+
+            if let Some(kind) = wind_down {
+                for task in pending.drain(..) {
+                    resolve_wind_down(&mut health, task, kind);
+                }
+            } else {
+                self.assign_ready(&mut pending, now);
+                // With every worker dead, nothing pending can ever run.
+                if self.live_workers() == 0 {
+                    for mut task in pending.drain(..) {
+                        if task.last_error.is_empty() {
+                            task.last_error = "no live workers".to_owned();
+                        }
+                        resolve_quarantined(&mut health, task);
+                    }
+                }
+            }
+
+            let busy = self
+                .workers
+                .iter()
+                .filter(|w| matches!(w.state, SlotState::Busy { .. }))
+                .count();
+            if pending.is_empty() && busy == 0 {
+                break;
+            }
+            if wind_down.is_some() && now >= drain_deadline {
+                // Still-leased shards are filed below, after the loop.
+                break;
+            }
+
+            self.poll_workers(&mut pending, &mut batches, &mut health, wind_down);
+            self.expire_leases(&mut pending, &mut health, wind_down);
+        }
+
+        // Any shard still leased when the loop broke (drain deadline)
+        // resolves to the wind-down state.
+        for slot in &mut self.workers {
+            if !matches!(slot.state, SlotState::Busy { .. }) {
+                continue;
+            }
+            if let SlotState::Busy { task, .. } =
+                std::mem::replace(&mut slot.state, SlotState::Idle)
+            {
+                match wind_down {
+                    Some(kind) => resolve_wind_down(&mut health, *task, kind),
+                    None => resolve_quarantined(&mut health, *task),
+                }
+            }
+        }
+
+        SweepReport {
+            batches,
+            health: health.into_values().collect(),
+            cancelled: wind_down == Some(WindDown::Cancelled),
+            deadline_expired: wind_down == Some(WindDown::DeadlineExpired),
+        }
+    }
+
+    /// Deals ready pending tasks to idle live workers.
+    fn assign_ready(&mut self, pending: &mut VecDeque<Task>, now: Instant) {
+        for slot in &mut self.workers {
+            if !matches!(slot.state, SlotState::Idle) {
+                continue;
+            }
+            let Some(pos) = pending.iter().position(|t| t.not_before <= now) else {
+                break;
+            };
+            let Some(task) = pending.remove(pos) else {
+                break;
+            };
+            let frame = encode_message(&ToWorker::Run {
+                spec: task.spec.clone(),
+            });
+            match slot.channel.send(&frame) {
+                Ok(()) => {
+                    slot.state = SlotState::Busy {
+                        task: Box::new(task),
+                        lease: now + self.options.heartbeat_timeout,
+                    };
+                }
+                Err(e) => {
+                    slot.state = SlotState::Dead;
+                    pending.push_back(bounced(task, format!("send failed: {e}")));
+                }
+            }
+        }
+    }
+
+    /// Drains every live worker's channel once and reacts to messages.
+    fn poll_workers(
+        &mut self,
+        pending: &mut VecDeque<Task>,
+        batches: &mut BTreeMap<(u32, u32), BatchSnapshot>,
+        health: &mut BTreeMap<u32, ShardHealth>,
+        wind_down: Option<WindDown>,
+    ) {
+        let poll = self.options.poll_timeout;
+        let heartbeat = self.options.heartbeat_timeout;
+        let max_attempts = self.options.max_shard_attempts;
+        let backoff = (self.options.backoff_base, self.options.backoff_cap);
+        for slot in &mut self.workers {
+            if matches!(slot.state, SlotState::Dead) {
+                continue;
+            }
+            let frame = match slot.channel.recv_timeout(poll) {
+                Ok(Some(frame)) => frame,
+                Ok(None) => continue,
+                Err(e) => {
+                    // Channel loss: the worker is gone; re-deal its
+                    // lease.
+                    if let SlotState::Busy { task, .. } =
+                        std::mem::replace(&mut slot.state, SlotState::Dead)
+                    {
+                        requeue(
+                            pending,
+                            health,
+                            bounced(*task, format!("channel lost: {e}")),
+                            max_attempts,
+                            backoff,
+                            wind_down,
+                        );
+                    }
+                    continue;
+                }
+            };
+            let msg = match decode_message::<FromWorker>(&frame) {
+                Ok(msg) => msg,
+                Err(e) => {
+                    // A frame that fails its checksum or schema means
+                    // the transport is corrupting data; stop trusting
+                    // this worker entirely.
+                    if let SlotState::Busy { task, .. } =
+                        std::mem::replace(&mut slot.state, SlotState::Dead)
+                    {
+                        requeue(
+                            pending,
+                            health,
+                            bounced(*task, format!("corrupt frame: {e}")),
+                            max_attempts,
+                            backoff,
+                            wind_down,
+                        );
+                    }
+                    continue;
+                }
+            };
+            let SlotState::Busy { task, lease } = &mut slot.state else {
+                // Idle workers only ever produce stale messages.
+                continue;
+            };
+            match msg {
+                FromWorker::Heartbeat { shard } if shard == task.spec.shard => {
+                    *lease = Instant::now() + heartbeat;
+                }
+                FromWorker::Done { outcome } if outcome.shard == task.spec.shard => {
+                    let SlotState::Busy { task, .. } =
+                        std::mem::replace(&mut slot.state, SlotState::Idle)
+                    else {
+                        unreachable!("matched Busy above");
+                    };
+                    settle_done(
+                        pending,
+                        batches,
+                        health,
+                        *task,
+                        &outcome,
+                        max_attempts,
+                        backoff,
+                        wind_down,
+                    );
+                }
+                FromWorker::Failed { shard, message } if shard == task.spec.shard => {
+                    let SlotState::Busy { task, .. } =
+                        std::mem::replace(&mut slot.state, SlotState::Idle)
+                    else {
+                        unreachable!("matched Busy above");
+                    };
+                    requeue(
+                        pending,
+                        health,
+                        bounced(*task, message),
+                        max_attempts,
+                        backoff,
+                        wind_down,
+                    );
+                }
+                // Stale ids from a previous lease of this worker.
+                FromWorker::Heartbeat { .. }
+                | FromWorker::Done { .. }
+                | FromWorker::Failed { .. } => {}
+            }
+        }
+    }
+
+    /// Declares workers whose lease ran out dead and re-deals their
+    /// shards.
+    fn expire_leases(
+        &mut self,
+        pending: &mut VecDeque<Task>,
+        health: &mut BTreeMap<u32, ShardHealth>,
+        wind_down: Option<WindDown>,
+    ) {
+        let now = Instant::now();
+        let max_attempts = self.options.max_shard_attempts;
+        let backoff = (self.options.backoff_base, self.options.backoff_cap);
+        for slot in &mut self.workers {
+            let SlotState::Busy { lease, task } = &slot.state else {
+                continue;
+            };
+            if now < *lease {
+                continue;
+            }
+            let cancel_frame = encode_message(&ToWorker::Cancel {
+                shard: task.spec.shard,
+            });
+            let _ = slot.channel.send(&cancel_frame);
+            if let SlotState::Busy { task, .. } =
+                std::mem::replace(&mut slot.state, SlotState::Dead)
+            {
+                requeue(
+                    pending,
+                    health,
+                    bounced(*task, "heartbeat lease expired".to_owned()),
+                    max_attempts,
+                    backoff,
+                    wind_down,
+                );
+            }
+        }
+    }
+}
+
+impl Drop for Coordinator {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A task coming back from a failure, error message updated and
+/// attempt counter bumped.
+fn bounced(mut task: Task, message: String) -> Task {
+    task.attempts += 1;
+    task.last_error = message;
+    task
+}
+
+/// Files a failed task: back into the queue with backoff, or into
+/// quarantine when its attempts are spent (or the sweep is winding
+/// down).
+fn requeue(
+    pending: &mut VecDeque<Task>,
+    health: &mut BTreeMap<u32, ShardHealth>,
+    mut task: Task,
+    max_attempts: u32,
+    (base, cap): (Duration, Duration),
+    wind_down: Option<WindDown>,
+) {
+    if let Some(kind) = wind_down {
+        resolve_wind_down(health, task, kind);
+        return;
+    }
+    if task.attempts >= max_attempts {
+        resolve_quarantined(health, task);
+        return;
+    }
+    let exponent = task.attempts.saturating_sub(1).min(16);
+    let delay = base
+        .checked_mul(1u32 << exponent)
+        .map_or(cap, |d| d.min(cap));
+    task.not_before = Instant::now() + delay;
+    pending.push_back(task);
+}
+
+/// Accepts a `Done` report: file the clean prefix, then complete,
+/// requeue the remainder, or count a failed attempt.
+#[allow(clippy::too_many_arguments)]
+fn settle_done(
+    pending: &mut VecDeque<Task>,
+    batches: &mut BTreeMap<(u32, u32), BatchSnapshot>,
+    health: &mut BTreeMap<u32, ShardHealth>,
+    mut task: Task,
+    outcome: &ShardOutcome,
+    max_attempts: u32,
+    backoff: (Duration, Duration),
+    wind_down: Option<WindDown>,
+) {
+    let accepted = clean_prefix(&task.spec, outcome);
+    for snap in &outcome.batches[..accepted] {
+        // First write wins: a shard rerun is bit-identical by
+        // construction, so late duplicates carry no new information.
+        batches
+            .entry((task.spec.cell, snap.record.batch))
+            .or_insert(*snap);
+    }
+    if accepted as u32 == task.spec.plan.batches {
+        health.insert(
+            task.spec.shard,
+            ShardHealth {
+                shard: task.spec.shard,
+                cell: task.spec.cell,
+                attempts: task.attempts,
+                state: ShardState::Completed,
+            },
+        );
+        return;
+    }
+    task.spec.plan.first_batch += accepted as u32;
+    task.spec.plan.batches -= accepted as u32;
+    if accepted > 0 {
+        // Progress: a truncated-but-clean report (budget, cancel) is
+        // not a failure; the remainder continues fresh.
+        task.attempts = 0;
+        task.last_error.clear();
+        if let Some(kind) = wind_down {
+            resolve_wind_down(health, task, kind);
+            return;
+        }
+        task.not_before = Instant::now();
+        pending.push_back(task);
+    } else {
+        requeue(
+            pending,
+            health,
+            bounced(
+                task,
+                format!("no usable batches (outcome: {:?})", outcome.outcome),
+            ),
+            max_attempts,
+            backoff,
+            wind_down,
+        );
+    }
+}
+
+fn resolve_quarantined(health: &mut BTreeMap<u32, ShardHealth>, task: Task) {
+    health.insert(
+        task.spec.shard,
+        ShardHealth {
+            shard: task.spec.shard,
+            cell: task.spec.cell,
+            attempts: task.attempts,
+            state: ShardState::Quarantined {
+                message: task.last_error,
+            },
+        },
+    );
+}
+
+fn resolve_wind_down(health: &mut BTreeMap<u32, ShardHealth>, task: Task, kind: WindDown) {
+    health.insert(
+        task.spec.shard,
+        ShardHealth {
+            shard: task.spec.shard,
+            cell: task.spec.cell,
+            attempts: task.attempts,
+            state: match kind {
+                WindDown::Cancelled => ShardState::Cancelled,
+                WindDown::DeadlineExpired => ShardState::DeadlineExpired,
+            },
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::loopback_pair;
+    use crate::protocol::{BudgetSpec, PlanSpec};
+    use crate::worker::{run_worker, WorkerOptions};
+    use diversify_attack::campaign::{CampaignConfig, CampaignSimulator, ThreatModel};
+    use diversify_core::exec::{campaign_plan, MeasurementsCollector};
+    use diversify_core::runner::Measurements;
+    use diversify_des::exec::Executor;
+    use diversify_des::faults::{silence_injected_panics, FaultKind, FaultPlan};
+    use diversify_scada::scope::{ScopeConfig, ScopeSystem};
+    use std::sync::Arc;
+    use std::thread::JoinHandle;
+
+    const SEED: u64 = 0xC0DE;
+    const BATCH_SIZE: u32 = 3;
+    const CAMPAIGN: CampaignConfig = CampaignConfig {
+        max_ticks: 120,
+        detection_stops_attack: false,
+    };
+
+    fn spawn_workers(options: Vec<WorkerOptions>) -> (Vec<Box<dyn Channel>>, Vec<JoinHandle<()>>) {
+        let mut channels: Vec<Box<dyn Channel>> = Vec::new();
+        let mut handles = Vec::new();
+        for worker_options in options {
+            let (coordinator_side, worker_side) = loopback_pair();
+            handles.push(std::thread::spawn(move || {
+                run_worker(worker_side, &worker_options);
+            }));
+            channels.push(Box::new(coordinator_side));
+        }
+        (channels, handles)
+    }
+
+    fn shard(id: u32, first_batch: u32, batches: u32) -> ShardSpec {
+        ShardSpec {
+            cell: 0,
+            shard: id,
+            scope: ScopeConfig::default(),
+            threat: ThreatModel::stuxnet_like(),
+            campaign: CAMPAIGN,
+            plan: PlanSpec {
+                batches,
+                batch_size: BATCH_SIZE,
+                master_seed: SEED,
+                namespace: diversify_core::exec::CAMPAIGN_STREAM_NAMESPACE,
+                first_batch,
+            },
+            budget: BudgetSpec::default(),
+        }
+    }
+
+    fn reference(batches: u32) -> Measurements {
+        let scope = ScopeConfig::default();
+        let system = ScopeSystem::build(&scope);
+        let sim = CampaignSimulator::new(system.network(), ThreatModel::stuxnet_like(), CAMPAIGN);
+        let plan = campaign_plan(batches, BATCH_SIZE, SEED);
+        Executor::default().run_ws(
+            &plan,
+            || sim.workspace(),
+            |ws, rep| sim.run_into(ws, rep.seed),
+            &MeasurementsCollector,
+        )
+    }
+
+    fn assert_identical(merged: &Measurements, reference: &Measurements) {
+        assert_eq!(
+            serde_json::to_string(&merged.summary).unwrap(),
+            serde_json::to_string(&reference.summary).unwrap()
+        );
+        assert_eq!(merged.batch_p_success, reference.batch_p_success);
+        assert_eq!(merged.batch_compromised, reference.batch_compromised);
+    }
+
+    fn sweep_options() -> SweepOptions {
+        SweepOptions {
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(10),
+            ..SweepOptions::default()
+        }
+    }
+
+    #[test]
+    fn sharded_sweep_merges_bit_identically_to_a_local_run() {
+        let (channels, handles) =
+            spawn_workers(vec![WorkerOptions::default(), WorkerOptions::default()]);
+        let mut coordinator = Coordinator::new(channels, sweep_options());
+        let report = coordinator.run_sweep(vec![shard(0, 0, 2), shard(1, 2, 2)]);
+        assert!(!report.is_degraded());
+        let merged = report.merge_cell(0).unwrap().unwrap();
+        assert_identical(&merged, &reference(4));
+        coordinator.shutdown();
+        drop(coordinator);
+        for handle in handles {
+            handle.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn transient_worker_panics_retry_to_identical_results() {
+        silence_injected_panics();
+        // Replication 4 (global) panics once per arm on worker 0; the
+        // re-dealt shard runs clean because the fault is transient.
+        let faults = Arc::new(
+            FaultPlan::none(12)
+                .with_fault(4, FaultKind::Panic)
+                .transient(1),
+        );
+        let faulty = WorkerOptions {
+            faults: Some(Arc::clone(&faults)),
+            ..WorkerOptions::default()
+        };
+        let (channels, _handles) = spawn_workers(vec![faulty]);
+        let mut coordinator = Coordinator::new(channels, sweep_options());
+        let report = coordinator.run_sweep(vec![shard(0, 0, 4)]);
+        assert!(!report.is_degraded(), "health: {:?}", report.health);
+        // The shard made progress (batch 0), so the retry is not
+        // counted against it.
+        assert_eq!(report.health[0].state, ShardState::Completed);
+        let merged = report.merge_cell(0).unwrap().unwrap();
+        assert_identical(&merged, &reference(4));
+    }
+
+    #[test]
+    fn persistent_failure_quarantines_and_degrades_gracefully() {
+        silence_injected_panics();
+        // Replication 7 always panics on every worker: batch 2 can
+        // never complete anywhere.
+        let plan = || {
+            Some(Arc::new(
+                FaultPlan::none(12).with_fault(7, FaultKind::Panic),
+            ))
+        };
+        let (channels, _handles) = spawn_workers(vec![
+            WorkerOptions {
+                faults: plan(),
+                ..WorkerOptions::default()
+            },
+            WorkerOptions {
+                faults: plan(),
+                ..WorkerOptions::default()
+            },
+        ]);
+        let mut coordinator = Coordinator::new(channels, sweep_options());
+        let report = coordinator.run_sweep(vec![shard(0, 0, 4)]);
+        assert!(report.is_degraded());
+        let health = &report.health[0];
+        assert!(
+            matches!(health.state, ShardState::Quarantined { .. }),
+            "state: {:?}",
+            health.state
+        );
+        // The clean prefix (batches 0 and 1) still merged bit-exactly.
+        let merged = report.merge_cell(0).unwrap().unwrap();
+        assert_identical(&merged, &reference(2));
+    }
+
+    #[test]
+    fn dropped_channel_reassigns_the_shard_elsewhere() {
+        // Worker 0's channel severs on its very first send (the first
+        // heartbeat); the shard must land on worker 1 bit-identically.
+        let (mut channels, _handles) =
+            spawn_workers(vec![WorkerOptions::default(), WorkerOptions::default()]);
+        let chaos = Arc::new(FaultPlan::none(1).with_fault(0, FaultKind::Panic));
+        let first = channels.remove(0);
+        drop(first);
+        let (coordinator_side, worker_side) = loopback_pair();
+        let worker_side = worker_side.with_send_faults(chaos);
+        let worker_options = WorkerOptions::default();
+        std::thread::spawn(move || run_worker(worker_side, &worker_options));
+        channels.insert(0, Box::new(coordinator_side));
+        let mut coordinator = Coordinator::new(channels, sweep_options());
+        let report = coordinator.run_sweep(vec![shard(0, 0, 3)]);
+        assert!(!report.is_degraded(), "health: {:?}", report.health);
+        assert_eq!(coordinator.live_workers(), 1);
+        let merged = report.merge_cell(0).unwrap().unwrap();
+        assert_identical(&merged, &reference(3));
+    }
+
+    #[test]
+    fn corrupted_frames_dethrone_the_worker_not_the_sweep() {
+        // Worker 0 corrupts its second send; the coordinator must stop
+        // trusting it and re-deal, still finishing bit-identically.
+        let chaos = Arc::new(FaultPlan::none(2).with_fault(1, FaultKind::CorruptOutput));
+        let (coordinator_side, worker_side) = loopback_pair();
+        let worker_side = worker_side.with_send_faults(chaos);
+        let corrupt_options = WorkerOptions::default();
+        std::thread::spawn(move || run_worker(worker_side, &corrupt_options));
+        let (mut channels, _handles) = spawn_workers(vec![WorkerOptions::default()]);
+        channels.insert(0, Box::new(coordinator_side));
+        let mut coordinator = Coordinator::new(channels, sweep_options());
+        let report = coordinator.run_sweep(vec![shard(0, 0, 3)]);
+        assert!(!report.is_degraded(), "health: {:?}", report.health);
+        let merged = report.merge_cell(0).unwrap().unwrap();
+        assert_identical(&merged, &reference(3));
+    }
+
+    #[test]
+    fn cancel_token_stops_the_sweep_with_typed_state() {
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let (channels, _handles) = spawn_workers(vec![WorkerOptions::default()]);
+        let mut coordinator = Coordinator::new(
+            channels,
+            SweepOptions {
+                cancel: Some(cancel),
+                ..sweep_options()
+            },
+        );
+        let report = coordinator.run_sweep(vec![shard(0, 0, 2), shard(1, 2, 2)]);
+        assert!(report.cancelled);
+        assert!(report.is_degraded());
+        assert!(report
+            .health
+            .iter()
+            .all(|h| h.state == ShardState::Cancelled));
+    }
+
+    #[test]
+    fn deadline_bounds_the_sweep() {
+        // A worker armed with a fault that sleeps far longer than the
+        // sweep deadline: the sweep must return promptly and typed.
+        let faults =
+            Arc::new(FaultPlan::none(3).with_fault(0, FaultKind::Slow { micros: 30_000_000 }));
+        let (channels, _handles) = spawn_workers(vec![WorkerOptions {
+            faults: Some(faults),
+            ..WorkerOptions::default()
+        }]);
+        let mut coordinator = Coordinator::new(
+            channels,
+            SweepOptions {
+                deadline: Some(Duration::from_millis(200)),
+                drain_grace: Duration::from_millis(100),
+                ..sweep_options()
+            },
+        );
+        let started = Instant::now();
+        let report = coordinator.run_sweep(vec![shard(0, 0, 1)]);
+        assert!(started.elapsed() < Duration::from_secs(10));
+        assert!(report.deadline_expired);
+        assert_eq!(report.health[0].state, ShardState::DeadlineExpired);
+    }
+
+    #[test]
+    fn no_workers_means_immediate_quarantine_not_a_hang() {
+        let mut coordinator = Coordinator::new(Vec::new(), sweep_options());
+        let report = coordinator.run_sweep(vec![shard(0, 0, 2)]);
+        assert!(report.is_degraded());
+        assert!(matches!(
+            report.health[0].state,
+            ShardState::Quarantined { .. }
+        ));
+    }
+}

@@ -1,0 +1,393 @@
+//! Binary wire codec for the indicator service.
+//!
+//! Messages travel as a compact binary encoding of the shim
+//! [`serde::Value`] data model, wrapped in a checksummed frame:
+//!
+//! ```text
+//! | b"DV" | payload_len: u32 LE | fnv1a64(payload): u64 LE | payload |
+//! ```
+//!
+//! Every decode failure is a typed [`WireError`] — a corrupt, truncated,
+//! oversized, or adversarial frame must never panic or allocate
+//! unboundedly. Declared lengths are capped by the bytes actually
+//! present before any allocation, and nesting depth is bounded so a
+//! crafted deep `Array` cannot overflow the decoder's stack.
+
+use serde::{Deserialize, Number, Serialize, Value};
+use std::fmt;
+
+/// Frame magic: the first two bytes of every message.
+pub const MAGIC: [u8; 2] = [b'D', b'V'];
+
+/// Fixed frame header length: magic + payload length + checksum.
+pub const HEADER_LEN: usize = 2 + 4 + 8;
+
+/// Hard ceiling on payload size (16 MiB). A frame declaring more is
+/// rejected before any buffer is sized from attacker-controlled input.
+pub const MAX_PAYLOAD: usize = 16 << 20;
+
+/// Maximum `Value` nesting depth the decoder will follow.
+const MAX_DEPTH: u32 = 64;
+
+/// Typed decode/framing failure. The service treats every variant as
+/// "this frame is garbage" — the connection or message is discarded,
+/// never the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame does not start with [`MAGIC`].
+    BadMagic,
+    /// The buffer ended before the declared length.
+    Truncated,
+    /// The declared payload length exceeds [`MAX_PAYLOAD`].
+    Oversized,
+    /// The payload checksum does not match the header.
+    ChecksumMismatch,
+    /// The payload bytes do not parse as a `Value` (unknown tag, bad
+    /// UTF-8, depth overflow, or a length field inconsistent with the
+    /// bytes present).
+    Malformed,
+    /// The payload parsed but left unconsumed bytes.
+    TrailingBytes,
+    /// The payload parsed as a `Value` but does not deserialize into the
+    /// expected message type.
+    Schema(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic => f.write_str("bad frame magic"),
+            WireError::Truncated => f.write_str("truncated frame"),
+            WireError::Oversized => f.write_str("frame exceeds maximum payload size"),
+            WireError::ChecksumMismatch => f.write_str("payload checksum mismatch"),
+            WireError::Malformed => f.write_str("malformed payload"),
+            WireError::TrailingBytes => f.write_str("trailing bytes after payload"),
+            WireError::Schema(what) => write!(f, "payload does not match schema: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash = (hash ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+// Value encoding tags. Non-negative `I` numbers normalize to `U` so a
+// value round-trips identically however the serializer spelled it.
+const TAG_NULL: u8 = 0;
+const TAG_FALSE: u8 = 1;
+const TAG_TRUE: u8 = 2;
+const TAG_U: u8 = 3;
+const TAG_I: u8 = 4;
+const TAG_F: u8 = 5;
+const TAG_STRING: u8 = 6;
+const TAG_ARRAY: u8 = 7;
+const TAG_OBJECT: u8 = 8;
+
+fn encode_into(value: &Value, out: &mut Vec<u8>) {
+    match value {
+        Value::Null => out.push(TAG_NULL),
+        Value::Bool(false) => out.push(TAG_FALSE),
+        Value::Bool(true) => out.push(TAG_TRUE),
+        Value::Number(Number::U(n)) => {
+            out.push(TAG_U);
+            out.extend_from_slice(&n.to_le_bytes());
+        }
+        Value::Number(Number::I(n)) => {
+            if *n >= 0 {
+                out.push(TAG_U);
+                out.extend_from_slice(&(*n as u64).to_le_bytes());
+            } else {
+                out.push(TAG_I);
+                out.extend_from_slice(&n.to_le_bytes());
+            }
+        }
+        Value::Number(Number::F(x)) => {
+            out.push(TAG_F);
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        Value::String(s) => {
+            out.push(TAG_STRING);
+            out.extend_from_slice(&(s.len() as u64).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Array(items) => {
+            out.push(TAG_ARRAY);
+            out.extend_from_slice(&(items.len() as u64).to_le_bytes());
+            for item in items {
+                encode_into(item, out);
+            }
+        }
+        Value::Object(fields) => {
+            out.push(TAG_OBJECT);
+            out.extend_from_slice(&(fields.len() as u64).to_le_bytes());
+            for (key, item) in fields {
+                out.extend_from_slice(&(key.len() as u64).to_le_bytes());
+                out.extend_from_slice(key.as_bytes());
+                encode_into(item, out);
+            }
+        }
+    }
+}
+
+/// Encodes a `Value` to its unframed binary payload.
+#[must_use]
+pub fn encode_value(value: &Value) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_into(value, &mut out);
+    out
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Malformed)?;
+        if end > self.bytes.len() {
+            return Err(WireError::Malformed);
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let raw = self.take(8)?;
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(raw);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Reads a declared count, rejecting any claim the remaining bytes
+    /// cannot possibly satisfy (each counted element costs at least
+    /// `min_unit` bytes), so a hostile length never drives allocation.
+    fn count(&mut self, min_unit: usize) -> Result<usize, WireError> {
+        let declared = self.u64()?;
+        let remaining = (self.bytes.len() - self.pos) as u64;
+        if declared.saturating_mul(min_unit as u64) > remaining {
+            return Err(WireError::Malformed);
+        }
+        Ok(declared as usize)
+    }
+
+    fn value(&mut self, depth: u32) -> Result<Value, WireError> {
+        if depth > MAX_DEPTH {
+            return Err(WireError::Malformed);
+        }
+        match self.u8()? {
+            TAG_NULL => Ok(Value::Null),
+            TAG_FALSE => Ok(Value::Bool(false)),
+            TAG_TRUE => Ok(Value::Bool(true)),
+            TAG_U => Ok(Value::Number(Number::U(self.u64()?))),
+            TAG_I => Ok(Value::Number(Number::I(self.u64()? as i64))),
+            TAG_F => Ok(Value::Number(Number::F(f64::from_bits(self.u64()?)))),
+            TAG_STRING => {
+                let len = self.count(1)?;
+                let raw = self.take(len)?;
+                let s = std::str::from_utf8(raw).map_err(|_| WireError::Malformed)?;
+                Ok(Value::String(s.to_owned()))
+            }
+            TAG_ARRAY => {
+                let len = self.count(1)?;
+                let mut items = Vec::with_capacity(len);
+                for _ in 0..len {
+                    items.push(self.value(depth + 1)?);
+                }
+                Ok(Value::Array(items))
+            }
+            TAG_OBJECT => {
+                let len = self.count(1 + 8)?;
+                let mut fields = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let key_len = self.count(1)?;
+                    let raw = self.take(key_len)?;
+                    let key = std::str::from_utf8(raw)
+                        .map_err(|_| WireError::Malformed)?
+                        .to_owned();
+                    fields.push((key, self.value(depth + 1)?));
+                }
+                Ok(Value::Object(fields))
+            }
+            _ => Err(WireError::Malformed),
+        }
+    }
+}
+
+/// Decodes an unframed binary payload back to a `Value`, requiring the
+/// payload to be fully consumed.
+pub fn decode_value(bytes: &[u8]) -> Result<Value, WireError> {
+    let mut reader = Reader { bytes, pos: 0 };
+    let value = reader.value(0)?;
+    if reader.pos != bytes.len() {
+        return Err(WireError::TrailingBytes);
+    }
+    Ok(value)
+}
+
+/// Serializes `msg` into a complete checksummed frame ready to write to
+/// a byte channel.
+#[must_use]
+pub fn encode_message<T: Serialize>(msg: &T) -> Vec<u8> {
+    let payload = encode_value(&msg.to_json_value());
+    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
+    frame.extend_from_slice(&MAGIC);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// The payload length a frame header declares, if the header is valid.
+/// TCP readers use this to size the remainder of the read.
+pub fn frame_payload_len(header: &[u8]) -> Result<usize, WireError> {
+    if header.len() < HEADER_LEN {
+        return Err(WireError::Truncated);
+    }
+    if header[..2] != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let mut buf = [0u8; 4];
+    buf.copy_from_slice(&header[2..6]);
+    let len = u32::from_le_bytes(buf) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(WireError::Oversized);
+    }
+    Ok(len)
+}
+
+/// Parses and validates a complete frame, deserializing the payload into
+/// `T`. Rejects bad magic, truncation, oversize, checksum mismatches,
+/// malformed payloads, and schema mismatches as typed errors.
+pub fn decode_message<T: Deserialize>(frame: &[u8]) -> Result<T, WireError> {
+    let payload_len = frame_payload_len(frame)?;
+    let expected_end = HEADER_LEN
+        .checked_add(payload_len)
+        .ok_or(WireError::Oversized)?;
+    if frame.len() < expected_end {
+        return Err(WireError::Truncated);
+    }
+    if frame.len() > expected_end {
+        return Err(WireError::TrailingBytes);
+    }
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(&frame[6..14]);
+    let declared_sum = u64::from_le_bytes(buf);
+    let payload = &frame[HEADER_LEN..];
+    if fnv1a64(payload) != declared_sum {
+        return Err(WireError::ChecksumMismatch);
+    }
+    let value = decode_value(payload)?;
+    T::from_json_value(&value).map_err(|e| WireError::Schema(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Value {
+        Value::Object(vec![
+            ("kind".to_owned(), Value::String("probe".to_owned())),
+            (
+                "ints".to_owned(),
+                Value::Array(vec![
+                    Value::Number(Number::U(7)),
+                    Value::Number(Number::I(-3)),
+                ]),
+            ),
+            ("x".to_owned(), Value::Number(Number::F(0.1 + 0.2))),
+            ("flag".to_owned(), Value::Bool(true)),
+            ("none".to_owned(), Value::Null),
+        ])
+    }
+
+    #[test]
+    fn value_round_trips_bit_identically() {
+        let v = sample();
+        let bytes = encode_value(&v);
+        assert_eq!(decode_value(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn framed_message_round_trips() {
+        let frame = encode_message(&sample());
+        let back: Value = decode_message(&frame).unwrap();
+        assert_eq!(back, sample());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut frame = encode_message(&sample());
+        frame[0] = b'X';
+        assert_eq!(decode_message::<Value>(&frame), Err(WireError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_is_rejected_at_every_length() {
+        let frame = encode_message(&sample());
+        for cut in 0..frame.len() {
+            let err = decode_message::<Value>(&frame[..cut]).unwrap_err();
+            assert!(
+                matches!(err, WireError::Truncated | WireError::BadMagic),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn payload_corruption_is_caught_by_checksum() {
+        let frame = encode_message(&sample());
+        for bit in 0..8 {
+            let mut bad = frame.clone();
+            bad[HEADER_LEN + 3] ^= 1 << bit;
+            assert_eq!(
+                decode_message::<Value>(&bad),
+                Err(WireError::ChecksumMismatch)
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_declared_length_is_rejected() {
+        let mut frame = encode_message(&sample());
+        frame[2..6].copy_from_slice(&(MAX_PAYLOAD as u32 + 1).to_le_bytes());
+        assert_eq!(decode_message::<Value>(&frame), Err(WireError::Oversized));
+    }
+
+    #[test]
+    fn hostile_counts_do_not_allocate() {
+        // An array claiming u64::MAX elements with no bytes behind it.
+        let mut bytes = vec![TAG_ARRAY];
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(decode_value(&bytes), Err(WireError::Malformed));
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded() {
+        let mut bytes = Vec::new();
+        for _ in 0..200 {
+            bytes.push(TAG_ARRAY);
+            bytes.extend_from_slice(&1u64.to_le_bytes());
+        }
+        bytes.push(TAG_NULL);
+        assert_eq!(decode_value(&bytes), Err(WireError::Malformed));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_value(&sample());
+        bytes.push(0);
+        assert_eq!(decode_value(&bytes), Err(WireError::TrailingBytes));
+    }
+}

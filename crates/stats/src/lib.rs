@@ -63,4 +63,4 @@ pub use dist::{ChiSquared, Distribution, FisherF, Normal, StudentT};
 pub use effect::{cohens_d, eta_squared};
 pub use error::StatsError;
 pub use rank::mann_whitney_u;
-pub use stream::{BernoulliCounter, StreamingSummary};
+pub use stream::{BernoulliCounter, RawMoments, StreamingSummary};

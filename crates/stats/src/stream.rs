@@ -58,6 +58,27 @@ impl Default for StreamingSummary {
     }
 }
 
+/// The raw Welford state of a [`StreamingSummary`], exposed so
+/// accumulators can cross process or machine boundaries (wire transport,
+/// persistence) and be rebuilt **bit-exactly**: `from_raw(s.to_raw())`
+/// is the identity, including the `±∞` min/max sentinels of an empty
+/// summary. The fields are the exact internal state — callers must not
+/// reinterpret them (in particular `m2` is the summed squared deviation,
+/// not a variance).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RawMoments {
+    /// Number of observations.
+    pub count: u64,
+    /// Running mean (0 when empty).
+    pub mean: f64,
+    /// Sum of squared deviations from the mean.
+    pub m2: f64,
+    /// Smallest observation (`+∞` when empty).
+    pub min: f64,
+    /// Largest observation (`-∞` when empty).
+    pub max: f64,
+}
+
 impl StreamingSummary {
     /// An empty accumulator.
     #[must_use]
@@ -100,6 +121,33 @@ impl StreamingSummary {
         self.n += other.n;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+    }
+
+    /// Exports the internal Welford state for transport or persistence.
+    #[must_use]
+    pub fn to_raw(&self) -> RawMoments {
+        RawMoments {
+            count: self.n,
+            mean: self.mean,
+            m2: self.m2,
+            min: self.min,
+            max: self.max,
+        }
+    }
+
+    /// Rebuilds a summary from exported state, bit-exactly. The moments
+    /// are taken at face value — semantic validation (finiteness, `m2 ≥
+    /// 0`, …) is the transport layer's job, exactly as it is for a
+    /// locally pushed stream of observations.
+    #[must_use]
+    pub fn from_raw(raw: RawMoments) -> StreamingSummary {
+        StreamingSummary {
+            n: raw.count,
+            mean: raw.mean,
+            m2: raw.m2,
+            min: raw.min,
+            max: raw.max,
+        }
     }
 
     /// Number of observations.
@@ -273,6 +321,23 @@ impl BernoulliCounter {
             successes: 0,
             trials: 0,
         }
+    }
+
+    /// Rebuilds a counter from exported counts (the inverse of reading
+    /// [`BernoulliCounter::successes`]/[`BernoulliCounter::trials`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] when `successes >
+    /// trials` — the one state no sequence of pushes can produce, so it
+    /// must be a corrupted or forged transport payload.
+    pub fn from_counts(successes: u64, trials: u64) -> Result<Self, StatsError> {
+        if successes > trials {
+            return Err(StatsError::InvalidParameter {
+                what: "successes exceed trials",
+            });
+        }
+        Ok(BernoulliCounter { successes, trials })
     }
 
     /// Records one trial.
@@ -540,6 +605,28 @@ mod tests {
         m.merge(&b);
         assert_eq!(m.successes(), 2);
         assert_eq!(m.trials(), 5);
+    }
+
+    #[test]
+    fn raw_moments_round_trip_bit_exactly() {
+        let s: StreamingSummary = [1.5, -2.25, 0.875, 3.0].into_iter().collect();
+        let back = StreamingSummary::from_raw(s.to_raw());
+        assert_eq!(s, back);
+        assert_eq!(s.m2().to_bits(), back.m2().to_bits());
+        // The empty sentinels (±∞ min/max) survive the round trip too.
+        let empty = StreamingSummary::new();
+        let back = StreamingSummary::from_raw(empty.to_raw());
+        assert_eq!(back.count(), 0);
+        assert_eq!(back.min().to_bits(), f64::INFINITY.to_bits());
+        assert_eq!(back.max().to_bits(), f64::NEG_INFINITY.to_bits());
+    }
+
+    #[test]
+    fn bernoulli_from_counts_validates() {
+        let c = BernoulliCounter::from_counts(3, 4).unwrap();
+        assert_eq!(c.successes(), 3);
+        assert_eq!(c.trials(), 4);
+        assert!(BernoulliCounter::from_counts(5, 4).is_err());
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! The sharded indicator service: supervised workers, chaos-tolerant
+//! retry, and a content-addressed memo store.
+//!
+//! ```text
+//! cargo run --release --example indicator_service
+//! ```
+//!
+//! Part 1 stands up an in-process service (coordinator + loopback
+//! workers), answers a measurement request, and replays it from the
+//! memo store with zero new replications. Part 2 arms worker and
+//! transport faults and shows the merged indicators are still
+//! bit-identical to a fault-free local run. Part 3 asks for a precision
+//! goal and lets the service double the served depth until it is met or
+//! capped.
+
+// Example code: the unwrap/expect ban (clippy.toml) applies to the
+// non-test library code of diversify-des/diversify-core.
+#![allow(clippy::disallowed_methods)]
+use diversify::attack::campaign::{CampaignConfig, CampaignSimulator, ThreatModel};
+use diversify::core::exec::{campaign_plan, Executor, MeasurementsCollector, RetryPolicy};
+use diversify::core::indicators::PrecisionResponse;
+use diversify::des::faults::{silence_injected_panics, FaultKind, FaultPlan};
+use diversify::scada::scope::{ScopeConfig, ScopeSystem};
+use diversify::serve::service::{
+    IndicatorRequest, IndicatorService, PrecisionGoal, ServiceOptions,
+};
+use diversify::serve::worker::WorkerOptions;
+use std::sync::Arc;
+
+const SEED: u64 = 0x5E27E;
+const BATCHES: u32 = 4;
+const BATCH_SIZE: u32 = 5;
+
+fn request() -> IndicatorRequest {
+    IndicatorRequest::fixed(
+        ScopeConfig::default(),
+        ThreatModel::stuxnet_like(),
+        CampaignConfig::default(),
+        BATCHES,
+        BATCH_SIZE,
+        SEED,
+    )
+}
+
+fn main() {
+    silence_injected_panics();
+
+    // Part 1 — serve, then replay from the memo store.
+    println!("— memoized serving —");
+    let service = IndicatorService::in_process(3, ServiceOptions::default());
+    let first = service.request(&request());
+    let summary = &first.measurements.as_ref().expect("clean run").summary;
+    println!(
+        "  cold:   {} replications run, P_SA = {:.3}, compromised = {:.3}",
+        first.new_replications, summary.p_success, summary.mean_compromised_ratio
+    );
+    let replay = service.request(&request());
+    println!(
+        "  replay: {} replications run (from_cache: {})",
+        replay.new_replications, replay.from_cache
+    );
+
+    // Part 2 — chaos: a worker that panics a replication once, next to
+    // healthy peers. The coordinator re-deals the shard; the merged
+    // indicators match a local unsharded run bit for bit.
+    println!("— chaos-tolerant sharding —");
+    let faults = Arc::new(
+        FaultPlan::none(BATCHES * BATCH_SIZE)
+            .with_fault(7, FaultKind::Panic)
+            .transient(1),
+    );
+    let chaotic = IndicatorService::in_process_with(
+        3,
+        |i| WorkerOptions {
+            retry: RetryPolicy::none(),
+            faults: (i == 0).then(|| Arc::clone(&faults)),
+            ..WorkerOptions::default()
+        },
+        ServiceOptions::default(),
+    );
+    let response = chaotic.request(&request());
+    let sharded = response.measurements.as_ref().expect("recovered run");
+
+    let scope = ScopeConfig::default();
+    let system = ScopeSystem::build(&scope);
+    let sim = CampaignSimulator::new(
+        system.network(),
+        ThreatModel::stuxnet_like(),
+        CampaignConfig::default(),
+    );
+    let local = Executor::default().run_ws(
+        &campaign_plan(BATCHES, BATCH_SIZE, SEED),
+        || sim.workspace(),
+        |ws, rep| sim.run_into(ws, rep.seed),
+        &MeasurementsCollector,
+    );
+    println!(
+        "  degraded: {}, P_SA sharded = {:.6} vs local = {:.6}, batch means equal: {}",
+        response.degraded,
+        sharded.summary.p_success,
+        local.summary.p_success,
+        sharded.batch_compromised == local.batch_compromised,
+    );
+
+    // Part 3 — precision-goal serving: double the depth until the CI
+    // half-width target is met (or the cap says stop).
+    println!("— precision goal —");
+    let goal = IndicatorRequest {
+        goal: Some(PrecisionGoal {
+            response: PrecisionResponse::CompromisedRatio,
+            level: 0.95,
+            relative_half_width: 0.25,
+        }),
+        batches: 2,
+        max_batches: 16,
+        ..request()
+    };
+    let response = service.request(&goal);
+    match response.precision {
+        Some(p) => println!(
+            "  served {} replications, met: {}, rel. half-width = {:.4}",
+            response.replications,
+            response.target_met,
+            p.relative_half_width()
+        ),
+        None => println!("  precision not computable at this depth"),
+    }
+}

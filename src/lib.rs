@@ -13,4 +13,5 @@ pub use diversify_diversity as diversity;
 pub use diversify_doe as doe;
 pub use diversify_san as san;
 pub use diversify_scada as scada;
+pub use diversify_serve as serve;
 pub use diversify_stats as stats;

@@ -131,7 +131,7 @@ fn pipeline_reports_match_across_executors() {
 #[test]
 fn quick_scale_experiment_suite_runs() {
     let results = run_all(Scale::Quick);
-    assert_eq!(results.len(), 9, "all nine experiments present");
+    assert_eq!(results.len(), 10, "all ten experiments present");
     for (id, output) in &results {
         assert!(
             !output.trim().is_empty(),

@@ -1,0 +1,301 @@
+//! End-to-end tests of the sharded indicator service: wire-format
+//! adversarial properties, chaos drills (worker faults must never change
+//! merged indicators), cancel propagation, and a real TCP worker.
+
+// Test code: the unwrap/expect ban (clippy.toml) applies to library code.
+#![allow(clippy::disallowed_methods)]
+
+use diversify::attack::campaign::{CampaignConfig, CampaignSimulator, ThreatModel};
+use diversify::core::exec::{campaign_plan, MeasurementsCollector};
+use diversify::core::runner::Measurements;
+use diversify::scada::scope::{ScopeConfig, ScopeSystem};
+use diversify::serve::channel::{loopback_pair, Channel, TcpChannel};
+use diversify::serve::service::{IndicatorRequest, IndicatorService, ServiceOptions};
+use diversify::serve::wire::{decode_message, decode_value, encode_message, encode_value};
+use diversify::serve::worker::{run_worker, WorkerOptions};
+use diversify_des::exec::{CancelToken, Executor, RetryPolicy};
+use diversify_des::faults::{silence_injected_panics, FaultKind, FaultPlan};
+use proptest::prelude::*;
+use serde::{Number, Serialize, Value};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SEED: u64 = 0x5EED;
+const BATCH_SIZE: u32 = 3;
+const CAMPAIGN: CampaignConfig = CampaignConfig {
+    max_ticks: 120,
+    detection_stops_attack: false,
+};
+
+fn request(batches: u32) -> IndicatorRequest {
+    IndicatorRequest::fixed(
+        ScopeConfig::default(),
+        ThreatModel::stuxnet_like(),
+        CAMPAIGN,
+        batches,
+        BATCH_SIZE,
+        SEED,
+    )
+}
+
+fn reference(batches: u32) -> Measurements {
+    let scope = ScopeConfig::default();
+    let system = ScopeSystem::build(&scope);
+    let sim = CampaignSimulator::new(system.network(), ThreatModel::stuxnet_like(), CAMPAIGN);
+    let plan = campaign_plan(batches, BATCH_SIZE, SEED);
+    Executor::default().run_ws(
+        &plan,
+        || sim.workspace(),
+        |ws, rep| sim.run_into(ws, rep.seed),
+        &MeasurementsCollector,
+    )
+}
+
+fn assert_identical(merged: &Measurements, reference: &Measurements) {
+    assert_eq!(
+        merged.summary.to_json_value(),
+        reference.summary.to_json_value()
+    );
+    assert_eq!(merged.batch_p_success, reference.batch_p_success);
+    assert_eq!(merged.batch_compromised, reference.batch_compromised);
+}
+
+fn service_options() -> ServiceOptions {
+    let mut options = ServiceOptions::default();
+    options.sweep.backoff_base = Duration::from_millis(1);
+    options.sweep.backoff_cap = Duration::from_millis(10);
+    options
+}
+
+/// The release-suite round trip: an in-process service answers
+/// bit-identically to a local unsharded run, and a repeat replays from
+/// the memo store without executing anything.
+#[test]
+fn loopback_service_round_trip() {
+    let service = IndicatorService::in_process(3, service_options());
+    let response = service.request(&request(4));
+    assert!(!response.degraded);
+    assert!(response.target_met);
+    assert_eq!(response.new_replications, 4 * BATCH_SIZE);
+    assert_identical(response.measurements.as_ref().unwrap(), &reference(4));
+
+    let replay = service.request(&request(4));
+    assert!(replay.from_cache);
+    assert_eq!(replay.new_replications, 0);
+    assert_identical(
+        replay.measurements.as_ref().unwrap(),
+        response.measurements.as_ref().unwrap(),
+    );
+}
+
+/// Chaos drill: one worker panics a replication, one worker's channel
+/// drops mid-lease, one worker is merely slow. The coordinator retries
+/// and re-deals until the sweep completes — and the merged indicators
+/// are bit-identical to a fault-free local run, because shards carry
+/// global seed schedules and the merge is a global-order left-fold.
+#[test]
+fn chaos_faults_leave_merged_indicators_bit_identical() {
+    silence_injected_panics();
+    let mut channels: Vec<Box<dyn Channel>> = Vec::new();
+    let mut handles = Vec::new();
+
+    // Worker 0: global replication 2 panics once (transient), and the
+    // worker itself never retries — recovery is the coordinator's job.
+    let replication_faults = Arc::new(
+        FaultPlan::none(12)
+            .with_fault(2, FaultKind::Panic)
+            .transient(1),
+    );
+    let (coordinator_side, worker_side) = loopback_pair();
+    let options = WorkerOptions {
+        retry: RetryPolicy::none(),
+        faults: Some(replication_faults),
+        ..WorkerOptions::default()
+    };
+    handles.push(std::thread::spawn(move || {
+        run_worker(worker_side, &options)
+    }));
+    channels.push(Box::new(coordinator_side));
+
+    // Worker 1: its channel dies on its first send — a dropped worker
+    // whose lease must be re-dealt elsewhere.
+    let transport_faults = Arc::new(FaultPlan::none(1).with_fault(0, FaultKind::Panic));
+    let (coordinator_side, worker_side) = loopback_pair();
+    let worker_side = worker_side.with_send_faults(transport_faults);
+    let options = WorkerOptions::default();
+    handles.push(std::thread::spawn(move || {
+        run_worker(worker_side, &options)
+    }));
+    channels.push(Box::new(coordinator_side));
+
+    // Worker 2: healthy but slow on a couple of sends.
+    let slow_faults = Arc::new(
+        FaultPlan::none(4)
+            .with_fault(1, FaultKind::Slow { micros: 2_000 })
+            .with_fault(2, FaultKind::Slow { micros: 2_000 }),
+    );
+    let (coordinator_side, worker_side) = loopback_pair();
+    let worker_side = worker_side.with_send_faults(slow_faults);
+    let options = WorkerOptions::default();
+    handles.push(std::thread::spawn(move || {
+        run_worker(worker_side, &options)
+    }));
+    channels.push(Box::new(coordinator_side));
+
+    let service = IndicatorService::with_channels(channels, service_options());
+    let response = service.request(&request(4));
+    assert!(!response.degraded, "health: {:?}", response.health);
+    assert!(response.target_met);
+    assert_identical(response.measurements.as_ref().unwrap(), &reference(4));
+    assert!(service.live_workers() >= 1);
+
+    drop(service);
+    for handle in handles {
+        handle.join().unwrap();
+    }
+}
+
+/// A cancelled sweep stops instead of hanging: the response is typed as
+/// cancelled, with no fabricated measurements.
+#[test]
+fn cancel_propagates_to_workers_and_degrades_typed() {
+    let cancel = CancelToken::new();
+    cancel.cancel();
+    let mut options = service_options();
+    options.sweep.cancel = Some(cancel);
+    let service = IndicatorService::in_process(2, options);
+    let response = service.request(&request(4));
+    assert!(response.cancelled);
+    assert!(!response.target_met);
+    assert!(response.measurements.is_none());
+}
+
+/// A real TCP worker: the coordinator talks length-prefixed frames over
+/// a localhost socket and the answer is still bit-identical.
+#[test]
+fn tcp_worker_round_trips_bit_identically() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let worker = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        run_worker(TcpChannel::new(stream), &WorkerOptions::default());
+    });
+    let stream = std::net::TcpStream::connect(addr).unwrap();
+    let service =
+        IndicatorService::with_channels(vec![Box::new(TcpChannel::new(stream))], service_options());
+    let response = service.request(&request(2));
+    assert!(!response.degraded, "health: {:?}", response.health);
+    assert_identical(response.measurements.as_ref().unwrap(), &reference(2));
+    drop(service);
+    worker.join().unwrap();
+}
+
+// --- Wire-format properties -------------------------------------------
+
+/// A bounded-depth strategy over the full JSON value tree (the vendored
+/// proptest has no `prop_recursive`; depth is bounded by construction).
+/// Floats come from arbitrary bit patterns, so NaNs and infinities are
+/// exercised too.
+fn arb_string() -> impl Strategy<Value = String> {
+    prop::collection::vec(32u8..127, 0..12)
+        .prop_map(|bytes| String::from_utf8(bytes).expect("printable ASCII"))
+}
+
+fn arb_leaf() -> OneOf<Value> {
+    prop_oneof![
+        (0u8..1).prop_map(|_| Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<u64>().prop_map(|u| Value::Number(Number::U(u))),
+        any::<u64>().prop_map(|u| Value::Number(Number::I(u as i64))),
+        any::<u64>().prop_map(|u| Value::Number(Number::F(f64::from_bits(u)))),
+        arb_string().prop_map(Value::String),
+    ]
+}
+
+fn arb_value(depth: u32) -> Box<dyn Strategy<Value = Value>> {
+    if depth == 0 {
+        return boxed(arb_leaf());
+    }
+    boxed(prop_oneof![
+        arb_leaf(),
+        prop::collection::vec(arb_value(depth - 1), 0..4).prop_map(Value::Array),
+        prop::collection::vec((arb_string(), arb_value(depth - 1)), 0..4).prop_map(Value::Object),
+    ])
+}
+
+/// Structural equality that treats NaN as equal to itself: the wire
+/// encodes f64 bit patterns, so a NaN must survive the round trip even
+/// though `PartialEq` says it differs from everything.
+fn value_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Number(x), Value::Number(y)) => number_eq(x, y),
+        (Value::Array(xs), Value::Array(ys)) => {
+            xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| value_eq(x, y))
+        }
+        (Value::Object(xs), Value::Object(ys)) => {
+            xs.len() == ys.len()
+                && xs
+                    .iter()
+                    .zip(ys)
+                    .all(|((ka, va), (kb, vb))| ka == kb && value_eq(va, vb))
+        }
+        _ => a == b,
+    }
+}
+
+/// Numeric identity across the wire's normalizations: floats compare by
+/// bit pattern, and a non-negative signed integer equals its unsigned
+/// form (the encoder emits both under the unsigned tag).
+fn number_eq(a: &Number, b: &Number) -> bool {
+    match (a, b) {
+        (Number::F(x), Number::F(y)) => x.to_bits() == y.to_bits(),
+        (Number::U(u), Number::I(i)) | (Number::I(i), Number::U(u)) => u64::try_from(*i) == Ok(*u),
+        _ => a == b,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every value round-trips through the payload codec bit-exactly.
+    #[test]
+    fn wire_round_trips_every_value(value in arb_value(3)) {
+        let bytes = encode_value(&value);
+        let back = decode_value(&bytes).unwrap();
+        prop_assert!(value_eq(&back, &value));
+    }
+
+    /// Every value round-trips through a full checksummed frame.
+    #[test]
+    fn framed_messages_round_trip(value in arb_value(2)) {
+        let frame = encode_message(&value);
+        let back: Value = decode_message(&frame).unwrap();
+        prop_assert!(value_eq(&back, &value));
+    }
+
+    /// Flipping any single byte of a frame — header or payload — is
+    /// detected: magic, length, and checksum checks leave no blind
+    /// spot, and detection is a typed error, never a panic.
+    #[test]
+    fn any_single_byte_flip_is_rejected(value in arb_value(2), pos_seed in any::<usize>(), flip in 1u8..=255) {
+        let mut frame = encode_message(&value);
+        let pos = pos_seed % frame.len();
+        frame[pos] ^= flip;
+        prop_assert!(decode_message::<Value>(&frame).is_err());
+    }
+
+    /// Every strict prefix of a frame is rejected as a typed error.
+    #[test]
+    fn truncated_frames_are_rejected(value in arb_value(2), cut_seed in any::<usize>()) {
+        let frame = encode_message(&value);
+        let cut = cut_seed % frame.len();
+        prop_assert!(decode_message::<Value>(&frame[..cut]).is_err());
+    }
+
+    /// Arbitrary garbage never panics the decoder.
+    #[test]
+    fn garbage_never_panics_the_decoder(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_message::<Value>(&bytes);
+        let _ = decode_value(&bytes);
+    }
+}
